@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Bento Bugstudy Bytes Char Format Fusesim Hashtbl Int64 Kernel List Measure Option Printf Sim Staged Sys Targets Test Time Toolkit Workloads Xv6fs

@@ -1,0 +1,1 @@
+bench/targets.ml: Bento Bento_user Ext4sim Kernel Vfs_xv6 Xv6fs

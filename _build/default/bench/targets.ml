@@ -1,0 +1,53 @@
+(** Benchmark targets: the four file-system stacks of the paper's
+    evaluation, each brought up on a fresh simulated machine. *)
+
+let ok = Kernel.Errno.ok_exn
+
+let xv6_maker : (module Bento.Fs_api.FS_MAKER) = (module Xv6fs.Fs.Make)
+
+type system = Bento_fs | C_kernel | Fuse | Ext4
+
+let system_name = function
+  | Bento_fs -> "Bento"
+  | C_kernel -> "C-Kernel"
+  | Fuse -> "FUSE"
+  | Ext4 -> "Ext4"
+
+let all_xv6 = [ Bento_fs; C_kernel; Fuse ]
+let all_with_ext4 = [ Bento_fs; C_kernel; Fuse; Ext4 ]
+
+(** Bring up [system] on a fresh machine, run [f os], tear down, drain the
+    simulation, and return [f]'s result. *)
+let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) system f =
+  let machine = Kernel.Machine.create ~disk_blocks ~block_size:4096 () in
+  let result = ref None in
+  Kernel.Machine.spawn ~name:"bench" machine (fun () ->
+      match system with
+      | Bento_fs ->
+          ok (Bento.Bentofs.mkfs machine xv6_maker);
+          let vfs, h = ok (Bento.Bentofs.mount ~background machine xv6_maker) in
+          let os = Kernel.Os.create vfs in
+          result := Some (f machine os);
+          Bento.Bentofs.unmount vfs h
+      | C_kernel ->
+          ok (Vfs_xv6.mkfs machine);
+          let vfs = ok (Vfs_xv6.mount ~background machine) in
+          let os = Kernel.Os.create vfs in
+          result := Some (f machine os);
+          Vfs_xv6.unmount vfs
+      | Fuse ->
+          ok (Bento.Bentofs.mkfs machine xv6_maker);
+          let vfs, h = ok (Bento_user.mount ~background machine xv6_maker) in
+          let os = Kernel.Os.create vfs in
+          result := Some (f machine os);
+          Bento_user.unmount vfs h
+      | Ext4 ->
+          ok (Ext4sim.Ext4.mkfs machine);
+          let vfs, h = ok (Ext4sim.Ext4.mount ~background machine) in
+          let os = Kernel.Os.create vfs in
+          result := Some (f machine os);
+          Ext4sim.Ext4.unmount vfs h);
+  Kernel.Machine.run machine;
+  match !result with
+  | Some r -> r
+  | None -> failwith "bench target produced no result"

@@ -1,0 +1,163 @@
+(** The bento command-line tool: inspect layouts, run smoke workloads with
+    statistics, run crash-recovery trials, and print the bug study.
+
+      dune exec bin/bento_cli.exe -- layout --blocks 1048576
+      dune exec bin/bento_cli.exe -- smoke --fs bento
+      dune exec bin/bento_cli.exe -- crashtest --trials 10
+      dune exec bin/bento_cli.exe -- bugstudy *)
+
+open Cmdliner
+
+let ok = Kernel.Errno.ok_exn
+let xv6 : (module Bento.Fs_api.FS_MAKER) = (module Xv6fs.Fs.Make)
+
+(* ------------------------------------------------------------------ *)
+
+let layout_cmd =
+  let blocks =
+    Arg.(value & opt int (1024 * 1024) & info [ "blocks" ] ~doc:"Device size in 4KB blocks")
+  in
+  let run blocks =
+    let ninodes = min 262144 (max 4096 (blocks / 32)) in
+    let sb = Xv6fs.Layout.compute ~size:blocks ~ninodes ~nlog:126 in
+    Printf.printf "xv6fs layout for a %d-block (%d MB) device:\n" blocks
+      (blocks * 4096 / 1024 / 1024);
+    Printf.printf "  superblock   block 1\n";
+    Printf.printf "  log          blocks %d..%d (%d blocks incl. header)\n"
+      sb.Xv6fs.Layout.logstart
+      (sb.Xv6fs.Layout.logstart + sb.Xv6fs.Layout.nlog - 1)
+      sb.Xv6fs.Layout.nlog;
+    Printf.printf "  inodes       blocks %d..%d (%d inodes)\n"
+      sb.Xv6fs.Layout.inodestart
+      (sb.Xv6fs.Layout.bmapstart - 1)
+      sb.Xv6fs.Layout.ninodes;
+    Printf.printf "  bitmap       blocks %d..%d\n" sb.Xv6fs.Layout.bmapstart
+      (sb.Xv6fs.Layout.datastart - 1);
+    Printf.printf "  data         blocks %d..%d (%d blocks, %d MB)\n"
+      sb.Xv6fs.Layout.datastart (sb.Xv6fs.Layout.size - 1)
+      sb.Xv6fs.Layout.nblocks
+      (sb.Xv6fs.Layout.nblocks * 4096 / 1024 / 1024);
+    Printf.printf "  max file     %d bytes (%.2f GB)\n"
+      Xv6fs.Layout.max_file_size
+      (float_of_int Xv6fs.Layout.max_file_size /. 1e9)
+  in
+  Cmd.v (Cmd.info "layout" ~doc:"Print the computed on-disk layout")
+    Term.(const run $ blocks)
+
+(* ------------------------------------------------------------------ *)
+
+let smoke_cmd =
+  let fs_arg =
+    Arg.(value & opt string "bento" & info [ "fs" ] ~doc:"bento | c-kernel | fuse | ext4")
+  in
+  let run fsname =
+    let machine = Kernel.Machine.create ~disk_blocks:(256 * 1024) ~block_size:4096 () in
+    Kernel.Machine.spawn machine (fun () ->
+        let os, finish =
+          match fsname with
+          | "bento" ->
+              ok (Bento.Bentofs.mkfs machine xv6);
+              let vfs, h = ok (Bento.Bentofs.mount machine xv6) in
+              (Kernel.Os.create vfs, fun () -> Bento.Bentofs.unmount vfs h)
+          | "c-kernel" ->
+              ok (Vfs_xv6.mkfs machine);
+              let vfs = ok (Vfs_xv6.mount machine) in
+              (Kernel.Os.create vfs, fun () -> Vfs_xv6.unmount vfs)
+          | "fuse" ->
+              ok (Bento.Bentofs.mkfs machine xv6);
+              let vfs, h = ok (Bento_user.mount machine xv6) in
+              (Kernel.Os.create vfs, fun () -> Bento_user.unmount vfs h)
+          | "ext4" ->
+              ok (Ext4sim.Ext4.mkfs machine);
+              let vfs, h = ok (Ext4sim.Ext4.mount machine) in
+              (Kernel.Os.create vfs, fun () -> Ext4sim.Ext4.unmount vfs h)
+          | other -> failwith ("unknown fs: " ^ other)
+        in
+        let t0 = Kernel.Machine.now machine in
+        ok (Kernel.Os.mkdir os "/smoke");
+        for i = 0 to 99 do
+          let fd =
+            ok (Kernel.Os.open_ os (Printf.sprintf "/smoke/f%02d" i) Kernel.Os.(creat wronly))
+          in
+          ignore (ok (Kernel.Os.pwrite os fd ~pos:0 (Bytes.make 16384 'x')));
+          if i mod 10 = 0 then ok (Kernel.Os.fsync os fd);
+          ok (Kernel.Os.close os fd)
+        done;
+        for i = 0 to 99 do
+          ignore (ok (Kernel.Os.read_file os (Printf.sprintf "/smoke/f%02d" i)))
+        done;
+        for i = 0 to 99 do
+          ok (Kernel.Os.unlink os (Printf.sprintf "/smoke/f%02d" i))
+        done;
+        ok (Kernel.Os.sync os);
+        let dt = Int64.sub (Kernel.Machine.now machine) t0 in
+        Printf.printf "%s: 100 x (create 16K + read + delete) in %.3f virtual ms\n"
+          fsname
+          (Int64.to_float dt /. 1e6);
+        finish ());
+    Kernel.Machine.run machine;
+    let stats = Device.Ssd.stats (Kernel.Machine.disk machine) in
+    Printf.printf "device: ";
+    Sim.Stats.iter_counters stats (fun name c ->
+        Printf.printf "%s=%Ld " name (Sim.Stats.Counter.get c));
+    print_newline ()
+  in
+  Cmd.v (Cmd.info "smoke" ~doc:"Run a smoke workload and print device statistics")
+    Term.(const run $ fs_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let crashtest_cmd =
+  let trials = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Number of trials") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed") in
+  let run trials seed =
+    let failures = ref 0 in
+    for t = 0 to trials - 1 do
+      let machine = Kernel.Machine.create ~disk_blocks:32768 ~block_size:4096 () in
+      Kernel.Machine.spawn machine (fun () ->
+          ok (Bento.Bentofs.mkfs machine xv6);
+          let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6) in
+          let os = Kernel.Os.create vfs in
+          let rng = Sim.Rng.create (seed + t) in
+          for i = 0 to 29 do
+            let fd =
+              ok (Kernel.Os.open_ os (Printf.sprintf "/f%d" i) Kernel.Os.(creat wronly))
+            in
+            ignore
+              (ok (Kernel.Os.pwrite os fd ~pos:0 (Bytes.make (1 + Sim.Rng.int rng 20000) 'c')));
+            if Sim.Rng.bool rng then ok (Kernel.Os.fsync os fd);
+            ok (Kernel.Os.close os fd)
+          done;
+          Device.Ssd.crash ~survive:(Sim.Rng.float rng) ~rng (Kernel.Machine.disk machine);
+          let vfs2, h2 = ok (Bento.Bentofs.mount ~background:false machine xv6) in
+          Bento.Bentofs.unmount vfs2 h2;
+          ignore (vfs, h));
+      Kernel.Machine.run machine;
+      let r = Xv6fs.Fsck.check_device (Kernel.Machine.disk machine) in
+      if Xv6fs.Fsck.ok r then
+        Printf.printf "trial %2d: consistent (%d files, %d dirs, %d blocks)\n"
+          t r.Xv6fs.Fsck.files r.Xv6fs.Fsck.directories r.Xv6fs.Fsck.used_blocks
+      else begin
+        incr failures;
+        Printf.printf "trial %2d: INCONSISTENT\n" t;
+        List.iter (fun e -> Printf.printf "    %s\n" e) r.Xv6fs.Fsck.errors
+      end
+    done;
+    Printf.printf "%d/%d trials consistent after crash + recovery\n"
+      (trials - !failures) trials;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crashtest" ~doc:"Crash-inject the Bento xv6 file system and fsck the result")
+    Term.(const run $ trials $ seed)
+
+(* ------------------------------------------------------------------ *)
+
+let bugstudy_cmd =
+  let run () = Format.printf "%a" Bugstudy.Study.pp_table1 () in
+  Cmd.v (Cmd.info "bugstudy" ~doc:"Print the Table 1 bug study") Term.(const run $ const ())
+
+let () =
+  let doc = "Bento: high-velocity kernel file systems (simulated reproduction)" in
+  let info = Cmd.info "bento_cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ layout_cmd; smoke_cmd; crashtest_cmd; bugstudy_cmd ]))

@@ -1,0 +1,1 @@
+examples/debug_userspace.ml: Bento Bento_user Bytes Int64 Kernel List Printf Xv6fs

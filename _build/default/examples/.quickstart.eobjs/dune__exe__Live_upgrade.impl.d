@@ -1,0 +1,1 @@
+examples/live_upgrade.ml: Bento Bytes Int64 Kernel Printf Sim Xv6fs

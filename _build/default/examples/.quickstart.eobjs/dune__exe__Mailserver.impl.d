@@ -1,0 +1,1 @@
+examples/mailserver.ml: Bento Bytes Ext4sim Int64 Kernel List Printf Sim Xv6fs

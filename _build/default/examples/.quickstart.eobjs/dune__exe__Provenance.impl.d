@@ -1,0 +1,1 @@
+examples/provenance.ml: Bento Bytes Kernel List Printf String Xv6fs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bento Bytes Device Kernel List Printf String Xv6fs

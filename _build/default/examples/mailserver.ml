@@ -1,0 +1,88 @@
+(* A varmail-style mail server on top of the public API — the kind of
+   fsync-heavy application the paper's evaluation centres on. Runs the same
+   mail workload on the Bento xv6 file system and on the ext4 comparator
+   and reports both.
+
+     dune exec examples/mailserver.exe *)
+
+let ok = Kernel.Errno.ok_exn
+let xv6 : (module Bento.Fs_api.FS_MAKER) = (module Xv6fs.Fs.Make)
+
+(* A tiny mail store: one directory per mailbox, one file per message,
+   fsync on every delivery (mail must not be lost). *)
+module Mailstore = struct
+  type t = { os : Kernel.Os.t; mutable delivered : int }
+
+  let create os users =
+    ok (Kernel.Os.mkdir os "/mail");
+    List.iter (fun u -> ok (Kernel.Os.mkdir os ("/mail/" ^ u))) users;
+    { os; delivered = 0 }
+
+  let deliver t ~user ~id body =
+    let path = Printf.sprintf "/mail/%s/msg%06d" user id in
+    let fd = ok (Kernel.Os.open_ t.os path Kernel.Os.(creat wronly)) in
+    ignore (ok (Kernel.Os.write t.os fd body));
+    ok (Kernel.Os.fsync t.os fd) (* durability before acknowledging *);
+    ok (Kernel.Os.close t.os fd);
+    t.delivered <- t.delivered + 1
+
+  let read_mail t ~user ~id =
+    Kernel.Os.read_file t.os (Printf.sprintf "/mail/%s/msg%06d" user id)
+
+  let expunge t ~user ~id =
+    Kernel.Os.unlink t.os (Printf.sprintf "/mail/%s/msg%06d" user id)
+
+  let mailbox_size t ~user =
+    List.length (ok (Kernel.Os.readdir t.os ("/mail/" ^ user))) - 2
+end
+
+let users = [ "alice"; "bob"; "carol"; "dave" ]
+
+let run_store name os machine =
+  let store = Mailstore.create os users in
+  let rng = Sim.Rng.create 99 in
+  let t0 = Kernel.Machine.now machine in
+  (* four delivery agents hammer the store concurrently *)
+  let done_ = Sim.Sync.Semaphore.create 0 in
+  List.iteri
+    (fun ai user ->
+      Kernel.Machine.spawn ~name:("agent-" ^ user) machine (fun () ->
+          let rng = Sim.Rng.split rng in
+          for id = 0 to 199 do
+            let size = 512 + Sim.Rng.int rng 8192 in
+            Mailstore.deliver store ~user ~id (Bytes.make size 'm');
+            (* readers poll their mailboxes *)
+            if id mod 10 = ai then
+              ignore (Mailstore.read_mail store ~user ~id)
+          done;
+          (* expire the oldest half *)
+          for id = 0 to 99 do
+            ok (Mailstore.expunge store ~user ~id)
+          done;
+          Sim.Sync.Semaphore.release done_))
+    users;
+  List.iter (fun _ -> Sim.Sync.Semaphore.acquire done_) users;
+  let dt = Int64.sub (Kernel.Machine.now machine) t0 in
+  Printf.printf "%-8s delivered %d messages in %.3f virtual s (%.0f msg/s); " name
+    store.Mailstore.delivered
+    (Int64.to_float dt /. 1e9)
+    (float_of_int store.Mailstore.delivered /. (Int64.to_float dt /. 1e9));
+  Printf.printf "alice's mailbox now holds %d messages\n%!"
+    (Mailstore.mailbox_size store ~user:"alice")
+
+let () =
+  (* same application, two file systems *)
+  let machine = Kernel.Machine.create ~disk_blocks:(512 * 1024) ~block_size:4096 () in
+  Kernel.Machine.spawn machine (fun () ->
+      ok (Bento.Bentofs.mkfs machine xv6);
+      let vfs, h = ok (Bento.Bentofs.mount machine xv6) in
+      run_store "xv6fs" (Kernel.Os.create vfs) machine;
+      Bento.Bentofs.unmount vfs h);
+  Kernel.Machine.run machine;
+  let machine = Kernel.Machine.create ~disk_blocks:(512 * 1024) ~block_size:4096 () in
+  Kernel.Machine.spawn machine (fun () ->
+      ok (Ext4sim.Ext4.mkfs machine);
+      let vfs, h = ok (Ext4sim.Ext4.mount machine) in
+      run_store "ext4" (Kernel.Os.create vfs) machine;
+      Ext4sim.Ext4.unmount vfs h);
+  Kernel.Machine.run machine

@@ -1,0 +1,1 @@
+lib/bento/bentofs.ml: Array Bentoks Bytes Fs_api Kernel List Sim

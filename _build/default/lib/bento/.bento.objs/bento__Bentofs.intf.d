@@ -1,0 +1,1 @@
+lib/bento/bentofs.mli: Bentoks Fs_api Kernel Sim

@@ -1,0 +1,1 @@
+lib/bento/bentoks.ml: Bytes Device Kernel List Printf Sim

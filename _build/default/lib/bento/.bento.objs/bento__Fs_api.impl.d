@@ -1,0 +1,1 @@
+lib/bento/fs_api.ml: Bentoks Bytes Kernel Upgrade_state

@@ -1,0 +1,1 @@
+lib/bento/registry.ml: Bentofs Fs_api Hashtbl List

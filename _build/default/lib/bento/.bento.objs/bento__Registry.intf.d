@@ -1,0 +1,1 @@
+lib/bento/registry.mli: Bentofs Fs_api Kernel

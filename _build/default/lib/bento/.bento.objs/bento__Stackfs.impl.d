@@ -1,0 +1,1 @@
+lib/bento/stackfs.ml: Bentoks Buffer Bytes Char Fs_api Hashtbl List Option String Upgrade_state

@@ -1,0 +1,1 @@
+lib/bento/upgrade.ml: Bentofs Bentoks Fs_api Int64 Kernel List Printf Sim Upgrade_state

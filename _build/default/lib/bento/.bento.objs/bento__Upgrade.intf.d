@@ -1,0 +1,1 @@
+lib/bento/upgrade.mli: Bentofs Fs_api

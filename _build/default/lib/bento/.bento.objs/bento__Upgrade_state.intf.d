@@ -1,0 +1,1 @@
+lib/bento/upgrade_state.mli: Bytes Format

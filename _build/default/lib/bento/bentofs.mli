@@ -1,0 +1,53 @@
+(** BentoFS — the layer interposed between the kernel VFS and a Bento file
+    system (§4.3, §5.2 of the paper).
+
+    It translates VFS calls into the file-operations API through a stored
+    dispatch table, holding a dispatch read-lock per operation so that
+    {!Upgrade.upgrade} can quiesce in-flight calls and swap the
+    implementation underneath running applications. Its writeback path
+    batches contiguous dirty pages into single [write] calls (writepages,
+    inherited from the FUSE kernel module). *)
+
+type handle = {
+  mutable current : Fs_api.dispatch;
+  dispatch_lock : Sim.Sync.Rwlock.t;
+  machine : Kernel.Machine.t;
+  bcache : Kernel.Bcache.t;
+  services : (module Bentoks.KSERVICES);
+  mutable upgrades : int;
+}
+(** The mount handle; [Upgrade] swaps [current] under [dispatch_lock]. *)
+
+val wb_batch_pages : int
+(** Default writepages batch (pages per [write_pages] call). *)
+
+val vfs_ops : ?wb_batch:int -> handle -> Kernel.Vfs.fs_ops
+(** The VFS table for a mounted Bento fs. [wb_batch 1] reproduces the C
+    baseline's writepage behaviour (ablation experiments). *)
+
+val mkfs :
+  Kernel.Machine.t ->
+  (module Fs_api.FS_MAKER) ->
+  (unit, Kernel.Errno.t) result
+(** Format the machine's device with the given file system. *)
+
+val mount :
+  ?dirty_limit:int ->
+  ?page_cap:int ->
+  ?background:bool ->
+  ?wb_batch:int ->
+  Kernel.Machine.t ->
+  (module Fs_api.FS_MAKER) ->
+  (Kernel.Vfs.t * handle, Kernel.Errno.t) result
+(** Instantiate the fs module against fresh kernel services ("module
+    insertion"), mount it on the VFS, and return the upgrade handle. *)
+
+val unmount : Kernel.Vfs.t -> handle -> unit
+(** Flush the VFS, then destroy the fs instance. *)
+
+val bcache : handle -> Kernel.Bcache.t
+val services : handle -> (module Bentoks.KSERVICES)
+val machine : handle -> Kernel.Machine.t
+val upgrades : handle -> int
+val current_version : handle -> int
+val current_name : handle -> string

@@ -1,0 +1,248 @@
+(** BentoKS — the kernel services API (§4.5–§4.7).
+
+    A Bento file system never touches kernel objects directly: it receives a
+    [KSERVICES] module whose values are *capabilities*. The module types are
+    abstract, so file-system code cannot forge a superblock or a buffer, and
+    the buffer wrapper enforces the borrow discipline at runtime (in Rust
+    the compiler proves it; here violating it raises, and the test suite's
+    fault-injection checks exercise exactly the bug classes of Table 1:
+    use-after-free, double free, leaks).
+
+    Two implementations exist: [kernel_services] below wraps the kernel
+    buffer cache and device barrier (the in-kernel Bento runtime), and
+    [Bento_user] provides the same signature over user-level I/O for the
+    §4.9 userspace debugging runtime. *)
+
+exception Use_after_release of string
+exception Double_release of string
+
+(** The services signature a Bento file system is compiled against. *)
+module type KSERVICES = sig
+  (** An exclusively-held disk block (the BufferHead capability). Obtained
+      from [bread]/[getblk]; must be released exactly once. *)
+  module Buffer : sig
+    type t
+
+    val block : t -> int
+
+    val data : t -> Bytes.t
+    (** Borrow the 4 KB contents. Raises [Use_after_release] if the buffer
+        was released — the runtime analogue of Rust's borrow check. *)
+
+    val mark_dirty : t -> unit
+    (** The owner (typically the log) will write this block later. *)
+  end
+
+  val bread : int -> Buffer.t
+  (** Read block into the cache and return it locked ([sb_bread]). *)
+
+  val getblk : int -> Buffer.t
+  (** Locked buffer without reading the device (will be overwritten). *)
+
+  val bwrite : Buffer.t -> unit
+  (** Write through to the device's volatile cache. *)
+
+  val bwrite_seq : Buffer.t list -> unit
+  (** Write several buffers, batching contiguous block runs into single
+      device commands. *)
+
+  val bwrite_all : Buffer.t list -> unit
+  (** Write a set of buffers with maximum parallelism: contiguous runs are
+      batched into single commands and distinct runs are submitted
+      concurrently across the device's channels, then all completions are
+      awaited (the kernel block layer's async submit path). *)
+
+  val brelse : Buffer.t -> unit
+  (** Unlock and drop the reference. Raises [Double_release] on misuse. *)
+
+  val pin : Buffer.t -> unit
+  (** Raise the underlying cache reference so the block cannot be evicted
+      (xv6 [bpin]; the log pins modified blocks until they are installed). *)
+
+  val unpin : Buffer.t -> unit
+  (** Drop a pin reference ([bunpin]). *)
+
+  val with_bread : int -> (Buffer.t -> 'a) -> 'a
+  (** Scoped read: releases on all paths (the Rust [Drop] idiom). *)
+
+  val with_getblk : int -> (Buffer.t -> 'a) -> 'a
+
+  val flush : unit -> unit
+  (** Durability barrier: volatile device cache to stable media. *)
+
+  val block_size : int
+  val nblocks : int
+
+  val cpu : int64 -> unit
+  (** Account CPU work (directory scans, checksums, ...). *)
+
+  val costs : Kernel.Cost.t
+  (** The machine's calibration constants, for fs-side CPU accounting. *)
+
+  val now : unit -> int64
+
+  (** Kernel sleeping locks (semaphores) for fs-internal synchronisation. *)
+  module Kmutex : sig
+    type t
+
+    val create : ?name:string -> unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+    val with_lock : t -> (unit -> 'a) -> 'a
+  end
+
+  module Kcondvar : sig
+    type t
+
+    val create : unit -> t
+    val wait : t -> Kmutex.t -> unit
+    val signal : t -> unit
+    val broadcast : t -> unit
+  end
+
+  (** Counters for fs-side statistics. *)
+  val counter : string -> unit -> unit
+
+  val printk : string -> unit
+  (** Kernel log line (dmesg), tagged with the machine's virtual time. *)
+end
+
+(** Build the in-kernel services over a machine's buffer cache. The
+    returned module closes over the kernel objects — holding the module is
+    the capability. *)
+let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
+    (module KSERVICES) =
+  let stats = Kernel.Machine.stats machine in
+  (module struct
+    module Buffer = struct
+      type t = { bh : Kernel.Bcache.buf; mutable released : bool }
+
+      let block b = b.bh.Kernel.Bcache.block
+
+      let data b =
+        if b.released then
+          raise (Use_after_release (Printf.sprintf "block %d" (block b)));
+        b.bh.Kernel.Bcache.data
+
+      let mark_dirty b =
+        if b.released then
+          raise (Use_after_release (Printf.sprintf "block %d" (block b)));
+        Kernel.Bcache.mark_dirty b.bh
+    end
+
+    let bread n = { Buffer.bh = Kernel.Bcache.bread bc n; released = false }
+    let getblk n = { Buffer.bh = Kernel.Bcache.getblk bc n; released = false }
+
+    let bwrite (b : Buffer.t) =
+      if b.Buffer.released then
+        raise (Use_after_release (Printf.sprintf "block %d" (Buffer.block b)));
+      Kernel.Bcache.bwrite bc b.Buffer.bh
+
+    (* Group consecutive block runs into contiguous device commands. *)
+    let runs_of bs =
+      let sorted =
+        List.sort (fun a b -> compare (Buffer.block a) (Buffer.block b)) bs
+      in
+      let rec runs acc cur = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | b :: rest -> (
+            match cur with
+            | [] -> runs acc [ b ] rest
+            | last :: _ when Buffer.block b = Buffer.block last + 1 ->
+                runs acc (b :: cur) rest
+            | _ -> runs (List.rev cur :: acc) [ b ] rest)
+      in
+      runs [] [] sorted
+
+    let check_live ctx bs =
+      List.iter
+        (fun (b : Buffer.t) ->
+          if b.Buffer.released then raise (Use_after_release ctx))
+        bs
+
+    let bwrite_seq bs =
+      check_live "bwrite_seq" bs;
+      List.iter
+        (fun run ->
+          Kernel.Bcache.bwrite_contig bc (List.map (fun b -> b.Buffer.bh) run))
+        (runs_of bs)
+
+    let bwrite_all bs =
+      check_live "bwrite_all" bs;
+      match runs_of bs with
+      | [] -> ()
+      | [ run ] ->
+          Kernel.Bcache.bwrite_contig bc (List.map (fun b -> b.Buffer.bh) run)
+      | runs ->
+          let done_sem = Sim.Sync.Semaphore.create 0 in
+          List.iter
+            (fun run ->
+              Kernel.Machine.spawn ~name:"bio" machine (fun () ->
+                  Kernel.Bcache.bwrite_contig bc
+                    (List.map (fun b -> b.Buffer.bh) run);
+                  Sim.Sync.Semaphore.release done_sem))
+            runs;
+          List.iter (fun _ -> Sim.Sync.Semaphore.acquire done_sem) runs
+
+    let brelse (b : Buffer.t) =
+      if b.Buffer.released then
+        raise (Double_release (Printf.sprintf "block %d" (Buffer.block b)));
+      b.Buffer.released <- true;
+      Kernel.Bcache.brelse bc b.Buffer.bh
+
+    let pin (b : Buffer.t) =
+      if b.Buffer.released then raise (Use_after_release "pin");
+      Kernel.Bcache.bpin bc b.Buffer.bh
+
+    let unpin (b : Buffer.t) =
+      if b.Buffer.released then raise (Use_after_release "unpin");
+      Kernel.Bcache.bunpin bc b.Buffer.bh
+
+    let with_bread n f =
+      let b = bread n in
+      match f b with
+      | v ->
+          brelse b;
+          v
+      | exception exn ->
+          brelse b;
+          raise exn
+
+    let with_getblk n f =
+      let b = getblk n in
+      match f b with
+      | v ->
+          brelse b;
+          v
+      | exception exn ->
+          brelse b;
+          raise exn
+
+    let flush () = Kernel.Bcache.flush bc
+    let block_size = Kernel.Bcache.block_size bc
+    let nblocks = Device.Ssd.nblocks (Kernel.Machine.disk machine)
+    let cpu ns = Kernel.Machine.cpu_work machine ns
+    let costs = Kernel.Machine.cost machine
+    let now () = Kernel.Machine.now machine
+
+    module Kmutex = struct
+      type t = Sim.Sync.Mutex.t
+
+      let create ?name () = Sim.Sync.Mutex.create ?name ()
+      let lock = Sim.Sync.Mutex.lock
+      let unlock = Sim.Sync.Mutex.unlock
+      let with_lock = Sim.Sync.Mutex.with_lock
+    end
+
+    module Kcondvar = struct
+      type t = Sim.Sync.Condvar.t
+
+      let create () = Sim.Sync.Condvar.create ()
+      let wait = Sim.Sync.Condvar.wait
+      let signal = Sim.Sync.Condvar.signal
+      let broadcast = Sim.Sync.Condvar.broadcast
+    end
+
+    let counter name () = Sim.Stats.Counter.incr (Sim.Stats.counter stats name)
+    let printk msg = Kernel.Printk.info machine "%s" msg
+  end)

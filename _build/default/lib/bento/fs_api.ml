@@ -1,0 +1,160 @@
+(** The Bento file operations API (§4.3–§4.4).
+
+    This is the interface a Bento file system implements — a typed rendering
+    of the FUSE low-level API augmented with access to the kernel services
+    capability, exactly as the paper describes. BentoFS translates VFS calls
+    into these operations; ownership of no object ever crosses the
+    interface (arguments are borrowed for the duration of the call — in
+    OCaml, immutable values and short-lived [Bytes.t] views). *)
+
+type kind = File | Directory | Symlink
+
+type attr = {
+  a_ino : int;
+  a_kind : kind;
+  a_size : int;
+  a_nlink : int;
+}
+
+type fs_stats = {
+  s_blocks : int;
+  s_bfree : int;
+  s_files : int;
+  s_ffree : int;
+}
+
+type dentry = { name : string; ino : int; kind : kind }
+
+type 'a res = ('a, Kernel.Errno.t) result
+
+(** What a Bento file system implements. The module is instantiated against
+    a [Bentoks.KSERVICES] by a functor ("module insertion"), mirroring how a
+    Rust Bento fs is compiled against the BentoKS crate and inserted. *)
+module type FS = sig
+  type t
+
+  val name : string
+  val version : int
+
+  val mkfs : unit -> unit res
+  (** Write a fresh, empty file system image to the device. *)
+
+  val mount : unit -> t res
+  (** Read the superblock, recover the log if needed, return the instance. *)
+
+  val destroy : t -> unit
+  (** Flush everything; called at unmount. *)
+
+  val statfs : t -> fs_stats
+  val getattr : t -> ino:int -> attr res
+  val lookup : t -> dir:int -> string -> attr res
+  val create : t -> dir:int -> string -> attr res
+  val mkdir : t -> dir:int -> string -> attr res
+  val unlink : t -> dir:int -> string -> unit res
+  val rmdir : t -> dir:int -> string -> unit res
+
+  val rename :
+    t -> olddir:int -> oldname:string -> newdir:int -> newname:string -> unit res
+
+  val link : t -> ino:int -> dir:int -> string -> attr res
+
+  val symlink : t -> dir:int -> string -> target:string -> attr res
+  val readlink : t -> ino:int -> string res
+  val read : t -> ino:int -> off:int -> len:int -> Bytes.t res
+  val write : t -> ino:int -> off:int -> Bytes.t -> int res
+  val truncate : t -> ino:int -> size:int -> unit res
+  val fsync : t -> ino:int -> unit res
+  val sync : t -> unit res
+  val readdir : t -> ino:int -> dentry list res
+  val iopen : t -> ino:int -> unit res
+  val irelease : t -> ino:int -> unit
+
+  val max_file_size : int
+
+  (* Online upgrade support (§4.8): the mediating layer calls
+     [extract_state] on the old version after quiescing, and
+     [restore_state] on the new version before resuming. *)
+  val extract_state : t -> Upgrade_state.t
+  val restore_state : t -> Upgrade_state.t -> unit
+end
+
+(** A file-system implementation parameterised by the kernel services it
+    runs against — in the kernel (BentoKS) or at user level (§4.9). *)
+module type FS_MAKER = functor (_ : Bentoks.KSERVICES) -> FS
+
+(** The function-pointer table BentoFS stores for a mounted file system
+    (§5.2: "function pointers to file system operations are stored in a data
+    structure that is provided to Bento when the file system is mounted and
+    upgraded"). Built from an [FS] module by [dispatch_of]. *)
+type dispatch = {
+  d_name : string;
+  d_version : int;
+  d_max_file_size : int;
+  d_statfs : unit -> fs_stats;
+  d_getattr : ino:int -> attr res;
+  d_lookup : dir:int -> string -> attr res;
+  d_create : dir:int -> string -> attr res;
+  d_mkdir : dir:int -> string -> attr res;
+  d_unlink : dir:int -> string -> unit res;
+  d_rmdir : dir:int -> string -> unit res;
+  d_rename :
+    olddir:int -> oldname:string -> newdir:int -> newname:string -> unit res;
+  d_link : ino:int -> dir:int -> string -> attr res;
+  d_symlink : dir:int -> string -> target:string -> attr res;
+  d_readlink : ino:int -> string res;
+  d_read : ino:int -> off:int -> len:int -> Bytes.t res;
+  d_write : ino:int -> off:int -> Bytes.t -> int res;
+  d_truncate : ino:int -> size:int -> unit res;
+  d_fsync : ino:int -> unit res;
+  d_sync : unit -> unit res;
+  d_readdir : ino:int -> dentry list res;
+  d_iopen : ino:int -> unit res;
+  d_irelease : ino:int -> unit;
+  d_extract_state : unit -> Upgrade_state.t;
+  d_restore_state : Upgrade_state.t -> unit;
+  d_destroy : unit -> unit;
+}
+
+let dispatch_of (type a) (module F : FS with type t = a) (fs : a) : dispatch =
+  {
+    d_name = F.name;
+    d_version = F.version;
+    d_max_file_size = F.max_file_size;
+    d_statfs = (fun () -> F.statfs fs);
+    d_getattr = (fun ~ino -> F.getattr fs ~ino);
+    d_lookup = (fun ~dir name -> F.lookup fs ~dir name);
+    d_create = (fun ~dir name -> F.create fs ~dir name);
+    d_mkdir = (fun ~dir name -> F.mkdir fs ~dir name);
+    d_unlink = (fun ~dir name -> F.unlink fs ~dir name);
+    d_rmdir = (fun ~dir name -> F.rmdir fs ~dir name);
+    d_rename =
+      (fun ~olddir ~oldname ~newdir ~newname ->
+        F.rename fs ~olddir ~oldname ~newdir ~newname);
+    d_link = (fun ~ino ~dir name -> F.link fs ~ino ~dir name);
+    d_symlink = (fun ~dir name ~target -> F.symlink fs ~dir name ~target);
+    d_readlink = (fun ~ino -> F.readlink fs ~ino);
+    d_read = (fun ~ino ~off ~len -> F.read fs ~ino ~off ~len);
+    d_write = (fun ~ino ~off data -> F.write fs ~ino ~off data);
+    d_truncate = (fun ~ino ~size -> F.truncate fs ~ino ~size);
+    d_fsync = (fun ~ino -> F.fsync fs ~ino);
+    d_sync = (fun () -> F.sync fs);
+    d_readdir = (fun ~ino -> F.readdir fs ~ino);
+    d_iopen = (fun ~ino -> F.iopen fs ~ino);
+    d_irelease = (fun ~ino -> F.irelease fs ~ino);
+    d_extract_state = (fun () -> F.extract_state fs);
+    d_restore_state = (fun st -> F.restore_state fs st);
+    d_destroy = (fun () -> F.destroy fs);
+  }
+
+let vfs_kind = function
+  | File -> Kernel.Vfs.Reg
+  | Directory -> Kernel.Vfs.Dir
+  | Symlink -> Kernel.Vfs.Symlink
+
+let vfs_stat a =
+  {
+    Kernel.Vfs.st_ino = a.a_ino;
+    st_kind = vfs_kind a.a_kind;
+    st_size = a.a_size;
+    st_nlink = a.a_nlink;
+  }

@@ -1,0 +1,51 @@
+(** The module registry: Bento file systems register themselves when their
+    module is inserted ([insmod]) and are looked up by name at mount time,
+    mirroring Linux's [register_filesystem]. *)
+
+type entry = {
+  fs_type : string;
+  maker : (module Fs_api.FS_MAKER);
+  mutable mounts : int;
+}
+
+type t = { table : (string, entry) Hashtbl.t }
+
+exception Already_registered of string
+exception Not_registered of string
+exception Busy of string
+
+let create () = { table = Hashtbl.create 8 }
+
+(** insmod: make the file-system type available. *)
+let register t fs_type maker =
+  if Hashtbl.mem t.table fs_type then raise (Already_registered fs_type);
+  Hashtbl.add t.table fs_type { fs_type; maker; mounts = 0 }
+
+(** rmmod: refuse while mounted, like the kernel's module refcount. *)
+let unregister t fs_type =
+  match Hashtbl.find_opt t.table fs_type with
+  | None -> raise (Not_registered fs_type)
+  | Some e when e.mounts > 0 -> raise (Busy fs_type)
+  | Some _ -> Hashtbl.remove t.table fs_type
+
+let registered t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+
+let find t fs_type =
+  match Hashtbl.find_opt t.table fs_type with
+  | None -> raise (Not_registered fs_type)
+  | Some e -> e
+
+let mkfs t fs_type machine = Bentofs.mkfs machine (find t fs_type).maker
+
+let mount ?dirty_limit ?background t fs_type machine =
+  let e = find t fs_type in
+  match Bentofs.mount ?dirty_limit ?background machine e.maker with
+  | Ok pair ->
+      e.mounts <- e.mounts + 1;
+      Ok pair
+  | Error _ as err -> err
+
+let unmount t fs_type vfs handle =
+  let e = find t fs_type in
+  Bentofs.unmount vfs handle;
+  e.mounts <- max 0 (e.mounts - 1)

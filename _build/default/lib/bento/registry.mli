@@ -1,0 +1,34 @@
+(** The module registry: Bento file-system types register on insmod and
+    are looked up by name at mount time (Linux [register_filesystem]).
+    Unregistering a type with live mounts fails with {!Busy}, like the
+    kernel's module reference count. *)
+
+type t
+
+type entry = {
+  fs_type : string;
+  maker : (module Fs_api.FS_MAKER);
+  mutable mounts : int;
+}
+
+exception Already_registered of string
+exception Not_registered of string
+exception Busy of string
+
+val create : unit -> t
+val register : t -> string -> (module Fs_api.FS_MAKER) -> unit
+val unregister : t -> string -> unit
+val registered : t -> string list
+val find : t -> string -> entry
+
+val mkfs : t -> string -> Kernel.Machine.t -> (unit, Kernel.Errno.t) result
+
+val mount :
+  ?dirty_limit:int ->
+  ?background:bool ->
+  t ->
+  string ->
+  Kernel.Machine.t ->
+  (Kernel.Vfs.t * Bentofs.handle, Kernel.Errno.t) result
+
+val unmount : t -> string -> Kernel.Vfs.t -> Bentofs.handle -> unit

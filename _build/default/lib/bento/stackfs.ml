@@ -1,0 +1,196 @@
+(** Composable (stackable) file systems — challenge 6 (§3.4).
+
+    Linux stacks file systems by routing the upper layer back through
+    top-level VFS calls (ecryptfs over ext4, overlayfs over anything),
+    paying the full VFS path per layer. Bento can do better: because a file
+    system is a functor over its services and exposes the typed
+    file-operations API, a layer is just a functor from [FS_MAKER] to
+    [FS_MAKER] — the composition is direct function calls, no VFS
+    round-trip, and the result mounts, upgrades, and runs at user level
+    like any other Bento file system.
+
+    Two layers are provided:
+
+    - [Xor]: a toy encryption layer in the spirit of ecryptfs — data is
+      transformed on the way in and out, metadata passes through. (A real
+      cipher would slot into [transform] unchanged; XOR keeps the example
+      dependency-free and makes tampering visible in tests.)
+
+    - [Provenance]: the paper's data-provenance motivation (§3) — records
+      which files were derived while which inputs were open, keeping an
+      in-memory lineage that upgrades can carry across versions. *)
+
+open Fs_api
+
+(** [Xor (Key) (Inner)] encrypts file contents with a repeating key. *)
+module type KEY = sig
+  val key : string
+end
+
+module Xor (Key : KEY) (Inner : FS_MAKER) =
+functor
+  (K : Bentoks.KSERVICES)
+  ->
+  struct
+    module F = Inner (K)
+
+    type t = F.t
+
+    let name = "xor+" ^ F.name
+    let version = F.version
+    let max_file_size = F.max_file_size
+
+    let transform ~off data =
+      let k = Key.key in
+      let n = String.length k in
+      if n = 0 then data
+      else
+        Bytes.mapi
+          (fun i c -> Char.chr (Char.code c lxor Char.code k.[(off + i) mod n]))
+          data
+
+    let mkfs = F.mkfs
+    let mount = F.mount
+    let destroy = F.destroy
+    let statfs = F.statfs
+    let getattr = F.getattr
+    let lookup = F.lookup
+    let create = F.create
+    let mkdir = F.mkdir
+    let unlink = F.unlink
+    let rmdir = F.rmdir
+    let rename = F.rename
+    let link = F.link
+    let symlink = F.symlink
+    let readlink = F.readlink
+
+    let read t ~ino ~off ~len =
+      match F.read t ~ino ~off ~len with
+      | Ok data -> Ok (transform ~off data)
+      | Error _ as e -> e
+
+    let write t ~ino ~off data = F.write t ~ino ~off (transform ~off data)
+
+    let truncate = F.truncate
+    let fsync = F.fsync
+    let sync = F.sync
+    let readdir = F.readdir
+    let iopen = F.iopen
+    let irelease = F.irelease
+    let extract_state = F.extract_state
+    let restore_state = F.restore_state
+  end
+
+(** [Provenance (Inner)] tracks lineage: whenever a file is written while
+    other files are open for reading, the written file is recorded as
+    *derived from* those inputs (§3's motivating example). The lineage
+    survives online upgrades via the transfer state. *)
+module Provenance (Inner : FS_MAKER) =
+functor
+  (K : Bentoks.KSERVICES)
+  ->
+  struct
+    module F = Inner (K)
+
+    type t = {
+      inner : F.t;
+      mutable open_inputs : int list;  (** inodes currently open *)
+      lineage : (int, int list) Hashtbl.t;  (** output ino -> input inos *)
+    }
+
+    let name = "prov+" ^ F.name
+    let version = F.version
+    let max_file_size = F.max_file_size
+
+    let mkfs = F.mkfs
+
+    let mount () =
+      match F.mount () with
+      | Ok inner -> Ok { inner; open_inputs = []; lineage = Hashtbl.create 64 }
+      | Error e -> Error e
+
+    let destroy t = F.destroy t.inner
+    let statfs t = F.statfs t.inner
+    let getattr t = F.getattr t.inner
+    let lookup t = F.lookup t.inner
+    let create t = F.create t.inner
+    let mkdir t = F.mkdir t.inner
+    let unlink t = F.unlink t.inner
+    let rmdir t = F.rmdir t.inner
+    let rename t = F.rename t.inner
+    let link t = F.link t.inner
+    let symlink t = F.symlink t.inner
+    let readlink t = F.readlink t.inner
+    let read t = F.read t.inner
+    let truncate t = F.truncate t.inner
+    let fsync t = F.fsync t.inner
+    let sync t = F.sync t.inner
+    let readdir t = F.readdir t.inner
+
+    let write t ~ino ~off data =
+      let inputs = List.filter (fun i -> i <> ino) t.open_inputs in
+      if inputs <> [] then begin
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt t.lineage ino)
+        in
+        let merged =
+          List.sort_uniq compare (inputs @ existing)
+        in
+        Hashtbl.replace t.lineage ino merged
+      end;
+      F.write t.inner ~ino ~off data
+
+    let iopen t ~ino =
+      match F.iopen t.inner ~ino with
+      | Ok () ->
+          t.open_inputs <- ino :: t.open_inputs;
+          Ok ()
+      | Error _ as e -> e
+
+    let irelease t ~ino =
+      (* remove one occurrence *)
+      let rec drop = function
+        | [] -> []
+        | x :: rest -> if x = ino then rest else x :: drop rest
+      in
+      t.open_inputs <- drop t.open_inputs;
+      F.irelease t.inner ~ino
+
+    (* Lineage is in-memory state the upgrade machinery must carry. *)
+    let extract_state t =
+      let st = F.extract_state t.inner in
+      let blob =
+        let b = Buffer.create 256 in
+        Hashtbl.iter
+          (fun out inputs ->
+            Buffer.add_string b (string_of_int out);
+            Buffer.add_char b ':';
+            Buffer.add_string b
+              (String.concat "," (List.map string_of_int inputs));
+            Buffer.add_char b ';')
+          t.lineage;
+        Buffer.to_bytes b
+      in
+      Upgrade_state.with_blob st "provenance" blob
+
+    let restore_state t st =
+      F.restore_state t.inner st;
+      match Upgrade_state.blob st "provenance" with
+      | None -> ()
+      | Some blob ->
+          String.split_on_char ';' (Bytes.to_string blob)
+          |> List.iter (fun entry ->
+                 match String.split_on_char ':' entry with
+                 | [ out; inputs ] when out <> "" ->
+                     let inputs =
+                       String.split_on_char ',' inputs
+                       |> List.filter_map int_of_string_opt
+                     in
+                     Hashtbl.replace t.lineage (int_of_string out) inputs
+                 | _ -> ())
+
+    (** Layer-specific query used by tests and tools: what was [ino]
+        derived from? *)
+    let derived_from t ~ino =
+      Option.value ~default:[] (Hashtbl.find_opt t.lineage ino)
+  end

@@ -1,0 +1,25 @@
+(** Online upgrade of a running Bento file system (§4.8).
+
+    Quiesces in-flight operations at the BentoFS dispatch lock, extracts
+    the old version's transferable in-memory state, instantiates the new
+    module against the *same* kernel services (so kernel-held structures —
+    the warm buffer cache, open-inode references — survive), restores the
+    state, and swaps the dispatch table. Applications keep their open
+    files and observe only a small pause. *)
+
+type report = {
+  from_version : int;
+  to_version : int;
+  pause_ns : int64;  (** how long operations were quiesced *)
+  transferred_ints : int;
+  transferred_blobs : int;
+  transferred_open_inodes : int;
+}
+
+exception Upgrade_failed of string
+(** The replacement module failed to mount; the old version keeps
+    running. *)
+
+val upgrade : Bentofs.handle -> (module Fs_api.FS_MAKER) -> report
+(** Swap the running file system for [maker]. Must be called from a
+    fiber. *)

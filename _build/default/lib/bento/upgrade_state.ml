@@ -1,0 +1,28 @@
+(** State transferred from an old file-system version to its replacement
+    during an online upgrade (§4.8).
+
+    The mediating layer cannot know the internal types of either version, so
+    the contract is a small self-describing bag: named integers, named
+    blobs, and the table of inode numbers the kernel still holds references
+    to (these must survive the swap or the kernel's handles would dangle —
+    challenge 3/4 in the paper). *)
+
+type t = {
+  version : int;  (** version of the fs module that produced the state *)
+  ints : (string * int) list;
+  blobs : (string * Bytes.t) list;
+  open_inodes : (int * int) list;  (** (ino, kernel refcount) pairs *)
+}
+
+let empty = { version = 0; ints = []; blobs = []; open_inodes = [] }
+
+let int t name = List.assoc_opt name t.ints
+let blob t name = List.assoc_opt name t.blobs
+
+let with_int t name v = { t with ints = (name, v) :: t.ints }
+let with_blob t name v = { t with blobs = (name, v) :: t.blobs }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>upgrade-state v%d: %d ints, %d blobs, %d open inodes@]"
+    t.version (List.length t.ints) (List.length t.blobs)
+    (List.length t.open_inodes)

@@ -1,0 +1,18 @@
+(** State transferred from an old file-system version to its replacement
+    during online upgrade (§4.8): a self-describing bag of named integers
+    and blobs, plus the inode numbers the kernel still holds open (those
+    references must survive the swap — challenges 3/4). *)
+
+type t = {
+  version : int;  (** version of the module that produced the state *)
+  ints : (string * int) list;
+  blobs : (string * Bytes.t) list;
+  open_inodes : (int * int) list;  (** (ino, kernel refcount) *)
+}
+
+val empty : t
+val int : t -> string -> int option
+val blob : t -> string -> Bytes.t option
+val with_int : t -> string -> int -> t
+val with_blob : t -> string -> Bytes.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** The Bento userspace runtime: the §4.9 debugging story and the paper's
+    FUSE baseline in one.
+
+    [user_services] implements the same [Bentoks.KSERVICES] signature as
+    the kernel runtime but over userspace facilities — a user-level buffer
+    cache on an O_DIRECT disk file, and whole-disk-file fsync(2) as the
+    durability barrier. Because a Bento file system is a functor over its
+    services, the same fs code that runs in the kernel under BentoFS runs
+    here behind the simulated FUSE transport, and both runtimes read the
+    same disk image. *)
+
+exception Use_after_release of string
+exception Double_release of string
+
+val user_services :
+  Kernel.Machine.t -> Fusesim.Ubcache.t -> (module Bento.Bentoks.KSERVICES)
+
+val handler_of : Bento.Fs_api.dispatch -> Fusesim.Daemon.handler
+(** Expose a mounted fs's dispatch table as a FUSE daemon handler. *)
+
+type mount_handle = {
+  driver : Fusesim.Driver.t;
+  transport : Fusesim.Transport.t;
+  ubcache : Fusesim.Ubcache.t;
+}
+
+val mount :
+  ?dirty_limit:int ->
+  ?background:bool ->
+  ?nominal_gb:int ->
+  Kernel.Machine.t ->
+  (module Bento.Fs_api.FS_MAKER) ->
+  (Kernel.Vfs.t * mount_handle, Kernel.Errno.t) result
+(** Assemble the whole userspace stack: instantiate the fs against user
+    services, start the daemon fiber, mount the FUSE driver on the VFS.
+    [nominal_gb] sizes the disk file whose mapping fsync walks (default
+    512, the paper's). *)
+
+val unmount : Kernel.Vfs.t -> mount_handle -> unit
+(** Flush through the wire, send DESTROY, close the connection. *)

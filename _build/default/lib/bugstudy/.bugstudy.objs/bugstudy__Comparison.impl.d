@@ -1,0 +1,1 @@
+lib/bugstudy/comparison.ml: Fmt List

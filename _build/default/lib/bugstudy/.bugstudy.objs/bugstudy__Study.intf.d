@@ -1,0 +1,1 @@
+lib/bugstudy/study.mli: Format

@@ -1,0 +1,1 @@
+lib/device/ssd.ml: Array Bytes Hashtbl Int64 List Sim

@@ -1,0 +1,1 @@
+lib/device/ssd.mli: Bytes Sim

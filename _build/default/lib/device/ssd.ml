@@ -1,0 +1,228 @@
+(** NVMe SSD model.
+
+    The model reproduces the device-side phenomena the Bento evaluation
+    depends on:
+
+    - per-command latency = fixed base + size / bandwidth, so batching many
+      contiguous blocks into one command ([writepages]) beats issuing one
+      command per block ([writepage]);
+    - internal parallelism: [channels] commands can be in flight at once,
+      which is what lets 32-thread filebench runs outscore 1-thread runs;
+    - a volatile write cache: writes complete fast but are not durable until
+      a FLUSH, whose cost grows with the amount of unflushed data — the
+      mechanism behind fsync-bound workloads (varmail, create/delete);
+    - crash semantics: on [crash], unflushed writes are lost (optionally a
+      random subset survives, modelling reordered internal writeback), which
+      the journal/log recovery tests exercise.
+
+    All timing is virtual; data is held in memory. *)
+
+type config = {
+  read_base : int64;  (** per-command read latency floor *)
+  write_base : int64;  (** per-command write latency floor (cache hit) *)
+  flush_base : int64;  (** FLUSH floor *)
+  read_bw : float;  (** bytes/sec streaming read *)
+  write_bw : float;  (** bytes/sec streaming write into cache *)
+  flush_bw : float;  (** bytes/sec draining cache to flash on FLUSH *)
+  channels : int;  (** parallel in-flight commands *)
+  cache_blocks : int;  (** volatile cache capacity; exceeding it forces
+                            background drain at flush_bw *)
+}
+
+(** Loosely calibrated to a Samsung PM981-class NVMe SSD (the paper's
+    testbed device): ~80 us 4K random read, fast buffered writes, ~3.2/2.4
+    GB/s streaming read/write, costly FLUSH. *)
+let default_config =
+  {
+    read_base = 70_000L;
+    write_base = 6_000L;
+    flush_base = 15_000L;
+    read_bw = 3.2e9;
+    write_bw = 2.4e9;
+    flush_bw = 1.2e9;
+    channels = 8;
+    cache_blocks = 4096;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  config : config;
+  block_size : int;
+  nblocks : int;
+  stable : Bytes.t option array;  (** durable contents, [None] = zeroes *)
+  volatile : (int, Bytes.t) Hashtbl.t;  (** written, not yet flushed *)
+  channels : Sim.Resource.t;
+  flush_lock : Sim.Sync.Mutex.t;
+  stats : Sim.Stats.t;
+  mutable failed : bool;  (** set by [crash]: all subsequent I/O fails *)
+}
+
+exception Out_of_range of int
+exception Device_failed
+
+let create ?(config = default_config) ~nblocks ~block_size engine =
+  if nblocks <= 0 || block_size <= 0 then invalid_arg "Ssd.create";
+  {
+    engine;
+    config;
+    block_size;
+    nblocks;
+    stable = Array.make nblocks None;
+    volatile = Hashtbl.create 1024;
+    channels = Sim.Resource.create ~name:"ssd-channels" config.channels;
+    flush_lock = Sim.Sync.Mutex.create ~name:"ssd-flush" ();
+    stats = Sim.Stats.create ();
+    failed = false;
+  }
+
+let block_size t = t.block_size
+let nblocks t = t.nblocks
+let stats t = t.stats
+
+let check t block =
+  if t.failed then raise Device_failed;
+  if block < 0 || block >= t.nblocks then raise (Out_of_range block)
+
+let counter t name = Sim.Stats.counter t.stats name
+
+let xfer_time ~base ~bw ~bytes =
+  Int64.add base (Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:bw)
+
+(* Fetch current durable-or-volatile contents of [block] as a fresh copy. *)
+let peek t block =
+  match Hashtbl.find_opt t.volatile block with
+  | Some b -> Bytes.copy b
+  | None -> (
+      match t.stable.(block) with
+      | Some b -> Bytes.copy b
+      | None -> Bytes.make t.block_size '\000')
+
+(** Read [count] contiguous blocks as one device command. *)
+let read_contig t ~start ~count =
+  check t start;
+  check t (start + count - 1);
+  Sim.Stats.Counter.incr (counter t "read_cmds");
+  Sim.Stats.Counter.incr ~by:count (counter t "blocks_read");
+  let bytes = count * t.block_size in
+  let dur = xfer_time ~base:t.config.read_base ~bw:t.config.read_bw ~bytes in
+  Sim.Resource.use t.channels dur;
+  if t.failed then raise Device_failed;
+  Array.init count (fun i -> peek t (start + i))
+
+let read t block =
+  match read_contig t ~start:block ~count:1 with
+  | [| b |] -> b
+  | _ -> assert false
+
+(* Record block contents in the volatile cache (timing handled by caller). *)
+let store_volatile t block data =
+  if Bytes.length data <> t.block_size then
+    invalid_arg "Ssd.write: bad block size";
+  Hashtbl.replace t.volatile block (Bytes.copy data)
+
+(* If the volatile cache overflows, the device stalls the command while it
+   drains the overflow to flash at flush bandwidth. *)
+let drain_overflow t =
+  let excess = Hashtbl.length t.volatile - t.config.cache_blocks in
+  if excess > 0 then begin
+    let bytes = excess * t.block_size in
+    let dur =
+      Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:t.config.flush_bw
+    in
+    Sim.Engine.sleep dur;
+    (* Oldest entries become durable; Hashtbl order is arbitrary but the
+       simulation stays deterministic because hashing is deterministic. *)
+    let moved = ref 0 in
+    let victims =
+      Hashtbl.fold
+        (fun blk data acc ->
+          if !moved < excess then begin
+            incr moved;
+            (blk, data) :: acc
+          end
+          else acc)
+        t.volatile []
+    in
+    List.iter
+      (fun (blk, data) ->
+        t.stable.(blk) <- Some data;
+        Hashtbl.remove t.volatile blk)
+      victims
+  end
+
+(** Write [count] contiguous blocks as one device command. *)
+let write_contig t ~start bufs =
+  let count = Array.length bufs in
+  if count = 0 then invalid_arg "Ssd.write_contig: empty";
+  check t start;
+  check t (start + count - 1);
+  Sim.Stats.Counter.incr (counter t "write_cmds");
+  Sim.Stats.Counter.incr ~by:count (counter t "blocks_written");
+  let bytes = count * t.block_size in
+  let dur = xfer_time ~base:t.config.write_base ~bw:t.config.write_bw ~bytes in
+  Sim.Resource.use t.channels dur;
+  if t.failed then raise Device_failed;
+  Array.iteri (fun i data -> store_volatile t (start + i) data) bufs;
+  drain_overflow t
+
+let write t block data = write_contig t ~start:block [| data |]
+
+(** Durability barrier: drain the volatile cache to flash. Cost grows with
+    the amount of dirty data — this is what makes frequent small fsyncs so
+    expensive for the FUSE baseline. *)
+let flush t =
+  if t.failed then raise Device_failed;
+  Sim.Sync.Mutex.with_lock t.flush_lock (fun () ->
+      Sim.Stats.Counter.incr (counter t "flushes");
+      let dirty = Hashtbl.length t.volatile in
+      let bytes = dirty * t.block_size in
+      let dur =
+        Int64.add t.config.flush_base
+          (Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:t.config.flush_bw)
+      in
+      Sim.Engine.sleep dur;
+      if t.failed then raise Device_failed;
+      Hashtbl.iter (fun blk data -> t.stable.(blk) <- Some data) t.volatile;
+      Hashtbl.reset t.volatile)
+
+let dirty_blocks t = Hashtbl.length t.volatile
+
+(** Simulate power loss. Unflushed writes are dropped, except that each
+    volatile block independently survives with probability [survive] (the
+    device may have started writing it back on its own) — this models
+    arbitrary write reordering for crash-recovery tests. Afterwards the
+    device keeps working on the surviving state. *)
+let crash ?(survive = 0.0) ?rng t =
+  let keep blk data =
+    let lucky =
+      match rng with
+      | Some r -> Sim.Rng.float r < survive
+      | None -> false
+    in
+    if lucky then t.stable.(blk) <- Some data
+  in
+  Hashtbl.iter keep t.volatile;
+  Hashtbl.reset t.volatile
+
+(** Mark the device failed: every subsequent command raises
+    [Device_failed]. Used for fault-injection tests. *)
+let fail t = t.failed <- true
+
+(* Direct, non-timed access for mkfs/fsck-style offline tools and tests. *)
+module Offline = struct
+  let read t block =
+    check t block;
+    peek t block
+
+  let write t block data =
+    check t block;
+    if Bytes.length data <> t.block_size then invalid_arg "Offline.write";
+    t.stable.(block) <- Some (Bytes.copy data);
+    Hashtbl.remove t.volatile block
+
+  let stable_read t block =
+    check t block;
+    match t.stable.(block) with
+    | Some b -> Bytes.copy b
+    | None -> Bytes.make t.block_size '\000'
+end

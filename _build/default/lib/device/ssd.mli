@@ -1,0 +1,72 @@
+(** NVMe SSD model: multi-channel command service, a volatile write cache
+    with FLUSH, streaming bandwidth, and crash semantics.
+
+    All timing is virtual (the calling fiber sleeps); data is in memory.
+    The phenomena the Bento evaluation depends on are modelled explicitly:
+    per-command latency floors (batching wins), channel parallelism
+    (threads win), flush cost growing with dirty data (fsync-bound
+    workloads), and loss of unflushed writes on power failure (crash
+    recovery testing, including partial survival). *)
+
+type config = {
+  read_base : int64;  (** per-command read latency floor (ns) *)
+  write_base : int64;  (** per-command write latency floor (cache hit) *)
+  flush_base : int64;  (** FLUSH floor *)
+  read_bw : float;  (** bytes/sec streaming read *)
+  write_bw : float;  (** bytes/sec streaming write into the cache *)
+  flush_bw : float;  (** bytes/sec draining the cache on FLUSH *)
+  channels : int;  (** parallel in-flight commands *)
+  cache_blocks : int;  (** volatile cache capacity before forced drain *)
+}
+
+val default_config : config
+(** Loosely calibrated to the paper's Samsung PM981-class device; see
+    EXPERIMENTS.md for the calibration discussion. *)
+
+type t
+
+exception Out_of_range of int
+exception Device_failed
+
+val create : ?config:config -> nblocks:int -> block_size:int -> Sim.Engine.t -> t
+
+val block_size : t -> int
+val nblocks : t -> int
+val stats : t -> Sim.Stats.t
+
+val read_contig : t -> start:int -> count:int -> Bytes.t array
+(** One device command covering [count] consecutive blocks. Blocks the
+    calling fiber for the command's service time. *)
+
+val read : t -> int -> Bytes.t
+
+val write_contig : t -> start:int -> Bytes.t array -> unit
+(** One command writing consecutive blocks into the volatile cache. *)
+
+val write : t -> int -> Bytes.t -> unit
+
+val flush : t -> unit
+(** Durability barrier: drain the volatile cache to stable media. Cost =
+    [flush_base] + dirty bytes / [flush_bw]. *)
+
+val dirty_blocks : t -> int
+
+val crash : ?survive:float -> ?rng:Sim.Rng.t -> t -> unit
+(** Power failure: unflushed writes are dropped, except that each block
+    independently survives with probability [survive] (models internal
+    writeback reordering). The device keeps serving afterwards. *)
+
+val fail : t -> unit
+(** Hard failure: every subsequent command raises {!Device_failed}. *)
+
+(** Non-timed access for offline tools (mkfs inspection, fsck, tests). *)
+module Offline : sig
+  val read : t -> int -> Bytes.t
+  (** Current contents: volatile cache if present, else stable. *)
+
+  val write : t -> int -> Bytes.t -> unit
+  (** Write straight to stable storage (image surgery in tests). *)
+
+  val stable_read : t -> int -> Bytes.t
+  (** Only what would survive a crash right now. *)
+end

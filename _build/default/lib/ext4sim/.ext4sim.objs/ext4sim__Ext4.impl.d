@@ -1,0 +1,1 @@
+lib/ext4sim/ext4.ml: Array Bytes Char Device Hashtbl Int64 Jbd2 Kernel Layout4 List Result Sim String

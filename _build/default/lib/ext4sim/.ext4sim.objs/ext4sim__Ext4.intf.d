@@ -1,0 +1,1 @@
+lib/ext4sim/ext4.mli: Kernel

@@ -1,0 +1,1 @@
+lib/ext4sim/fsck4.ml: Array Bytes Char Device Fmt Hashtbl Layout4 List Option Printf

@@ -1,0 +1,1 @@
+lib/ext4sim/jbd2.ml: Array Bytes Hashtbl Int64 Kernel Layout4 List Sim

@@ -1,0 +1,1 @@
+lib/ext4sim/jbd2.mli: Bytes Hashtbl Kernel Sim

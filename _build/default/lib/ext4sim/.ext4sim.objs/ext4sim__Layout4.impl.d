@@ -1,0 +1,1 @@
+lib/ext4sim/layout4.ml: Array Bytes Int64 List Printf String Util

@@ -1,0 +1,203 @@
+(** Offline consistency checker for the simplified ext4 format: superblock,
+    per-group bitmaps vs. extent references, extent overlap detection,
+    directory graph, link counts, reachability. The ext4 counterpart of
+    [Xv6fs.Fsck], used by the crash-injection tests. *)
+
+module L = Layout4
+
+type report = {
+  errors : string list;
+  warnings : string list;
+  files : int;
+  directories : int;
+  symlinks : int;
+  used_blocks : int;
+}
+
+let ok r = r.errors = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "fsck.ext4: %d files, %d dirs, %d symlinks, %d used blocks@."
+    r.files r.directories r.symlinks r.used_blocks;
+  List.iter (fun e -> Fmt.pf ppf "  ERROR: %s@." e) r.errors;
+  List.iter (fun w -> Fmt.pf ppf "  warn: %s@." w) r.warnings
+
+let bit_get data bit =
+  Char.code (Bytes.get data (bit / 8)) land (1 lsl (bit mod 8)) <> 0
+
+let check ~read_block ~nblocks () : report =
+  let errors = ref [] and warnings = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  match L.get_superblock (read_block 1) with
+  | Error msg ->
+      {
+        errors = [ "superblock: " ^ msg ];
+        warnings = [];
+        files = 0;
+        directories = 0;
+        symlinks = 0;
+        used_blocks = 0;
+      }
+  | Ok sb ->
+      if sb.L.total_blocks > nblocks then
+        err "superblock claims %d blocks, device has %d" sb.L.total_blocks
+          nblocks;
+      (* load all live inodes with their full extent lists *)
+      let inodes = Hashtbl.create 1024 in
+      for ino = 1 to L.total_inodes sb do
+        let blk = L.inode_block sb ino in
+        let data = read_block blk in
+        match L.get_dinode data ~slot:(L.inode_slot sb ino) with
+        | Error msg -> err "inode %d: %s" ino msg
+        | Ok d ->
+            if d.L.kind <> L.K_free then begin
+              (* expand inline + leaf extents *)
+              let exts = ref [] in
+              let remaining = ref d.L.nextents in
+              Array.iter
+                (fun e ->
+                  if !remaining > 0 then begin
+                    exts := e :: !exts;
+                    decr remaining
+                  end)
+                d.L.inline;
+              Array.iter
+                (fun leaf ->
+                  if leaf <> 0 && !remaining > 0 then begin
+                    if leaf >= sb.L.total_blocks then
+                      err "inode %d: leaf block %d out of range" ino leaf
+                    else begin
+                      let ldata = read_block leaf in
+                      let n = min (L.get_leaf_count ldata) !remaining in
+                      for i = 0 to n - 1 do
+                        exts := L.get_leaf_extent ldata i :: !exts
+                      done;
+                      remaining := !remaining - n
+                    end
+                  end)
+                d.L.leaves;
+              if !remaining > 0 then
+                err "inode %d: %d extents missing from leaves" ino !remaining;
+              Hashtbl.add inodes ino (d, List.rev !exts)
+            end
+      done;
+      (* extent references: range checks, overlap detection, bitmap *)
+      let owner = Hashtbl.create 4096 in
+      Hashtbl.iter
+        (fun ino ((d : L.dinode), exts) ->
+          ignore d;
+          List.iter
+            (fun (e : L.extent) ->
+              for j = 0 to e.L.e_len - 1 do
+                let blk = e.L.e_physical + j in
+                if blk < sb.L.first_group_block || blk >= sb.L.total_blocks
+                then err "inode %d: block %d out of range" ino blk
+                else begin
+                  (match Hashtbl.find_opt owner blk with
+                  | Some other ->
+                      err "block %d owned by inode %d and inode %d" blk other
+                        ino
+                  | None -> Hashtbl.add owner blk ino);
+                  (* leaves are also owned blocks; handled below *)
+                  let g = L.group_of_block sb blk in
+                  let bm = read_block (L.group_block_bitmap sb g) in
+                  if not (bit_get bm (blk - L.group_start sb g)) then
+                    err "block %d used by inode %d but free in bitmap" blk ino
+                end
+              done)
+            exts)
+        inodes;
+      (* leaf blocks must also be marked used *)
+      Hashtbl.iter
+        (fun ino ((d : L.dinode), _) ->
+          Array.iter
+            (fun leaf ->
+              if leaf <> 0 then begin
+                let g = L.group_of_block sb leaf in
+                let bm = read_block (L.group_block_bitmap sb g) in
+                if not (bit_get bm (leaf - L.group_start sb g)) then
+                  err "leaf block %d of inode %d free in bitmap" leaf ino
+              end)
+            d.L.leaves)
+        inodes;
+      (* inode bitmap cross-check *)
+      for ino = 1 to L.total_inodes sb do
+        let g = L.group_of_ino sb ino in
+        let bm = read_block (L.group_inode_bitmap sb g) in
+        let marked = bit_get bm (L.index_in_group sb ino) in
+        let live = Hashtbl.mem inodes ino in
+        if live && not marked then err "inode %d live but free in bitmap" ino;
+        if marked && not live then
+          warn "inode %d marked used but free on disk" ino
+      done;
+      (* directory graph *)
+      let lookup_block exts logical =
+        let rec go = function
+          | [] -> 0
+          | (e : L.extent) :: rest ->
+              if logical >= e.L.e_logical && logical < e.L.e_logical + e.L.e_len
+              then e.L.e_physical + (logical - e.L.e_logical)
+              else go rest
+        in
+        go exts
+      in
+      let nlink_seen = Hashtbl.create 256 in
+      let bump i =
+        Hashtbl.replace nlink_seen i
+          (1 + Option.value ~default:0 (Hashtbl.find_opt nlink_seen i))
+      in
+      let files = ref 0 and dirs = ref 0 and links = ref 0 in
+      Hashtbl.iter
+        (fun ino ((d : L.dinode), exts) ->
+          match d.L.kind with
+          | L.K_dir ->
+              incr dirs;
+              let total = d.L.size / L.dirent_size in
+              let nb = (d.L.size + L.block_size - 1) / L.block_size in
+              for bi = 0 to nb - 1 do
+                let phys = lookup_block exts bi in
+                if phys <> 0 then begin
+                  let data = read_block phys in
+                  let hi =
+                    min L.dirents_per_block (total - (bi * L.dirents_per_block))
+                  in
+                  for slot = 0 to hi - 1 do
+                    match L.get_dirent data ~slot with
+                    | None -> ()
+                    | Some (child, name) ->
+                        bump child;
+                        if
+                          name <> "." && name <> ".."
+                          && not (Hashtbl.mem inodes child)
+                        then
+                          err "dir %d: entry %S points to free inode %d" ino
+                            name child
+                  done
+                end
+              done
+          | L.K_file -> incr files
+          | L.K_symlink -> incr links
+          | L.K_free -> ())
+        inodes;
+      Hashtbl.iter
+        (fun ino ((d : L.dinode), _) ->
+          let seen = Option.value ~default:0 (Hashtbl.find_opt nlink_seen ino) in
+          if seen <> d.L.nlink then
+            err "inode %d: nlink %d but %d references" ino d.L.nlink seen)
+        inodes;
+      {
+        errors = List.rev !errors;
+        warnings = List.rev !warnings;
+        files = !files;
+        directories = !dirs;
+        symlinks = !links;
+        used_blocks = Hashtbl.length owner;
+      }
+
+let check_device ?(stable = false) dev =
+  let read_block blk =
+    if stable then Device.Ssd.Offline.stable_read dev blk
+    else Device.Ssd.Offline.read dev blk
+  in
+  check ~read_block ~nblocks:(Device.Ssd.nblocks dev) ()

@@ -1,0 +1,1 @@
+lib/fusesim/daemon.ml: Bytes Kernel Proto Transport

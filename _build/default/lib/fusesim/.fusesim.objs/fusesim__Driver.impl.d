@@ -1,0 +1,1 @@
+lib/fusesim/driver.ml: Array Bytes Device Kernel List Proto Transport

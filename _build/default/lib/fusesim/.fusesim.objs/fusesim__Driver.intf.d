@@ -1,0 +1,1 @@
+lib/fusesim/driver.mli: Kernel Transport

@@ -1,0 +1,1 @@
+lib/fusesim/proto.ml: Buffer Bytes Char Int32 Int64 Kernel List Printf String Util

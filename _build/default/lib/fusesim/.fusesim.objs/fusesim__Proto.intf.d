@@ -1,0 +1,1 @@
+lib/fusesim/proto.mli: Bytes Kernel

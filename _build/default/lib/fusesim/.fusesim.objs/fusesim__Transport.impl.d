@@ -1,0 +1,1 @@
+lib/fusesim/transport.ml: Bytes Hashtbl Int64 Kernel Proto Sim

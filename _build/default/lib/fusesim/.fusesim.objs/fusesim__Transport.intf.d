@@ -1,0 +1,1 @@
+lib/fusesim/transport.mli: Bytes Kernel Proto Sim

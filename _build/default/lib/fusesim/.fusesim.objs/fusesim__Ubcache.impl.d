@@ -1,0 +1,1 @@
+lib/fusesim/ubcache.ml: Bytes Hashtbl Sim Ufile

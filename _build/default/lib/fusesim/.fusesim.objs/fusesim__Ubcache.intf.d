@@ -1,0 +1,1 @@
+lib/fusesim/ubcache.mli: Bytes Sim Ufile

@@ -1,0 +1,1 @@
+lib/fusesim/ufile.ml: Bytes Device Int64 Kernel Sim

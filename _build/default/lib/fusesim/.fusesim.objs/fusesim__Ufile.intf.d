@@ -1,0 +1,1 @@
+lib/fusesim/ufile.mli: Bytes Kernel Sim

@@ -1,0 +1,17 @@
+(** The FUSE kernel driver: implements the kernel VFS ops by forwarding
+    every operation over the transport to the userspace daemon. Runs in
+    writeback-cache mode (like the paper's Rust FUSE baseline): file I/O
+    goes through the kernel page cache, and dirty pages ship to the daemon
+    in WRITE requests of up to [max_write]. *)
+
+type t
+
+val max_write_pages : int
+(** 32 pages = the libfuse 128 KB max_write default. *)
+
+val create : Kernel.Machine.t -> Transport.t -> t
+
+val vfs_ops : t -> max_file_size:int -> Kernel.Vfs.fs_ops
+
+val shutdown : t -> unit
+(** Send DESTROY, then close the connection. *)

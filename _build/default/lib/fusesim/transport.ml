@@ -1,0 +1,77 @@
+(** The /dev/fuse pipe: encoded requests flow from the kernel driver to the
+    userspace daemon, replies flow back, correlated by unique id.
+
+    Each direction charges the crossing cost and a copy of the payload at
+    the FUSE copy bandwidth — the per-request overhead FUSE pays that an
+    in-kernel file system does not (§2.2, §7.1). *)
+
+type t = {
+  machine : Kernel.Machine.t;
+  requests : Bytes.t Sim.Sync.Channel.t;
+  pending : (int, Bytes.t Sim.Sync.Ivar.t) Hashtbl.t;
+  mutable next_unique : int;
+  mutable closed : bool;
+  stats : Sim.Stats.t;
+}
+
+exception Connection_closed
+
+let create machine =
+  {
+    machine;
+    requests = Sim.Sync.Channel.create ();
+    pending = Hashtbl.create 64;
+    next_unique = 1;
+    closed = false;
+    stats = Sim.Stats.create ();
+  }
+
+let stats t = t.stats
+let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
+
+let fresh_unique t =
+  let u = t.next_unique in
+  t.next_unique <- t.next_unique + 1;
+  u
+
+let charge_crossing t nbytes =
+  let c = Kernel.Machine.cost t.machine in
+  Kernel.Machine.cpu_work t.machine
+    (Int64.add c.Kernel.Cost.fuse_request
+       (Kernel.Cost.copy_time ~bw:c.Kernel.Cost.fuse_copy_bw nbytes))
+
+(** Kernel side: send a request and block until the daemon replies. *)
+let call t (req : Proto.request) : Proto.reply =
+  if t.closed then raise Connection_closed;
+  let unique = fresh_unique t in
+  let msg = Proto.encode_request ~unique req in
+  incr t "requests";
+  charge_crossing t (Bytes.length msg);
+  let ivar = Sim.Sync.Ivar.create () in
+  Hashtbl.replace t.pending unique ivar;
+  Sim.Sync.Channel.send t.requests msg;
+  let reply_bytes = Sim.Sync.Ivar.read ivar in
+  Hashtbl.remove t.pending unique;
+  let unique', reply = Proto.decode_reply reply_bytes in
+  if unique' <> unique then raise (Proto.Malformed "unique mismatch");
+  reply
+
+(** Daemon side: block for the next request. Returns [None] once the
+    connection is closed and drained. *)
+let next t : Bytes.t option =
+  match Sim.Sync.Channel.recv t.requests with
+  | msg -> Some msg
+  | exception Sim.Sync.Channel.Closed -> None
+
+(** Daemon side: reply to a request by unique id. *)
+let reply t ~unique (r : Proto.reply) =
+  let msg = Proto.encode_reply ~unique r in
+  incr t "replies";
+  charge_crossing t (Bytes.length msg);
+  match Hashtbl.find_opt t.pending unique with
+  | Some ivar -> Sim.Sync.Ivar.fill ivar msg
+  | None -> () (* request was abandoned *)
+
+let close t =
+  t.closed <- true;
+  Sim.Sync.Channel.close t.requests

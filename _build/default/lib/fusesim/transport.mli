@@ -1,0 +1,24 @@
+(** The /dev/fuse pipe: encoded requests flow from the kernel driver to the
+    userspace daemon, replies flow back, correlated by unique id. Each
+    direction charges the crossing cost plus a payload copy at the FUSE
+    copy bandwidth — the per-request tax FUSE pays that an in-kernel file
+    system does not. *)
+
+type t
+
+exception Connection_closed
+
+val create : Kernel.Machine.t -> t
+
+val stats : t -> Sim.Stats.t
+
+val call : t -> Proto.request -> Proto.reply
+(** Kernel side: send a request and block until the daemon replies. *)
+
+val next : t -> Bytes.t option
+(** Daemon side: block for the next encoded request; [None] after close. *)
+
+val reply : t -> unique:int -> Proto.reply -> unit
+(** Daemon side: answer a request by its unique id. *)
+
+val close : t -> unit

@@ -1,0 +1,105 @@
+(** A user-level buffer cache over the O_DIRECT disk file — the userspace
+    replacement for the kernel buffer cache that the FUSE build of the file
+    system needs (O_DIRECT bypasses the kernel's caches entirely, so the
+    daemon must cache blocks itself). *)
+
+type buf = {
+  block : int;
+  data : Bytes.t;
+  mutable valid : bool;
+  mutable refcount : int;
+  mutable pinned : int;
+  mutable lru_tick : int;
+}
+
+type t = {
+  ufile : Ufile.t;
+  capacity : int;
+  table : (int, buf) Hashtbl.t;
+  mutable tick : int;
+  stats : Sim.Stats.t;
+}
+
+exception No_buffers
+
+let create ?(capacity = 8192) ufile =
+  { ufile; capacity; table = Hashtbl.create (2 * capacity); tick = 0; stats = Sim.Stats.create () }
+
+let stats t = t.stats
+let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
+
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ b ->
+      if b.refcount = 0 && b.pinned = 0 then
+        match !victim with
+        | Some v when v.lru_tick <= b.lru_tick -> ()
+        | _ -> victim := Some b)
+    t.table;
+  match !victim with
+  | None -> raise No_buffers
+  | Some b ->
+      Hashtbl.remove t.table b.block;
+      incr t "evictions"
+
+let getbuf t block =
+  match Hashtbl.find_opt t.table block with
+  | Some b ->
+      incr t "hits";
+      b.refcount <- b.refcount + 1;
+      b
+  | None ->
+      incr t "misses";
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      let b =
+        {
+          block;
+          data = Bytes.make (Ufile.block_size t.ufile) '\000';
+          valid = false;
+          refcount = 1;
+          pinned = 0;
+          lru_tick = 0;
+        }
+      in
+      Hashtbl.add t.table block b;
+      b
+
+(** Read-through: pread(2) on the disk file on a miss. *)
+let bread t block =
+  let b = getbuf t block in
+  if not b.valid then begin
+    let data = Ufile.pread_block t.ufile block in
+    Bytes.blit data 0 b.data 0 (Bytes.length data);
+    b.valid <- true
+  end;
+  b
+
+let getblk t block =
+  let b = getbuf t block in
+  if not b.valid then begin
+    Bytes.fill b.data 0 (Bytes.length b.data) '\000';
+    b.valid <- true
+  end;
+  b
+
+(** Write-through: pwrite(2) with O_DIRECT (volatile until [flush]). *)
+let bwrite t b = Ufile.pwrite_block t.ufile b.block b.data
+
+let brelse t b =
+  if b.refcount <= 0 then invalid_arg "Ubcache.brelse";
+  b.refcount <- b.refcount - 1;
+  t.tick <- t.tick + 1;
+  b.lru_tick <- t.tick
+
+let pin b = b.pinned <- b.pinned + 1
+
+let unpin b =
+  if b.pinned <= 0 then invalid_arg "Ubcache.unpin";
+  b.pinned <- b.pinned - 1
+
+(** fsync(2) on the whole disk file — the only durability tool userspace
+    has. *)
+let flush t = Ufile.fsync_disk t.ufile
+
+let cached_blocks t = Hashtbl.length t.table

@@ -1,0 +1,37 @@
+(** User-level buffer cache over the O_DIRECT disk file — the userspace
+    replacement for the kernel buffer cache (O_DIRECT bypasses kernel
+    caches, so the daemon must cache blocks itself). *)
+
+type buf = {
+  block : int;
+  data : Bytes.t;
+  mutable valid : bool;
+  mutable refcount : int;
+  mutable pinned : int;
+  mutable lru_tick : int;
+}
+
+type t
+
+exception No_buffers
+
+val create : ?capacity:int -> Ufile.t -> t
+val stats : t -> Sim.Stats.t
+
+val bread : t -> int -> buf
+(** Read-through: pread(2) on the disk file on a miss. *)
+
+val getblk : t -> int -> buf
+
+val bwrite : t -> buf -> unit
+(** Write-through: pwrite(2) with O_DIRECT (volatile until {!flush}). *)
+
+val brelse : t -> buf -> unit
+val pin : buf -> unit
+val unpin : buf -> unit
+
+val flush : t -> unit
+(** fsync(2) on the whole disk file — the only durability tool userspace
+    has, and FUSE's downfall in the evaluation. *)
+
+val cached_blocks : t -> int

@@ -1,0 +1,61 @@
+(** The userspace daemon's view of the disk: a huge file opened with
+    O_DIRECT (§6.2). Every block operation pays a syscall crossing, the
+    VFS/block-layer traversal the paper measures at 200–400 ns, and the
+    device command itself (O_DIRECT bypasses the kernel page cache).
+
+    Durability from userspace is the real penalty: the file interface
+    cannot sync a byte range, so syncing one block means fsync()ing the
+    whole disk file — the kernel walks the file's mapping (cost scales with
+    the nominal file size) and issues a device flush. This is the paper's
+    explanation for FUSE's collapse on write/create/delete workloads
+    (§6.4). *)
+
+type t = {
+  machine : Kernel.Machine.t;
+  disk : Device.Ssd.t;
+  nominal_gb : int;  (** size of the disk file the paper used: 512 GB *)
+  stats : Sim.Stats.t;
+}
+
+let create ?(nominal_gb = 512) machine =
+  {
+    machine;
+    disk = Kernel.Machine.disk machine;
+    nominal_gb;
+    stats = Sim.Stats.create ();
+  }
+
+let block_size t = Device.Ssd.block_size t.disk
+let nblocks t = Device.Ssd.nblocks t.disk
+let stats t = t.stats
+let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
+
+let charge_block_io t =
+  let c = Kernel.Machine.cost t.machine in
+  Kernel.Machine.cpu_work t.machine
+    (Int64.add c.Kernel.Cost.syscall c.Kernel.Cost.odirect_op)
+
+(** pread(2) of one aligned block with O_DIRECT. *)
+let pread_block t blk : Bytes.t =
+  incr t "preads";
+  charge_block_io t;
+  Device.Ssd.read t.disk blk
+
+(** pwrite(2) of one aligned block with O_DIRECT. *)
+let pwrite_block t blk data =
+  incr t "pwrites";
+  charge_block_io t;
+  Device.Ssd.write t.disk blk data
+
+(** fsync(2) on the whole disk file: mapping walk over the nominal file
+    size, then the device flush. *)
+let fsync_disk t =
+  incr t "fsyncs";
+  let c = Kernel.Machine.cost t.machine in
+  Kernel.Machine.cpu_work t.machine c.Kernel.Cost.syscall;
+  (* The kernel walks the whole file's mapping: no way to sync a range. *)
+  Kernel.Machine.cpu_work t.machine
+    (Int64.mul
+       (Int64.of_int t.nominal_gb)
+       c.Kernel.Cost.odirect_fsync_per_gb);
+  Device.Ssd.flush t.disk

@@ -1,0 +1,21 @@
+(** The userspace daemon's view of the disk: a huge file opened O_DIRECT.
+    Per-block operations pay a syscall crossing plus the 200–400 ns
+    VFS/block-layer traversal the paper measures; durability costs an
+    fsync(2) of the *whole* disk file — the paper's explanation for FUSE's
+    collapse on write and metadata workloads. *)
+
+type t
+
+val create : ?nominal_gb:int -> Kernel.Machine.t -> t
+(** [nominal_gb] is the size of the disk file whose mapping the kernel
+    walks on fsync (the paper's testbed used 512 GB). *)
+
+val block_size : t -> int
+val nblocks : t -> int
+val stats : t -> Sim.Stats.t
+
+val pread_block : t -> int -> Bytes.t
+val pwrite_block : t -> int -> Bytes.t -> unit
+
+val fsync_disk : t -> unit
+(** Whole-file fsync: the mapping walk plus the device flush. *)

@@ -1,0 +1,1 @@
+lib/kernel/bcache.ml: Array Bytes Cost Device Hashtbl List Machine Sim

@@ -1,0 +1,1 @@
+lib/kernel/machine.ml: Cost Device Int64 Sim

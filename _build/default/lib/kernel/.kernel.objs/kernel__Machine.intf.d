@@ -1,0 +1,1 @@
+lib/kernel/machine.mli: Cost Device Sim

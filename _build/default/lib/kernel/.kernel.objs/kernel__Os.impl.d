@@ -1,0 +1,1 @@
+lib/kernel/os.ml: Bytes Cost Errno Hashtbl Int64 List Machine Sim String Vfs

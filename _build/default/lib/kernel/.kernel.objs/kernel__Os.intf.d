@@ -1,0 +1,1 @@
+lib/kernel/os.mli: Bytes Errno Vfs

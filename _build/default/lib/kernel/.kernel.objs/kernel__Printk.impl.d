@@ -1,0 +1,1 @@
+lib/kernel/printk.ml: Int64 Machine Printf

@@ -1,0 +1,1 @@
+lib/kernel/printk.mli: Machine

@@ -1,0 +1,1 @@
+lib/kernel/uring.ml: Bytes Cost Errno List Machine Os Queue Sim Vfs

@@ -1,0 +1,1 @@
+lib/kernel/uring.mli: Bytes Errno Os

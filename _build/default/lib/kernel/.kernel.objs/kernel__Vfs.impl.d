@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Array Bytes Cost Device Errno Hashtbl List Machine Printk Sim

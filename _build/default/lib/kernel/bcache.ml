@@ -1,0 +1,225 @@
+(** Kernel buffer cache, following the Linux `sb_bread`/`brelse` protocol
+    that BentoKS wraps (§4.5 of the paper) and that the C-VFS baseline
+    calls directly.
+
+    A [buf] is the in-kernel image of one disk block. [bread] returns the
+    buffer with its sleeplock held and its reference count raised; the
+    caller must [brelse] it (BentoKS turns this into a scoped wrapper so
+    "buffer management has the same properties as memory management in
+    Rust"). [bwrite] writes the buffer through to the device's volatile
+    cache; durability requires a separate [flush] barrier. *)
+
+type buf = {
+  block : int;
+  data : Bytes.t;
+  lock : Sim.Sync.Mutex.t;  (** sleeplock: held between bread and brelse *)
+  mutable valid : bool;  (** contents read from disk / written by owner *)
+  mutable dirty : bool;
+  mutable refcount : int;
+  mutable lru_tick : int;  (** last-release time for LRU eviction *)
+}
+
+type t = {
+  machine : Machine.t;
+  dev : Device.Ssd.t;
+  capacity : int;
+  table : (int, buf) Hashtbl.t;
+  cache_lock : Sim.Sync.Mutex.t;
+  mutable tick : int;
+  stats : Sim.Stats.t;
+}
+
+exception No_buffers
+
+let create ?(capacity = 8192) machine =
+  {
+    machine;
+    dev = Machine.disk machine;
+    capacity;
+    table = Hashtbl.create (capacity * 2);
+    cache_lock = Sim.Sync.Mutex.create ~name:"bcache" ();
+    tick = 0;
+    stats = Sim.Stats.create ();
+  }
+
+let stats t = t.stats
+let block_size t = Device.Ssd.block_size t.dev
+let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
+
+(* Evict one unreferenced clean buffer, oldest first. Dirty unreferenced
+   buffers are written back then reused. Called with [cache_lock] held. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ b ->
+      if b.refcount = 0 then
+        match !victim with
+        | Some v when v.lru_tick <= b.lru_tick -> ()
+        | _ -> victim := Some b)
+    t.table;
+  match !victim with
+  | None -> raise No_buffers
+  | Some b ->
+      if b.dirty then begin
+        (* Write back before reuse; still under the cache lock, which is
+           coarse but matches xv6's single bcache lock behaviour. *)
+        Device.Ssd.write t.dev b.block b.data;
+        b.dirty <- false;
+        incr t "writeback_evictions"
+      end;
+      Hashtbl.remove t.table b.block;
+      incr t "evictions"
+
+(* Find-or-create the buffer for [block]; returns it with refcount raised
+   but NOT locked and possibly not valid. *)
+let getbuf t block =
+  Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
+      Machine.cpu_work t.machine (Machine.cost t.machine).Cost.buffer_lookup;
+      let b =
+        match Hashtbl.find_opt t.table block with
+        | Some b ->
+            incr t "hits";
+            b
+        | None ->
+            incr t "misses";
+            if Hashtbl.length t.table >= t.capacity then evict_one t;
+            let b =
+              {
+                block;
+                data = Bytes.make (block_size t) '\000';
+                lock = Sim.Sync.Mutex.create ~name:"buf" ();
+                valid = false;
+                dirty = false;
+                refcount = 0;
+                lru_tick = 0;
+              }
+            in
+            Hashtbl.add t.table block b;
+            b
+      in
+      b.refcount <- b.refcount + 1;
+      b)
+
+(** Return a locked buffer containing the current contents of [block],
+    reading from the device on a miss (xv6 [bread], Linux [sb_bread]). *)
+let bread t block =
+  let b = getbuf t block in
+  Sim.Sync.Mutex.lock b.lock;
+  if not b.valid then begin
+    let data = Device.Ssd.read t.dev block in
+    Bytes.blit data 0 b.data 0 (Bytes.length data);
+    b.valid <- true;
+    incr t "disk_reads"
+  end;
+  b
+
+(** Like [bread] but without reading the device: for blocks the caller will
+    fully overwrite (Linux [getblk] + wait-free path). *)
+let getblk t block =
+  let b = getbuf t block in
+  Sim.Sync.Mutex.lock b.lock;
+  if not b.valid then begin
+    Bytes.fill b.data 0 (Bytes.length b.data) '\000';
+    b.valid <- true
+  end;
+  b
+
+(** Write the buffer through to the device (volatile cache). The buffer
+    must be held (locked). *)
+let bwrite t b =
+  if not (Sim.Sync.Mutex.locked b.lock) then
+    invalid_arg "Bcache.bwrite: buffer not locked";
+  Device.Ssd.write t.dev b.block b.data;
+  b.dirty <- false;
+  incr t "disk_writes"
+
+(** Write several held buffers as one contiguous device command when their
+    block numbers are consecutive; used by log installation and by the
+    writepages path. Buffers must be sorted by block and locked. *)
+let bwrite_contig t bufs =
+  match bufs with
+  | [] -> ()
+  | first :: _ ->
+      Array.of_list bufs
+      |> fun arr ->
+      let contiguous =
+        Array.for_all
+          (fun b -> Sim.Sync.Mutex.locked b.lock)
+          arr
+        && Array.length arr > 0
+        &&
+        let ok = ref true in
+        Array.iteri
+          (fun i b -> if b.block <> first.block + i then ok := false)
+          arr;
+        !ok
+      in
+      if contiguous then begin
+        Device.Ssd.write_contig t.dev ~start:first.block
+          (Array.map (fun b -> b.data) arr);
+        Array.iter (fun b -> b.dirty <- false) arr;
+        incr t "disk_writes"
+      end
+      else List.iter (fun b -> bwrite t b) bufs
+
+(** Mark dirty without writing; the owner (e.g. the log) will write later. *)
+let mark_dirty b = b.dirty <- true
+
+(** Release: unlock and drop the reference (xv6 [brelse]). *)
+let brelse t b =
+  if not (Sim.Sync.Mutex.locked b.lock) then
+    invalid_arg "Bcache.brelse: buffer not locked";
+  Sim.Sync.Mutex.unlock b.lock;
+  Sim.Sync.Mutex.lock t.cache_lock;
+  if b.refcount <= 0 then begin
+    Sim.Sync.Mutex.unlock t.cache_lock;
+    invalid_arg "Bcache.brelse: refcount underflow"
+  end;
+  b.refcount <- b.refcount - 1;
+  t.tick <- t.tick + 1;
+  b.lru_tick <- t.tick;
+  Sim.Sync.Mutex.unlock t.cache_lock
+
+(** Raise the refcount of a held buffer (xv6 [bpin], used by the log to keep
+    blocks in cache until the transaction commits). *)
+let bpin t b =
+  Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
+      b.refcount <- b.refcount + 1)
+
+let bunpin t b =
+  Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
+      if b.refcount <= 0 then invalid_arg "Bcache.bunpin";
+      b.refcount <- b.refcount - 1)
+
+(** Drop a pin reference located by block number (jbd2 checkpointing, which
+    holds data copies rather than buffers). *)
+let bunpin_block t block =
+  Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
+      match Hashtbl.find_opt t.table block with
+      | Some b ->
+          if b.refcount <= 0 then invalid_arg "Bcache.bunpin_block";
+          b.refcount <- b.refcount - 1
+      | None -> invalid_arg "Bcache.bunpin_block: not cached")
+
+(** Write data for [block] straight to the device without disturbing the
+    cached buffer — used by checkpointing to install a *committed* version
+    while the cache may already hold newer, uncommitted contents. *)
+let raw_write t block data =
+  Device.Ssd.write t.dev block data;
+  incr t "raw_writes"
+
+(** Durability barrier on the underlying device. *)
+let flush t =
+  Device.Ssd.flush t.dev;
+  incr t "flushes"
+
+let cached_blocks t = Hashtbl.length t.table
+
+(* Invariant checks used by the test suite. *)
+let check_invariants t =
+  Hashtbl.iter
+    (fun block b ->
+      if b.block <> block then failwith "bcache: key/block mismatch";
+      if b.refcount < 0 then failwith "bcache: negative refcount")
+    t.table;
+  if Hashtbl.length t.table > t.capacity then failwith "bcache: over capacity"

@@ -1,0 +1,69 @@
+(** Kernel buffer cache with the Linux/xv6 [sb_bread]/[brelse] protocol
+    that BentoKS wraps and the C baseline calls directly.
+
+    A [buf] is the in-kernel image of one disk block: [bread] returns it
+    with its sleeplock held and reference taken; the holder must [brelse].
+    [bwrite] writes through to the device's volatile cache; durability
+    needs a separate {!flush} barrier. Pinning ([bpin]) keeps a block
+    cached while a log holds it staged. *)
+
+type buf = {
+  block : int;
+  data : Bytes.t;
+  lock : Sim.Sync.Mutex.t;  (** sleeplock held between bread and brelse *)
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable refcount : int;
+  mutable lru_tick : int;
+}
+
+type t
+
+exception No_buffers
+(** Eviction found no unreferenced, unpinned buffer. *)
+
+val create : ?capacity:int -> Machine.t -> t
+
+val stats : t -> Sim.Stats.t
+val block_size : t -> int
+
+val bread : t -> int -> buf
+(** Locked buffer with the block's current contents (device read on
+    miss). *)
+
+val getblk : t -> int -> buf
+(** Locked buffer without reading the device — for full overwrites. *)
+
+val bwrite : t -> buf -> unit
+(** Write through to the device (volatile). The buffer must be held. *)
+
+val bwrite_contig : t -> buf list -> unit
+(** One device command when the held buffers are consecutive by block
+    number; falls back to per-buffer writes otherwise. *)
+
+val mark_dirty : buf -> unit
+
+val brelse : t -> buf -> unit
+(** Unlock and drop the reference. *)
+
+val bpin : t -> buf -> unit
+(** Extra reference so eviction cannot take the block (xv6 [bpin]). *)
+
+val bunpin : t -> buf -> unit
+
+val bunpin_block : t -> int -> unit
+(** Drop a pin located by block number (jbd2 checkpointing holds copies,
+    not buffers). *)
+
+val raw_write : t -> int -> Bytes.t -> unit
+(** Write data for a block straight to the device without touching the
+    cached buffer — installing a committed version while the cache holds
+    newer uncommitted contents. *)
+
+val flush : t -> unit
+(** Device durability barrier. *)
+
+val cached_blocks : t -> int
+
+val check_invariants : t -> unit
+(** Raises on violated internal invariants (tests). *)

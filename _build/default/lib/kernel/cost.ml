@@ -1,0 +1,51 @@
+(** Calibration constants for the simulated machine.
+
+    All CPU-side and crossing-related costs live here so that the benchmark
+    calibration (EXPERIMENTS.md) has a single point of truth. Values are
+    order-of-magnitude figures for a 2019-class Xeon running Linux 4.15, the
+    paper's testbed; the benchmark *shapes* (who wins, by what factor) come
+    from the structure of the stacks, these constants set the absolute
+    scale. *)
+
+type t = {
+  ncores : int;  (** CPU cores visible to the benchmark VM *)
+  syscall : int64;  (** user->kernel->user crossing for one syscall *)
+  vfs_op : int64;  (** generic VFS bookkeeping per operation *)
+  dcache_hit : int64;  (** dentry cache lookup, per component *)
+  page_lookup : int64;  (** page-cache radix lookup, per page *)
+  memcpy_bw : float;  (** bytes/sec copy between user and page cache *)
+  buffer_lookup : int64;  (** buffer-cache hash lookup *)
+  dirent_scan : int64;  (** fs linear directory scan, per entry *)
+  block_alloc : int64;  (** bitmap scan per allocation *)
+  log_copy_per_block : int64;  (** memcpy of one 4 KB block into the log *)
+  fuse_request : int64;  (** queue + wakeup + 2 crossings per FUSE req *)
+  fuse_copy_bw : float;  (** bytes/sec copying request payloads to user *)
+  odirect_op : int64;  (** extra per-block cost of user O_DIRECT I/O
+                            (crossing + VFS + block layer), paper: 200-400ns *)
+  odirect_fsync_per_gb : int64;
+      (** cost of fsync()ing the whole disk file per GB of device size —
+          the "no way to sync part of a file" penalty of the FUSE baseline *)
+  upgrade_quiesce : int64;  (** bento online-upgrade freeze/thaw overhead *)
+}
+
+let default =
+  {
+    ncores = 8;
+    syscall = 300L;
+    vfs_op = 250L;
+    dcache_hit = 120L;
+    page_lookup = 180L;
+    memcpy_bw = 11.0e9;
+    buffer_lookup = 150L;
+    dirent_scan = 25L;
+    block_alloc = 400L;
+    log_copy_per_block = 900L;
+    fuse_request = 2_800L;
+    fuse_copy_bw = 6.0e9;
+    odirect_op = 320L;
+    odirect_fsync_per_gb = 38_000L;
+    upgrade_quiesce = 50_000L;
+  }
+
+(** Time to copy [bytes] at [bw] bytes/sec. *)
+let copy_time ~bw bytes = Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:bw

@@ -1,0 +1,28 @@
+(** Calibration constants for the simulated machine — the single point of
+    truth the benchmark calibration in EXPERIMENTS.md refers to. Values are
+    order-of-magnitude figures for the paper's 2019-class testbed; the
+    benchmark *shapes* come from the structure of the stacks, these set the
+    absolute scale. *)
+
+type t = {
+  ncores : int;
+  syscall : int64;
+  vfs_op : int64;
+  dcache_hit : int64;
+  page_lookup : int64;
+  memcpy_bw : float;
+  buffer_lookup : int64;
+  dirent_scan : int64;
+  block_alloc : int64;
+  log_copy_per_block : int64;
+  fuse_request : int64;
+  fuse_copy_bw : float;
+  odirect_op : int64;
+  odirect_fsync_per_gb : int64;
+  upgrade_quiesce : int64;
+}
+
+val default : t
+
+val copy_time : bw:float -> int -> int64
+(** Time to copy a number of bytes at [bw] bytes/sec. *)

@@ -1,0 +1,88 @@
+(** Error codes crossing the VFS / file-system boundary (the simulated
+    kernel's errno subset). The paper's bug study found "unchecked error
+    values" to be a recurring bug class; typed results make them impossible
+    to ignore here. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EINVAL
+  | EIO
+  | ENOSPC
+  | EFBIG
+  | ENAMETOOLONG
+  | EBADF
+  | EPERM
+  | EROFS
+  | ENFILE
+  | EMLINK
+  | ESTALE
+  | EAGAIN
+  | EXDEV
+  | EBUSY
+  | ELOOP
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EINVAL -> "EINVAL"
+  | EIO -> "EIO"
+  | ENOSPC -> "ENOSPC"
+  | EFBIG -> "EFBIG"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EBADF -> "EBADF"
+  | EPERM -> "EPERM"
+  | EROFS -> "EROFS"
+  | ENFILE -> "ENFILE"
+  | EMLINK -> "EMLINK"
+  | ESTALE -> "ESTALE"
+  | EAGAIN -> "EAGAIN"
+  | EXDEV -> "EXDEV"
+  | EBUSY -> "EBUSY"
+  | ELOOP -> "ELOOP"
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+(* Stable small integers for wire formats (FUSE protocol). *)
+let all =
+  [
+    (ENOENT, 2);
+    (EEXIST, 17);
+    (ENOTDIR, 20);
+    (EISDIR, 21);
+    (ENOTEMPTY, 39);
+    (EINVAL, 22);
+    (EIO, 5);
+    (ENOSPC, 28);
+    (EFBIG, 27);
+    (ENAMETOOLONG, 36);
+    (EBADF, 9);
+    (EPERM, 1);
+    (EROFS, 30);
+    (ENFILE, 23);
+    (EMLINK, 31);
+    (ESTALE, 116);
+    (EAGAIN, 11);
+    (EXDEV, 18);
+    (EBUSY, 16);
+    (ELOOP, 40);
+  ]
+
+let to_code e = List.assoc e all
+
+let of_code c =
+  match List.find_opt (fun (_, c') -> c = c') all with
+  | Some (e, _) -> Some e
+  | None -> None
+
+exception Error of t
+
+(** Unwrap a result, raising [Error]; for callers (tests, examples) that
+    treat failure as fatal. *)
+let ok_exn = function Ok v -> v | Error e -> raise (Error e)

@@ -1,0 +1,39 @@
+(** Error codes crossing the VFS / file-system boundary. Typed results make
+    the "unchecked error value" bug class of the paper's Table 1
+    unrepresentable. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EINVAL
+  | EIO
+  | ENOSPC
+  | EFBIG
+  | ENAMETOOLONG
+  | EBADF
+  | EPERM
+  | EROFS
+  | ENFILE
+  | EMLINK
+  | ESTALE
+  | EAGAIN
+  | EXDEV
+  | EBUSY
+  | ELOOP
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : (t * int) list
+(** Every errno with its stable wire code (FUSE protocol). *)
+
+val to_code : t -> int
+val of_code : int -> t option
+
+exception Error of t
+
+val ok_exn : ('a, t) result -> 'a
+(** Unwrap, raising {!Error}; for callers that treat failure as fatal. *)

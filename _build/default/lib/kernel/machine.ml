@@ -1,0 +1,41 @@
+(** The simulated machine: engine + CPU cores + the attached device + global
+    statistics. Every stack (Bento, C-VFS, FUSE, ext4) runs on one of
+    these. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  cpu : Sim.Resource.t;
+  cost : Cost.t;
+  disk : Device.Ssd.t;
+  stats : Sim.Stats.t;
+}
+
+let create ?(cost = Cost.default) ?config ~disk_blocks ~block_size () =
+  let engine = Sim.Engine.create () in
+  let disk = Device.Ssd.create ?config ~nblocks:disk_blocks ~block_size engine in
+  {
+    engine;
+    cpu = Sim.Resource.create ~name:"cpu" cost.Cost.ncores;
+    cost;
+    disk;
+    stats = Sim.Stats.create ();
+  }
+
+let engine t = t.engine
+let disk t = t.disk
+let cost t = t.cost
+let stats t = t.stats
+let now t = Sim.Engine.now t.engine
+
+(** Burn [ns] of CPU on one of the machine's cores (queueing if all cores
+    are busy). This is how every simulated code path accounts for its
+    processing time. *)
+let cpu_work t ns =
+  if Int64.compare ns 0L > 0 then Sim.Resource.use t.cpu ns
+
+let counter t name = Sim.Stats.counter t.stats name
+let incr ?by t name = Sim.Stats.Counter.incr ?by (counter t name)
+
+let spawn ?name t f = ignore (Sim.Engine.spawn ?name t.engine f)
+let run t = Sim.Engine.run t.engine
+let run_until t deadline = Sim.Engine.run_until t.engine deadline

@@ -1,0 +1,31 @@
+(** The simulated machine: engine + CPU cores + attached device + global
+    statistics. Every file-system stack in the evaluation runs on one. *)
+
+type t
+
+val create :
+  ?cost:Cost.t ->
+  ?config:Device.Ssd.config ->
+  disk_blocks:int ->
+  block_size:int ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val disk : t -> Device.Ssd.t
+val cost : t -> Cost.t
+val stats : t -> Sim.Stats.t
+val now : t -> int64
+
+val cpu_work : t -> int64 -> unit
+(** Burn CPU on one of the machine's cores, queueing when all are busy.
+    Every simulated code path accounts for its processing time here. *)
+
+val counter : t -> string -> Sim.Stats.Counter.t
+val incr : ?by:int -> t -> string -> unit
+
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
+(** Start a fiber on this machine. *)
+
+val run : t -> unit
+val run_until : t -> int64 -> unit

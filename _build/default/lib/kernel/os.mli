@@ -1,0 +1,78 @@
+(** The syscall front-end: path resolution (with symlink following), file
+    descriptors, and the POSIX-ish calls the workloads and examples use.
+    Every call charges the user/kernel crossing and generic VFS costs in
+    virtual time, then dispatches through the mounted {!Vfs.fs_ops}.
+
+    All calls must run inside a simulation fiber. Results use
+    [('a, Errno.t) result]; [Errno.ok_exn] unwraps when failure is fatal. *)
+
+type t
+(** A "process view": one fd table over one mounted file system. *)
+
+type flags = { rd : bool; wr : bool; creat : bool; trunc : bool; append : bool }
+
+val rdonly : flags
+val wronly : flags
+val rdwr : flags
+
+val creat : flags -> flags
+(** O_CREAT. *)
+
+val truncf : flags -> flags
+(** O_TRUNC. *)
+
+val appendf : flags -> flags
+(** O_APPEND. *)
+
+type 'a res = ('a, Errno.t) result
+
+val create : ?max_files:int -> Vfs.t -> t
+val vfs : t -> Vfs.t
+
+(** {1 Files} *)
+
+val open_ : t -> string -> flags -> int res
+val close : t -> int -> unit res
+
+val read : t -> int -> len:int -> Bytes.t res
+(** read(2): advances the shared file offset under the file lock. *)
+
+val write : t -> int -> Bytes.t -> int res
+(** write(2); honours O_APPEND. *)
+
+val pread : t -> int -> pos:int -> len:int -> Bytes.t res
+val pwrite : t -> int -> pos:int -> Bytes.t -> int res
+val lseek : t -> int -> int -> unit res
+val fsync : t -> int -> unit res
+val ftruncate : t -> int -> int -> unit res
+val fstat : t -> int -> Vfs.stat res
+
+(** {1 Namespace} *)
+
+val stat : t -> string -> Vfs.stat res
+(** Follows symlinks. *)
+
+val lstat : t -> string -> Vfs.stat res
+(** Does not follow a final symlink. *)
+
+val exists : t -> string -> bool
+val mkdir : t -> string -> unit res
+val unlink : t -> string -> unit res
+val rmdir : t -> string -> unit res
+val rename : t -> string -> string -> unit res
+val link : t -> string -> string -> unit res
+
+val symlink : t -> string -> string -> unit res
+(** [symlink t target linkpath]. Targets are absolute paths. *)
+
+val readlink : t -> string -> string res
+val readdir : t -> string -> Vfs.dirent list res
+val sync : t -> unit res
+val statfs : t -> Vfs.statfs
+
+(** {1 Convenience} *)
+
+val write_file : t -> string -> Bytes.t -> unit res
+(** Create-or-truncate and write the whole contents. *)
+
+val read_file : t -> string -> Bytes.t res

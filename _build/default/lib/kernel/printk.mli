@@ -1,0 +1,11 @@
+(** The kernel log (simulated dmesg). Silent by default so benchmarks run
+    clean; enable with [set_level] to watch mounts, log recovery, upgrades.
+    Lines carry the emitting machine's virtual timestamp. *)
+
+type level = Quiet | Err | Info | Debug
+
+val set_level : level -> unit
+
+val err : Machine.t -> ('a, unit, string, unit) format4 -> 'a
+val info : Machine.t -> ('a, unit, string, unit) format4 -> 'a
+val debug : Machine.t -> ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,148 @@
+(** io_uring-style asynchronous I/O (§8.1 of the paper — future work,
+    implemented here).
+
+    Applications queue operations into a submission ring and reap
+    completions from a completion ring. A batch of submissions costs one
+    user/kernel crossing instead of one per operation, and kernel worker
+    fibers (the io-wq analogue) execute the operations concurrently — the
+    two mechanisms behind io_uring's advantage over synchronous syscalls.
+
+    Operations execute against the same [Os] file table, so the interface
+    composes with every mounted file system, including Bento mounts. *)
+
+type op =
+  | Read of { fd : int; pos : int; len : int }
+  | Write of { fd : int; pos : int; data : Bytes.t }
+  | Fsync of { fd : int }
+
+type completion = {
+  user_data : int;
+  result : (Bytes.t, Errno.t) result;
+      (** [Write]/[Fsync] complete with [Bytes.empty] on success *)
+}
+
+type sqe = { sq_user_data : int; sq_op : op }
+
+type t = {
+  os : Os.t;
+  machine : Machine.t;
+  depth : int;  (** worker concurrency, like io_uring's bounded io-wq *)
+  sq : sqe Queue.t;
+  cq : completion Queue.t;
+  cq_wait : Sim.Sync.Condvar.t;
+  lock : Sim.Sync.Mutex.t;
+  mutable workers : int;
+  mutable in_flight : int;
+  mutable closed : bool;
+}
+
+let create ?(depth = 8) os =
+  let machine = Vfs.machine (Os.vfs os) in
+  {
+    os;
+    machine;
+    depth;
+    sq = Queue.create ();
+    cq = Queue.create ();
+    cq_wait = Sim.Sync.Condvar.create ();
+    lock = Sim.Sync.Mutex.create ~name:"uring" ();
+    workers = 0;
+    in_flight = 0;
+    closed = false;
+  }
+
+let execute t (s : sqe) : completion =
+  let result =
+    match s.sq_op with
+    | Read { fd; pos; len } -> Os.pread t.os fd ~pos ~len
+    | Write { fd; pos; data } -> (
+        match Os.pwrite t.os fd ~pos data with
+        | Ok _ -> Ok Bytes.empty
+        | Error _ as e -> (match e with Error e -> Error e | _ -> assert false))
+    | Fsync { fd } -> (
+        match Os.fsync t.os fd with
+        | Ok () -> Ok Bytes.empty
+        | Error e -> Error e)
+  in
+  { user_data = s.sq_user_data; result }
+
+(* An io-wq worker: drain the submission queue, then exit. Workers are
+   spawned lazily up to [depth]. *)
+let rec worker t () =
+  Sim.Sync.Mutex.lock t.lock;
+  match Queue.take_opt t.sq with
+  | None ->
+      t.workers <- t.workers - 1;
+      Sim.Sync.Mutex.unlock t.lock
+  | Some s ->
+      Sim.Sync.Mutex.unlock t.lock;
+      let c = execute t s in
+      Sim.Sync.Mutex.lock t.lock;
+      Queue.push c t.cq;
+      t.in_flight <- t.in_flight - 1;
+      Sim.Sync.Condvar.broadcast t.cq_wait;
+      Sim.Sync.Mutex.unlock t.lock;
+      worker t ()
+
+(** Queue operations and kick the workers: the whole batch costs a single
+    syscall crossing (io_uring_enter). *)
+let submit t (entries : (int * op) list) =
+  if t.closed then invalid_arg "Uring.submit: closed";
+  if entries = [] then ()
+  else begin
+    (* one crossing for the whole batch *)
+    Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall;
+    Sim.Sync.Mutex.lock t.lock;
+    List.iter
+      (fun (user_data, op) ->
+        Queue.push { sq_user_data = user_data; sq_op = op } t.sq;
+        t.in_flight <- t.in_flight + 1)
+      entries;
+    let want = min t.depth (Queue.length t.sq) in
+    let spawn_n = max 0 (want - t.workers) in
+    t.workers <- t.workers + spawn_n;
+    Sim.Sync.Mutex.unlock t.lock;
+    for _ = 1 to spawn_n do
+      Machine.spawn ~name:"io-wq" t.machine (worker t)
+    done
+  end
+
+(** Reap up to [max_count] completions, blocking until at least [min_count]
+    are available (io_uring_enter with min_complete). *)
+let wait t ?(min_count = 1) ?(max_count = max_int) () : completion list =
+  Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall;
+  Sim.Sync.Mutex.lock t.lock;
+  let rec await () =
+    if Queue.length t.cq < min_count && (t.in_flight > 0 || Queue.length t.cq > 0)
+    then begin
+      Sim.Sync.Condvar.wait t.cq_wait t.lock;
+      await ()
+    end
+  in
+  if Queue.length t.cq < min_count && t.in_flight > 0 then await ();
+  let out = ref [] in
+  let n = ref 0 in
+  while !n < max_count && not (Queue.is_empty t.cq) do
+    out := Queue.pop t.cq :: !out;
+    incr n
+  done;
+  Sim.Sync.Mutex.unlock t.lock;
+  List.rev !out
+
+(** Submit a batch and wait for all of its completions (liburing's
+    submit_and_wait). *)
+let submit_and_wait t entries =
+  let n = List.length entries in
+  submit t entries;
+  let rec gather acc need =
+    if need = 0 then acc
+    else begin
+      let got = wait t ~min_count:1 ~max_count:need () in
+      gather (acc @ got) (need - List.length got)
+    end
+  in
+  gather [] n
+
+let in_flight t = t.in_flight
+
+let close t = t.closed <- true

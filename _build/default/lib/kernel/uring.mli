@@ -1,0 +1,35 @@
+(** io_uring-style asynchronous I/O (§8.1 of the paper, implemented).
+
+    A batch of submissions costs one user/kernel crossing instead of one
+    per operation, and kernel worker fibers (the io-wq analogue) execute
+    operations concurrently. Completions carry the caller's [user_data]
+    for correlation. *)
+
+type op =
+  | Read of { fd : int; pos : int; len : int }
+  | Write of { fd : int; pos : int; data : Bytes.t }
+  | Fsync of { fd : int }
+
+type completion = {
+  user_data : int;
+  result : (Bytes.t, Errno.t) result;
+      (** [Write]/[Fsync] complete with [Bytes.empty] on success *)
+}
+
+type t
+
+val create : ?depth:int -> Os.t -> t
+(** [depth] bounds worker concurrency (bounded io-wq). *)
+
+val submit : t -> (int * op) list -> unit
+(** Queue a batch (one crossing) and kick the workers. *)
+
+val wait : t -> ?min_count:int -> ?max_count:int -> unit -> completion list
+(** Reap completions, blocking until at least [min_count] are available or
+    nothing is in flight. *)
+
+val submit_and_wait : t -> (int * op) list -> completion list
+(** liburing's submit_and_wait: the batch, fully completed. *)
+
+val in_flight : t -> int
+val close : t -> unit

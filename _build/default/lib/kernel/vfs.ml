@@ -1,0 +1,465 @@
+(** The simulated Linux VFS layer.
+
+    A kernel file system registers an [fs_ops] table of function pointers
+    (exactly the VFS design the paper discusses). The VFS owns the generic
+    machinery the paper's three xv6 stacks share: the page cache for file
+    data, dirty accounting and writeback, and the dentry cache. The
+    writeback batching policy ([wb_batch]) is the lever that distinguishes
+    the C baseline (`writepage`, one page per call) from BentoFS
+    (`writepages`, contiguous batches) — §6.5.2/§6.6.3 of the paper. *)
+
+type file_kind = Reg | Dir | Symlink
+
+type stat = {
+  st_ino : int;
+  st_kind : file_kind;
+  st_size : int;
+  st_nlink : int;
+}
+
+type dirent = { d_name : string; d_ino : int; d_kind : file_kind }
+
+type statfs = {
+  f_blocks : int;  (** total data blocks *)
+  f_bfree : int;  (** free blocks *)
+  f_files : int;  (** total inodes *)
+  f_ffree : int;  (** free inodes *)
+}
+
+type 'e res = ('e, Errno.t) result
+
+(** The function-pointer table a file system registers with the VFS. *)
+type fs_ops = {
+  fs_name : string;
+  root_ino : int;
+  lookup : dir:int -> string -> stat res;
+  getattr : int -> stat res;
+  create : dir:int -> string -> stat res;
+  mkdir : dir:int -> string -> stat res;
+  unlink : dir:int -> string -> unit res;
+  rmdir : dir:int -> string -> unit res;
+  rename : olddir:int -> oldname:string -> newdir:int -> newname:string -> unit res;
+  link : ino:int -> dir:int -> string -> stat res;
+  symlink : dir:int -> string -> target:string -> stat res;
+  readlink : ino:int -> string res;
+  readdir : int -> dirent list res;
+  readpage : ino:int -> index:int -> Bytes.t res;
+  write_pages : ino:int -> isize:int -> (int * Bytes.t) array -> unit res;
+  truncate : ino:int -> int -> unit res;
+  fsync : ino:int -> unit res;
+  sync_fs : unit -> unit res;
+  iopen : ino:int -> unit res;  (** inode now referenced by an open file *)
+  irelease : ino:int -> unit;  (** last open reference dropped *)
+  statfs : unit -> statfs;
+  wb_batch : int;  (** max pages per [write_pages] call (1 = writepage) *)
+  max_file_size : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* In-core inode (vnode) with its page cache.                          *)
+
+type page = { pdata : Bytes.t; mutable pdirty : bool }
+
+type vnode = {
+  v_ino : int;
+  mutable v_kind : file_kind;
+  mutable v_size : int;
+  v_pages : (int, page) Hashtbl.t;
+  mutable v_dirty_pages : int;
+  v_rw : Sim.Sync.Rwlock.t;  (** inode lock *)
+  v_wb : Sim.Sync.Mutex.t;  (** serialises writeback of this file *)
+  mutable v_nopen : int;
+  mutable v_unlinked : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  ops : fs_ops;
+  page_size : int;
+  vnodes : (int, vnode) Hashtbl.t;
+  dcache : (int * string, int) Hashtbl.t;  (** (dir, name) -> ino *)
+  mutable total_dirty : int;  (** dirty pages across all files *)
+  mutable total_pages : int;  (** all cached pages (memory pressure) *)
+  page_cap : int;  (** reclaim threshold, in pages *)
+  dirty_limit : int;  (** balance_dirty_pages threshold *)
+  dirty_bg : int;  (** background writeback threshold *)
+  mutable flusher_running : bool;
+  mutable active : bool;
+  stats : Sim.Stats.t;
+}
+
+let page_size t = t.page_size
+let machine t = t.machine
+let ops t = t.ops
+let stats t = t.stats
+let incr ?by t name = Sim.Stats.Counter.incr ?by (Sim.Stats.counter t.stats name)
+
+let cost t = Machine.cost t.machine
+let cpu t ns = Machine.cpu_work t.machine ns
+
+let vnode_of t ino ~kind ~size =
+  match Hashtbl.find_opt t.vnodes ino with
+  | Some v -> v
+  | None ->
+      let v =
+        {
+          v_ino = ino;
+          v_kind = kind;
+          v_size = size;
+          v_pages = Hashtbl.create 16;
+          v_dirty_pages = 0;
+          v_rw = Sim.Sync.Rwlock.create ();
+          v_wb = Sim.Sync.Mutex.create ~name:"wb" ();
+          v_nopen = 0;
+          v_unlinked = false;
+        }
+      in
+      Hashtbl.add t.vnodes ino v;
+      v
+
+let find_vnode t ino = Hashtbl.find_opt t.vnodes ino
+
+(* Memory pressure: drop clean pages of unopened files until comfortably
+   below the cap (the kernel's page reclaim, radically simplified). *)
+let reclaim_pages t =
+  if t.total_pages > t.page_cap then begin
+    incr t "page_reclaims";
+    let target = t.page_cap * 7 / 8 in
+    Hashtbl.iter
+      (fun _ v ->
+        if t.total_pages > target && v.v_nopen = 0 then begin
+          let clean =
+            Hashtbl.fold
+              (fun i p acc -> if p.pdirty then acc else i :: acc)
+              v.v_pages []
+          in
+          List.iter
+            (fun i ->
+              if t.total_pages > target then begin
+                Hashtbl.remove v.v_pages i;
+                t.total_pages <- t.total_pages - 1
+              end)
+            clean
+        end)
+      t.vnodes
+  end
+
+let insert_page t v index p =
+  Hashtbl.replace v.v_pages index p;
+  t.total_pages <- t.total_pages + 1;
+  reclaim_pages t
+
+(* ------------------------------------------------------------------ *)
+(* Writeback.                                                          *)
+
+(* Split the sorted dirty page list into contiguous runs capped at
+   [wb_batch]; each run becomes one [write_pages] call. With wb_batch = 1
+   this degenerates into per-page writepage calls. *)
+let runs_of_indexes ~batch indexes =
+  let rec go acc run = function
+    | [] -> List.rev (if run = [] then acc else List.rev run :: acc)
+    | i :: rest -> (
+        match run with
+        | [] -> go acc [ i ] rest
+        | last :: _ when i = last + 1 && List.length run < batch ->
+            go acc (i :: run) rest
+        | _ -> go (List.rev run :: acc) [ i ] rest)
+  in
+  go [] [] indexes
+
+(** Write all dirty pages of [v] down into the file system. *)
+let writeback_vnode t v =
+  Sim.Sync.Mutex.with_lock v.v_wb (fun () ->
+      let dirty =
+        Hashtbl.fold (fun i p acc -> if p.pdirty then i :: acc else acc) v.v_pages []
+        |> List.sort compare
+      in
+      if dirty <> [] then begin
+        let runs = runs_of_indexes ~batch:t.ops.wb_batch dirty in
+        List.iter
+          (fun run ->
+            (* Snapshot the pages of this run; clear dirty bits first so
+               concurrent writes re-dirty and are not lost. *)
+            let pages =
+              List.filter_map
+                (fun i ->
+                  match Hashtbl.find_opt v.v_pages i with
+                  | Some p when p.pdirty ->
+                      p.pdirty <- false;
+                      v.v_dirty_pages <- v.v_dirty_pages - 1;
+                      t.total_dirty <- t.total_dirty - 1;
+                      Some (i, p.pdata)
+                  | _ -> None)
+                run
+              |> Array.of_list
+            in
+            if Array.length pages > 0 then begin
+              incr t "wb_calls";
+              incr ~by:(Array.length pages) t "wb_pages";
+              match t.ops.write_pages ~ino:v.v_ino ~isize:v.v_size pages with
+              | Ok () -> ()
+              | Error _ ->
+                  (* Keep going; the error is recorded like Linux does
+                     with AS_EIO. *)
+                  incr t "wb_errors"
+            end)
+          runs
+      end)
+
+(** Balance: a writer that pushed the system over the dirty limit does
+    writeback of its own file until below (Linux balance_dirty_pages). *)
+let balance_dirty t v =
+  if t.total_dirty > t.dirty_limit then begin
+    incr t "dirty_throttles";
+    writeback_vnode t v
+  end
+
+let writeback_all t =
+  let vs = Hashtbl.fold (fun _ v acc -> v :: acc) t.vnodes [] in
+  let vs = List.sort (fun a b -> compare a.v_ino b.v_ino) vs in
+  List.iter (fun v -> if v.v_dirty_pages > 0 then writeback_vnode t v) vs
+
+(* Background flusher fiber: periodic writeback above the bg threshold,
+   mirroring the kernel's dirty_writeback_centisecs behaviour. *)
+let start_flusher t =
+  if not t.flusher_running then begin
+    t.flusher_running <- true;
+    Machine.spawn ~name:"flusher" t.machine (fun () ->
+        let rec loop () =
+          if t.active then begin
+            Sim.Engine.sleep (Sim.Time.ms 500);
+            if t.active && t.total_dirty > t.dirty_bg then writeback_all t;
+            loop ()
+          end
+        in
+        loop ();
+        t.flusher_running <- false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Mount / unmount.                                                    *)
+
+let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
+    machine ops =
+  let t =
+    {
+      machine;
+      ops;
+      page_size = Device.Ssd.block_size (Machine.disk machine);
+      vnodes = Hashtbl.create 1024;
+      dcache = Hashtbl.create 4096;
+      total_dirty = 0;
+      total_pages = 0;
+      page_cap;
+      dirty_limit;
+      dirty_bg = dirty_limit / 2;
+      flusher_running = false;
+      active = true;
+      stats = Sim.Stats.create ();
+    }
+  in
+  if background then start_flusher t;
+  Printk.info machine "vfs: mounted %s (root ino %d, wb_batch %d)"
+    ops.fs_name ops.root_ino ops.wb_batch;
+  t
+
+(** Flush everything and deactivate. Safe to call from a fiber. *)
+let unmount t =
+  Printk.info t.machine "vfs: unmounting %s" t.ops.fs_name;
+  writeback_all t;
+  (match t.ops.sync_fs () with Ok () -> () | Error _ -> incr t "wb_errors");
+  t.active <- false;
+  Hashtbl.reset t.dcache
+
+(* ------------------------------------------------------------------ *)
+(* Dentry cache.                                                       *)
+
+let dcache_lookup t ~dir name =
+  cpu t (cost t).Cost.dcache_hit;
+  Hashtbl.find_opt t.dcache (dir, name)
+
+let dcache_insert t ~dir name ino = Hashtbl.replace t.dcache (dir, name) ino
+
+let dcache_remove t ~dir name = Hashtbl.remove t.dcache (dir, name)
+
+(** Lookup with dcache in front of the file system (the real VFS fast
+    path). The dcache maps names to inode numbers only; attributes always
+    come from the file system's in-core inode, so they are never stale. *)
+let lookup t ~dir name : stat res =
+  match dcache_lookup t ~dir name with
+  | Some ino -> (
+      incr t "dcache_hits";
+      match t.ops.getattr ino with
+      | Ok _ as r -> r
+      | Error _ ->
+          (* stale dentry (inode recycled): drop and retry below *)
+          dcache_remove t ~dir name;
+          t.ops.lookup ~dir name)
+  | None -> (
+      incr t "dcache_misses";
+      match t.ops.lookup ~dir name with
+      | Ok st ->
+          dcache_insert t ~dir name st.st_ino;
+          Ok st
+      | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Generic file read / write through the page cache.                   *)
+
+let page_of t v index : (page, Errno.t) result =
+  cpu t (cost t).Cost.page_lookup;
+  match Hashtbl.find_opt v.v_pages index with
+  | Some p ->
+      incr t "page_hits";
+      Ok p
+  | None -> (
+      incr t "page_misses";
+      match t.ops.readpage ~ino:v.v_ino ~index with
+      | Ok data ->
+          let p = { pdata = data; pdirty = false } in
+          insert_page t v index p;
+          Ok p
+      | Error _ as e -> e)
+
+(* A page being created entirely beyond the current data does not need a
+   disk read. *)
+let page_for_write t v index =
+  cpu t (cost t).Cost.page_lookup;
+  match Hashtbl.find_opt v.v_pages index with
+  | Some p -> Ok p
+  | None ->
+      let beyond = index * t.page_size >= v.v_size in
+      if beyond then begin
+        let p = { pdata = Bytes.make t.page_size '\000'; pdirty = false } in
+        insert_page t v index p;
+        Ok p
+      end
+      else page_of t v index
+
+(** Read [len] bytes at [pos]; short reads at EOF. *)
+let read t v ~pos ~len : Bytes.t res =
+  if pos < 0 || len < 0 then Error Errno.EINVAL
+  else
+    Sim.Sync.Rwlock.with_read v.v_rw (fun () ->
+        let len = max 0 (min len (v.v_size - pos)) in
+        if len = 0 then Ok Bytes.empty
+        else begin
+          let out = Bytes.create len in
+          let rec go off =
+            if off >= len then Ok out
+            else begin
+              let abs = pos + off in
+              let index = abs / t.page_size in
+              let page_off = abs mod t.page_size in
+              let n = min (t.page_size - page_off) (len - off) in
+              match page_of t v index with
+              | Error _ as e -> e
+              | Ok p ->
+                  cpu t (Cost.copy_time ~bw:(cost t).Cost.memcpy_bw n);
+                  Bytes.blit p.pdata page_off out off n;
+                  go (off + n)
+            end
+          in
+          go 0
+        end)
+
+(** Write [data] at [pos], extending the file as needed. *)
+let write t v ~pos data : int res =
+  let len = Bytes.length data in
+  if pos < 0 then Error Errno.EINVAL
+  else if pos + len > t.ops.max_file_size then Error Errno.EFBIG
+  else
+    let r =
+      Sim.Sync.Rwlock.with_write v.v_rw (fun () ->
+          let rec go off =
+            if off >= len then Ok len
+            else begin
+              let abs = pos + off in
+              let index = abs / t.page_size in
+              let page_off = abs mod t.page_size in
+              let n = min (t.page_size - page_off) (len - off) in
+              match page_for_write t v index with
+              | Error _ as e -> e
+              | Ok p ->
+                  cpu t (Cost.copy_time ~bw:(cost t).Cost.memcpy_bw n);
+                  Bytes.blit data off p.pdata page_off n;
+                  if not p.pdirty then begin
+                    p.pdirty <- true;
+                    v.v_dirty_pages <- v.v_dirty_pages + 1;
+                    t.total_dirty <- t.total_dirty + 1
+                  end;
+                  go (off + n)
+            end
+          in
+          let r = go 0 in
+          (match r with
+          | Ok _ -> if pos + len > v.v_size then v.v_size <- pos + len
+          | Error _ -> ());
+          r)
+    in
+    (match r with Ok _ -> balance_dirty t v | Error _ -> ());
+    r
+
+(** fsync: push this file's dirty pages into the fs, then ask the fs to
+    make them durable. *)
+let fsync t v : unit res =
+  incr t "fsyncs";
+  writeback_vnode t v;
+  t.ops.fsync ~ino:v.v_ino
+
+let truncate t v size : unit res =
+  if size < 0 then Error Errno.EINVAL
+  else if size > t.ops.max_file_size then Error Errno.EFBIG
+  else
+    Sim.Sync.Rwlock.with_write v.v_rw (fun () ->
+        (* Drop whole pages beyond the new size; zero the tail of the last
+           partial page. *)
+        let first_dead = (size + t.page_size - 1) / t.page_size in
+        let dead =
+          Hashtbl.fold
+            (fun i p acc -> if i >= first_dead then (i, p) :: acc else acc)
+            v.v_pages []
+        in
+        List.iter
+          (fun (i, p) ->
+            if p.pdirty then begin
+              v.v_dirty_pages <- v.v_dirty_pages - 1;
+              t.total_dirty <- t.total_dirty - 1
+            end;
+            Hashtbl.remove v.v_pages i;
+            t.total_pages <- t.total_pages - 1)
+          dead;
+        if size mod t.page_size <> 0 then begin
+          let last = size / t.page_size in
+          match Hashtbl.find_opt v.v_pages last with
+          | Some p ->
+              let off = size mod t.page_size in
+              Bytes.fill p.pdata off (t.page_size - off) '\000'
+          | None -> ()
+        end;
+        match t.ops.truncate ~ino:v.v_ino size with
+        | Ok () ->
+            v.v_size <- size;
+            Ok ()
+        | Error _ as e -> e)
+
+(* Drop all cached pages of a vnode (unlink of a closed file, eviction). *)
+let invalidate_pages t v =
+  Hashtbl.iter
+    (fun _ p ->
+      if p.pdirty then begin
+        v.v_dirty_pages <- v.v_dirty_pages - 1;
+        t.total_dirty <- t.total_dirty - 1
+      end)
+    v.v_pages;
+  t.total_pages <- t.total_pages - Hashtbl.length v.v_pages;
+  Hashtbl.reset v.v_pages
+
+let drop_vnode t v =
+  invalidate_pages t v;
+  Hashtbl.remove t.vnodes v.v_ino
+
+(** Full sync(2): all files, then the fs-wide sync. *)
+let sync t : unit res =
+  writeback_all t;
+  t.ops.sync_fs ()

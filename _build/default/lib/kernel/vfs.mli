@@ -1,0 +1,136 @@
+(** The simulated Linux VFS layer.
+
+    A kernel file system registers an {!fs_ops} table of function pointers.
+    The VFS owns the machinery the paper's stacks share: the per-file page
+    cache, dirty accounting, writeback (with the [wb_batch] lever that
+    distinguishes `writepage` from `writepages`), page reclaim, and the
+    dentry cache. *)
+
+type file_kind = Reg | Dir | Symlink
+
+type stat = {
+  st_ino : int;
+  st_kind : file_kind;
+  st_size : int;
+  st_nlink : int;
+}
+
+type dirent = { d_name : string; d_ino : int; d_kind : file_kind }
+
+type statfs = {
+  f_blocks : int;
+  f_bfree : int;
+  f_files : int;
+  f_ffree : int;
+}
+
+type 'e res = ('e, Errno.t) result
+
+(** The function-pointer table a file system registers (function pointers,
+    exactly as in Linux). [write_pages] receives a contiguous run of dirty
+    pages — at most [wb_batch] of them per call, so [wb_batch = 1] is
+    `writepage` and larger values are `writepages`. *)
+type fs_ops = {
+  fs_name : string;
+  root_ino : int;
+  lookup : dir:int -> string -> stat res;
+  getattr : int -> stat res;
+  create : dir:int -> string -> stat res;
+  mkdir : dir:int -> string -> stat res;
+  unlink : dir:int -> string -> unit res;
+  rmdir : dir:int -> string -> unit res;
+  rename : olddir:int -> oldname:string -> newdir:int -> newname:string -> unit res;
+  link : ino:int -> dir:int -> string -> stat res;
+  symlink : dir:int -> string -> target:string -> stat res;
+  readlink : ino:int -> string res;
+  readdir : int -> dirent list res;
+  readpage : ino:int -> index:int -> Bytes.t res;
+  write_pages : ino:int -> isize:int -> (int * Bytes.t) array -> unit res;
+  truncate : ino:int -> int -> unit res;
+  fsync : ino:int -> unit res;
+  sync_fs : unit -> unit res;
+  iopen : ino:int -> unit res;
+  irelease : ino:int -> unit;
+  statfs : unit -> statfs;
+  wb_batch : int;
+  max_file_size : int;
+}
+
+(** In-core inode (vnode) with its page cache. Fields are exposed for the
+    syscall layer, which maintains open counts and sizes. *)
+type page = { pdata : Bytes.t; mutable pdirty : bool }
+
+type vnode = {
+  v_ino : int;
+  mutable v_kind : file_kind;
+  mutable v_size : int;
+  v_pages : (int, page) Hashtbl.t;
+  mutable v_dirty_pages : int;
+  v_rw : Sim.Sync.Rwlock.t;
+  v_wb : Sim.Sync.Mutex.t;
+  mutable v_nopen : int;
+  mutable v_unlinked : bool;
+}
+
+type t
+(** A mounted file system instance. *)
+
+val mount :
+  ?dirty_limit:int ->
+  ?page_cap:int ->
+  ?background:bool ->
+  Machine.t ->
+  fs_ops ->
+  t
+(** [dirty_limit]: pages of dirty data before writers are throttled into
+    foreground writeback ([balance_dirty_pages]). [page_cap]: total cached
+    pages before clean pages of closed files are reclaimed. [background]:
+    start the periodic writeback flusher fiber (stop it by unmounting). *)
+
+val unmount : t -> unit
+(** Flush everything, run the fs-wide sync, stop the flusher. *)
+
+val machine : t -> Machine.t
+val ops : t -> fs_ops
+val page_size : t -> int
+val stats : t -> Sim.Stats.t
+
+val vnode_of : t -> int -> kind:file_kind -> size:int -> vnode
+(** Find-or-create the in-core inode. *)
+
+val find_vnode : t -> int -> vnode option
+val drop_vnode : t -> vnode -> unit
+val invalidate_pages : t -> vnode -> unit
+
+(** {1 Dentry cache} *)
+
+val dcache_insert : t -> dir:int -> string -> int -> unit
+val dcache_remove : t -> dir:int -> string -> unit
+
+val lookup : t -> dir:int -> string -> stat res
+(** dcache in front of the file system; attributes always come fresh from
+    [getattr], so they cannot go stale. *)
+
+(** {1 Generic file I/O through the page cache} *)
+
+val read : t -> vnode -> pos:int -> len:int -> Bytes.t res
+(** Short reads at EOF; holes read as zeroes. *)
+
+val write : t -> vnode -> pos:int -> Bytes.t -> int res
+(** Copy into the page cache, extend the size, dirty pages; may throttle
+    into foreground writeback past the dirty limit. *)
+
+val truncate : t -> vnode -> int -> unit res
+val fsync : t -> vnode -> unit res
+
+val writeback_vnode : t -> vnode -> unit
+(** Push this file's dirty pages into the file system in [wb_batch]-sized
+    contiguous runs. *)
+
+val writeback_all : t -> unit
+val sync : t -> unit res
+
+(** {1 Exposed for tests} *)
+
+val runs_of_indexes : batch:int -> int list -> int list list
+(** Split sorted page indexes into contiguous runs capped at [batch]. *)

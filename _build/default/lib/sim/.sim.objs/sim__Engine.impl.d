@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Hashtbl Heap Int64 List Printexc Printf String

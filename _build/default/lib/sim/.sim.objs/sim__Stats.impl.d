@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Hashtbl Int64 List String

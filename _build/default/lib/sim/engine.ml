@@ -1,0 +1,205 @@
+(** Deterministic discrete-event engine with cooperative simulated threads.
+
+    Threads ("fibers") are ordinary OCaml functions run under an effect
+    handler. They block by performing the [Sleep] / [Suspend] effects; the
+    engine resumes them from its virtual-time event queue. Because the event
+    queue is totally ordered by (time, insertion sequence), a simulation with
+    a fixed seed is fully deterministic and replayable — the property all of
+    the benchmark results rely on. *)
+
+exception Deadlock of string
+exception Fiber_failure of string * exn
+
+type fiber = {
+  fid : int;
+  name : string;
+  mutable dead : bool;
+}
+
+type t = {
+  mutable now : int64;
+  events : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable next_fid : int;
+  mutable live_fibers : int;
+  mutable running : fiber option;
+  mutable failure : (string * exn * Printexc.raw_backtrace) option;
+  mutable trace : bool;
+}
+
+type _ Effect.t +=
+  | Sleep : int64 -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Get_engine : t Effect.t
+
+let create () =
+  {
+    now = 0L;
+    events = Heap.create ();
+    seq = 0;
+    next_fid = 0;
+    live_fibers = 0;
+    running = None;
+    failure = None;
+    trace = false;
+  }
+
+let now t = t.now
+let set_trace t b = t.trace <- b
+
+let schedule_at t time f =
+  if Int64.compare time t.now < 0 then
+    invalid_arg "Engine.schedule_at: time in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~time ~seq:t.seq f
+
+let schedule_after t delay f = schedule_at t (Int64.add t.now delay) f
+
+(* Run [f] as a fiber body under the engine's effect handler. *)
+let start_fiber t fiber f =
+  let open Effect.Deep in
+  let saved = t.running in
+  t.running <- Some fiber;
+  (try
+     match_with f ()
+       {
+         retc =
+           (fun () ->
+             fiber.dead <- true;
+             t.live_fibers <- t.live_fibers - 1);
+         exnc =
+           (fun exn ->
+             fiber.dead <- true;
+             t.live_fibers <- t.live_fibers - 1;
+             if t.failure = None then
+               t.failure <- Some (fiber.name, exn, Printexc.get_raw_backtrace ()));
+         effc =
+           (fun (type a) (eff : a Effect.t) ->
+             match eff with
+             | Sleep d ->
+                 Some
+                   (fun (k : (a, _) continuation) ->
+                     schedule_after t d (fun () ->
+                         let saved' = t.running in
+                         t.running <- Some fiber;
+                         continue k ();
+                         t.running <- saved'))
+             | Suspend register ->
+                 Some
+                   (fun (k : (a, _) continuation) ->
+                     let fired = ref false in
+                     register (fun () ->
+                         if !fired then
+                           invalid_arg "Engine: waker invoked twice";
+                         fired := true;
+                         schedule_at t t.now (fun () ->
+                             let saved' = t.running in
+                             t.running <- Some fiber;
+                             continue k ();
+                             t.running <- saved')))
+             | Get_engine -> Some (fun (k : (a, _) continuation) -> continue k t)
+             | _ -> None);
+       }
+   with exn ->
+     t.running <- saved;
+     raise exn);
+  t.running <- saved
+
+let spawn ?(name = "fiber") t f =
+  let fiber = { fid = t.next_fid; name; dead = false } in
+  t.next_fid <- t.next_fid + 1;
+  t.live_fibers <- t.live_fibers + 1;
+  schedule_at t t.now (fun () -> start_fiber t fiber f);
+  fiber
+
+(* Debug support: record what each blocked fiber is waiting on so that a
+   Deadlock error can say something useful. The registry is global and
+   fiber-keyed; fibers update it around their suspensions. *)
+let blocked_reasons : (int, string) Hashtbl.t = Hashtbl.create 64
+
+let check_failure t =
+  match t.failure with
+  | Some (name, exn, bt) ->
+      t.failure <- None;
+      Printexc.raise_with_backtrace (Fiber_failure (name, exn)) bt
+  | None -> ()
+
+(** Run until the event queue drains. Raises [Fiber_failure] if any fiber
+    raised, [Deadlock] if fibers remain blocked with no pending event. *)
+let run t =
+  let rec loop () =
+    match Heap.pop t.events with
+    | None -> ()
+    | Some { time; payload; _ } ->
+        t.now <- time;
+        t.seq <- t.seq;
+        (if t.trace && t.seq mod 1_000_000 = 0 then
+           Printf.eprintf "EVT seq=%d now=%Ld\n%!" t.seq t.now);
+        payload ();
+        check_failure t;
+        loop ()
+  in
+  loop ();
+  if t.live_fibers > 0 then begin
+    let details =
+      Hashtbl.fold (fun _ v acc -> v :: acc) blocked_reasons []
+      |> List.sort compare |> String.concat "; "
+    in
+    raise
+      (Deadlock
+         (Printf.sprintf "%d fiber(s) still blocked at t=%Ldns [%s]"
+            t.live_fibers t.now details))
+  end
+
+(** Run events up to and including virtual time [deadline]. Events after the
+    deadline stay queued; blocked fibers are not a deadlock here. *)
+let run_until t deadline =
+  let rec loop () =
+    match Heap.peek t.events with
+    | None -> ()
+    | Some { time; _ } when Int64.compare time deadline > 0 -> ()
+    | Some _ ->
+        (match Heap.pop t.events with
+        | None -> ()
+        | Some { time; payload; _ } ->
+            t.now <- time;
+            payload ();
+            check_failure t;
+            loop ())
+  in
+  loop ();
+  if Int64.compare t.now deadline < 0 then t.now <- deadline
+
+(* ------------------------------------------------------------------ *)
+(* Operations usable from inside a fiber.                              *)
+
+let self_engine () = Effect.perform Get_engine
+
+let sleep d =
+  if Int64.compare d 0L < 0 then invalid_arg "Engine.sleep: negative";
+  if Int64.compare d 0L > 0 then Effect.perform (Sleep d)
+
+let yield () = Effect.perform (Sleep 0L)
+
+(** [suspend register] blocks the current fiber. [register] receives a waker
+    which, when invoked (exactly once), reschedules the fiber at the waking
+    moment. *)
+let suspend register = Effect.perform (Suspend register)
+
+let note_blocked reason =
+  let t = Effect.perform Get_engine in
+  match t.running with
+  | Some f ->
+      Hashtbl.replace blocked_reasons f.fid
+        (Printf.sprintf "%s#%d waiting on %s" f.name f.fid reason)
+  | None -> ()
+
+let clear_blocked () =
+  let t = Effect.perform Get_engine in
+  match t.running with
+  | Some f -> Hashtbl.remove blocked_reasons f.fid
+  | None -> ()
+
+let now_here () = (self_engine ()).now
+
+

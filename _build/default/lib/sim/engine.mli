@@ -1,0 +1,72 @@
+(** Deterministic discrete-event engine with cooperative simulated threads
+    ("fibers").
+
+    Fibers are plain OCaml functions executed under an effect handler; they
+    block by performing effects ([sleep], [suspend]) and the engine resumes
+    them from a virtual-time event queue. Event order is total — (time,
+    insertion sequence) — so simulations are deterministic and replayable. *)
+
+type t
+(** An engine instance: virtual clock + event queue + fiber bookkeeping. *)
+
+exception Deadlock of string
+(** Raised by {!run} when fibers remain blocked but no event is pending.
+    The message lists each blocked fiber and what it is waiting on. *)
+
+exception Fiber_failure of string * exn
+(** A fiber raised: carries the fiber name and the original exception. *)
+
+type fiber
+(** Handle to a spawned fiber. *)
+
+val create : unit -> t
+
+val now : t -> int64
+(** Current virtual time in nanoseconds. *)
+
+val set_trace : t -> bool -> unit
+(** Enable coarse event-count tracing to stderr (debugging aid). *)
+
+val schedule_at : t -> int64 -> (unit -> unit) -> unit
+(** Run a callback at an absolute virtual time (>= [now t]). *)
+
+val schedule_after : t -> int64 -> (unit -> unit) -> unit
+
+val spawn : ?name:string -> t -> (unit -> unit) -> fiber
+(** Start a new fiber at the current virtual time. The [name] appears in
+    failure and deadlock reports. *)
+
+val run : t -> unit
+(** Drain the event queue. Raises {!Fiber_failure} if any fiber raised and
+    {!Deadlock} if blocked fibers remain with an empty queue. *)
+
+val run_until : t -> int64 -> unit
+(** Process events up to and including [deadline]; later events stay
+    queued. Blocked fibers are not treated as a deadlock. *)
+
+(** {1 Operations available inside a fiber} *)
+
+val sleep : int64 -> unit
+(** Suspend the calling fiber for a duration of virtual time. *)
+
+val yield : unit -> unit
+(** Reschedule the calling fiber behind events at the current instant. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] blocks the calling fiber; [register] receives a
+    waker that, when invoked (exactly once), resumes the fiber at the
+    waking moment. The building block of all synchronisation primitives. *)
+
+val self_engine : unit -> t
+(** The engine running the calling fiber. *)
+
+val now_here : unit -> int64
+(** [now] of the calling fiber's engine. *)
+
+(** {1 Blocked-fiber diagnostics} *)
+
+val note_blocked : string -> unit
+(** Record what the calling fiber is about to wait on (shown by
+    {!Deadlock}). Called by the [Sync] primitives around suspension. *)
+
+val clear_blocked : unit -> unit

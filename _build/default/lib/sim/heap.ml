@@ -1,0 +1,75 @@
+(** Array-based binary min-heap, specialised to [(int64 * int)] keys
+    (event time, insertion sequence number). The sequence number makes event
+    ordering total and hence the whole simulation deterministic. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let lt a b =
+  match Int64.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow h entry =
+  let cap = Array.length h.arr in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let narr = Array.make ncap entry in
+    Array.blit h.arr 0 narr 0 h.size;
+    h.arr <- narr
+  end
+
+let push h ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  grow h entry;
+  h.arr.(h.size) <- entry;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    lt h.arr.(!i) h.arr.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = h.arr.(p) in
+    h.arr.(p) <- h.arr.(!i);
+    h.arr.(!i) <- tmp;
+    i := p
+  done
+
+let peek h = if h.size = 0 then None else Some h.arr.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top
+  end

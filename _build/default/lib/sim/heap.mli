@@ -1,0 +1,14 @@
+(** Array-based binary min-heap keyed by (time, sequence), the engine's
+    event queue. The sequence number totalises the order, which is what
+    makes whole simulations deterministic. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+val peek : 'a t -> 'a entry option
+val pop : 'a t -> 'a entry option

@@ -1,0 +1,26 @@
+(** A k-server resource with FIFO admission, used to model CPU cores and
+    device channels: at most [capacity] fibers are inside at once, the rest
+    queue in order. *)
+
+type t
+
+val create : ?name:string -> int -> t
+(** [create capacity] — capacity must be >= 1. *)
+
+val acquire : t -> unit
+val release : t -> unit
+
+val use : t -> int64 -> unit
+(** Occupy one server for a duration of virtual time. *)
+
+val in_use : t -> int
+val capacity : t -> int
+val queued : t -> int
+
+val busy_ns : t -> int64
+(** Total occupied server-time, for utilisation accounting. *)
+
+val admissions : t -> int
+
+val utilisation : t -> elapsed:int64 -> float
+(** Fraction of server-time occupied over [elapsed]. *)

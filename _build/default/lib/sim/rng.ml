@@ -1,0 +1,65 @@
+(** Deterministic splittable RNG (splitmix64).
+
+    Every component that needs randomness (workload generators, fault
+    injection) derives its own stream by [split], so adding a new consumer
+    never perturbs the values another consumer sees. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let v = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+(** Float in [lo, hi). *)
+let float_range t lo hi = lo +. (float t *. (hi -. lo))
+
+(** Exponentially distributed float with the given [mean]. *)
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log (1.0 -. u)
+
+(** Lognormal with parameters [mu] and [sigma] of the underlying normal. *)
+let lognormal t ~mu ~sigma =
+  (* Box-Muller *)
+  let u1 = max 1e-12 (float t) and u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+(** Zipf-ish pick in [0, n): rank-biased choice used for hot/cold file
+    selection in workloads. [theta] in (0,1); higher = more skewed. *)
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  let u = float t in
+  let r = int_of_float (float_of_int n *. (u ** (1.0 /. (1.0 -. theta)))) in
+  if r >= n then n - 1 else r
+
+(** Fisher-Yates shuffle (in place). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

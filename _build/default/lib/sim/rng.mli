@@ -1,0 +1,32 @@
+(** Deterministic splittable RNG (splitmix64). Consumers derive private
+    streams with {!split} so adding one consumer never perturbs another —
+    a requirement for reproducible benchmarks. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val split : t -> t
+(** An independent stream derived from (and advancing) this one. *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val float_range : t -> float -> float -> float
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, e.g. file sizes around a mean. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Lognormal via Box-Muller; source-tree file-size distributions. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Rank-biased choice in [0, n): hot/cold file selection. *)
+
+val shuffle : t -> 'a array -> unit

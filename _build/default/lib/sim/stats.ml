@@ -1,0 +1,79 @@
+(** Named counters and simple latency accumulators, used across the kernel,
+    device, and workloads to report utilisation and per-op statistics. *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int64 }
+
+  let create name = { name; value = 0L }
+  let incr ?(by = 1) t = t.value <- Int64.add t.value (Int64.of_int by)
+  let add64 t v = t.value <- Int64.add t.value v
+  let get t = t.value
+  let get_int t = Int64.to_int t.value
+  let reset t = t.value <- 0L
+  let name t = t.name
+end
+
+module Latency = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable total : int64;
+    mutable min : int64;
+    mutable max : int64;
+  }
+
+  let create name = { name; count = 0; total = 0L; min = Int64.max_int; max = 0L }
+
+  let record t dur =
+    t.count <- t.count + 1;
+    t.total <- Int64.add t.total dur;
+    if Int64.compare dur t.min < 0 then t.min <- dur;
+    if Int64.compare dur t.max > 0 then t.max <- dur
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0L else Int64.div t.total (Int64.of_int t.count)
+  let min_ns t = if t.count = 0 then 0L else t.min
+  let max_ns t = t.max
+  let name t = t.name
+  let reset t =
+    t.count <- 0;
+    t.total <- 0L;
+    t.min <- Int64.max_int;
+    t.max <- 0L
+end
+
+(** A registry so components can expose their counters by name. *)
+type t = {
+  counters : (string, Counter.t) Hashtbl.t;
+  latencies : (string, Latency.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; latencies = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = Counter.create name in
+      Hashtbl.add t.counters name c;
+      c
+
+let latency t name =
+  match Hashtbl.find_opt t.latencies name with
+  | Some l -> l
+  | None ->
+      let l = Latency.create name in
+      Hashtbl.add t.latencies name l;
+      l
+
+let iter_counters t f =
+  let items =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (k, v) -> f k v) items
+
+let reset t =
+  Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
+  Hashtbl.iter (fun _ l -> Latency.reset l) t.latencies

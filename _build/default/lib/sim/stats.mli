@@ -1,0 +1,43 @@
+(** Named counters and latency accumulators used across the kernel, device,
+    and workloads for utilisation and per-operation statistics. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val incr : ?by:int -> t -> unit
+  val add64 : t -> int64 -> unit
+  val get : t -> int64
+  val get_int : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+module Latency : sig
+  type t
+
+  val create : string -> t
+  val record : t -> int64 -> unit
+  val count : t -> int
+  val total : t -> int64
+  val mean : t -> int64
+  val min_ns : t -> int64
+  val max_ns : t -> int64
+  val name : t -> string
+  val reset : t -> unit
+end
+
+type t
+(** A registry of counters and latency trackers, addressed by name. *)
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+(** Find-or-create. *)
+
+val latency : t -> string -> Latency.t
+
+val iter_counters : t -> (string -> Counter.t -> unit) -> unit
+(** In name order (deterministic output). *)
+
+val reset : t -> unit

@@ -1,0 +1,105 @@
+(** Virtual-time synchronisation primitives for simulated threads.
+
+    These mirror the kernel primitives the simulated file systems use:
+    sleeping mutexes (xv6 sleeplocks / kernel semaphores), condition
+    variables, counting semaphores, reader-writer locks, one-shot ivars and
+    FIFO channels. All wait queues are FIFO with direct handoff, keeping
+    simulations deterministic and starvation-free. *)
+
+module Mutex : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  (** [name] appears in deadlock diagnostics and error messages. *)
+
+  val lock : t -> unit
+  (** Block until the mutex is held. FIFO handoff: no barging. *)
+
+  val try_lock : t -> bool
+  val unlock : t -> unit
+
+  val locked : t -> bool
+
+  val contended : t -> int
+  (** How many [lock] calls had to wait (a contention statistic). *)
+
+  val acquisitions : t -> int
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Lock, run, unlock — also on exceptions. *)
+end
+
+module Condvar : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Atomically release the mutex, wait for a signal, re-acquire. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+  val waiting : t -> int
+end
+
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val available : t -> int
+end
+
+module Rwlock : sig
+  type t
+
+  val create : unit -> t
+
+  val read_lock : t -> unit
+  (** Shared access; parallel with other readers. FIFO with writers, so
+      writers are not starved. *)
+
+  val read_unlock : t -> unit
+  val write_lock : t -> unit
+  val write_unlock : t -> unit
+  val with_read : t -> (unit -> 'a) -> 'a
+  val with_write : t -> (unit -> 'a) -> 'a
+end
+
+(** One-shot value: write once, any number of waiters. Used to match FUSE
+    replies to waiting requesters. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val is_full : 'a t -> bool
+
+  val read : 'a t -> 'a
+  (** Block until filled. *)
+end
+
+(** Bounded FIFO channel between fibers (the /dev/fuse request queue, the
+    daemon loop). *)
+module Channel : sig
+  type 'a t
+
+  exception Closed
+
+  val create : ?capacity:int -> unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+
+  val recv_opt : 'a t -> 'a option
+  (** [None] once the channel is closed and drained. *)
+
+  val close : 'a t -> unit
+  (** Wakes all blocked senders and receivers with {!Closed}. *)
+
+  val length : 'a t -> int
+end

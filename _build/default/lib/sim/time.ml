@@ -1,0 +1,45 @@
+(** Virtual time, in nanoseconds since simulation start.
+
+    All of the simulated kernel, device, and workload code measures time in
+    these units. Using [int64] gives us ~292 years of simulated range, far
+    beyond any benchmark run. *)
+
+type t = int64
+
+let zero = 0L
+let compare = Int64.compare
+let ( + ) = Int64.add
+let ( - ) = Int64.sub
+let ( < ) a b = Stdlib.( < ) (Int64.compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (Int64.compare a b) 0
+let ( > ) a b = Stdlib.( > ) (Int64.compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (Int64.compare a b) 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+
+(** [scale t f] multiplies a duration by a float factor, rounding to the
+    nearest nanosecond. Used by cost models (e.g. bytes / bandwidth). *)
+let scale t f = Int64.of_float (Float.round (Int64.to_float t *. f))
+
+let of_float_ns f = Int64.of_float (Float.round f)
+let to_float_ns t = Int64.to_float t
+
+(** Duration to transfer [bytes] at [bytes_per_sec]. *)
+let of_bandwidth ~bytes ~bytes_per_sec =
+  if Stdlib.( <= ) bytes_per_sec 0. then invalid_arg "Time.of_bandwidth";
+  of_float_ns (float_of_int bytes /. bytes_per_sec *. 1e9)
+
+let to_sec_float t = Int64.to_float t /. 1e9
+
+let pp ppf t =
+  let f = Int64.to_float t in
+  let ge = Stdlib.( >= ) in
+  if ge (Float.abs f) 1e9 then Fmt.pf ppf "%.3fs" (f /. 1e9)
+  else if ge (Float.abs f) 1e6 then Fmt.pf ppf "%.3fms" (f /. 1e6)
+  else if ge (Float.abs f) 1e3 then Fmt.pf ppf "%.3fus" (f /. 1e3)
+  else Fmt.pf ppf "%Ldns" t

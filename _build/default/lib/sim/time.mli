@@ -1,0 +1,35 @@
+(** Virtual time in nanoseconds since simulation start, with duration
+    construction and bandwidth arithmetic helpers. *)
+
+type t = int64
+
+val zero : t
+val compare : t -> t -> int
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val scale : t -> float -> t
+(** Multiply a duration by a factor, rounding to the nearest ns. *)
+
+val of_float_ns : float -> t
+val to_float_ns : t -> float
+
+val of_bandwidth : bytes:int -> bytes_per_sec:float -> t
+(** Time to move [bytes] at a given bandwidth. *)
+
+val to_sec_float : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-friendly: "1.5ms", "3.2us", "2.1s". *)

@@ -1,0 +1,1 @@
+lib/util/bytesio.ml: Bytes Char Int32 Int64 String

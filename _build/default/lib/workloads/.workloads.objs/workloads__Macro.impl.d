@@ -1,0 +1,1 @@
+lib/workloads/macro.ml: Array Bench_result Bytes Int64 Kernel List Micro Printf Sim String

@@ -1,0 +1,1 @@
+lib/workloads/macro.mli: Bench_result Kernel

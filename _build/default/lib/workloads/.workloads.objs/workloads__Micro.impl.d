@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Bench_result Bytes Int64 Kernel Printf Sim

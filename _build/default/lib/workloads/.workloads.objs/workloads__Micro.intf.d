@@ -1,0 +1,1 @@
+lib/workloads/micro.mli: Bench_result Kernel

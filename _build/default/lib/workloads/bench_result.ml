@@ -1,0 +1,22 @@
+(** Results of a timed workload run on the simulated machine. *)
+
+type t = {
+  label : string;
+  ops : int;  (** completed operations (benchmark-defined unit) *)
+  bytes : int;  (** payload bytes moved, for throughput benchmarks *)
+  elapsed_ns : int64;  (** virtual time *)
+}
+
+let elapsed_sec r = Int64.to_float r.elapsed_ns /. 1e9
+
+let ops_per_sec r =
+  let s = elapsed_sec r in
+  if s <= 0. then 0. else float_of_int r.ops /. s
+
+let mbps r =
+  let s = elapsed_sec r in
+  if s <= 0. then 0. else float_of_int r.bytes /. 1e6 /. s
+
+let pp ppf r =
+  Fmt.pf ppf "%s: %d ops, %.1f ops/s, %.1f MB/s in %.3fs" r.label r.ops
+    (ops_per_sec r) (mbps r) (elapsed_sec r)

@@ -1,0 +1,13 @@
+(** Result of a timed workload run, in virtual time. *)
+
+type t = {
+  label : string;
+  ops : int;  (** completed operations (benchmark-defined unit) *)
+  bytes : int;  (** payload bytes moved, for throughput benchmarks *)
+  elapsed_ns : int64;
+}
+
+val elapsed_sec : t -> float
+val ops_per_sec : t -> float
+val mbps : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+(** Macrobenchmarks (§6.6): filebench's varmail and fileserver
+    personalities and the untar-Linux benchmark. *)
+
+type varmail_config = {
+  vm_nfiles : int;
+  vm_mean_size : int;
+  vm_nthreads : int;
+  vm_dirwidth : int;
+}
+
+val varmail_default : varmail_config
+(** 1000 × ~16 KB mail files, single-threaded (see EXPERIMENTS.md for why
+    the paper's numbers imply one thread). *)
+
+val varmail :
+  Kernel.Os.t ->
+  duration:int64 ->
+  ?config:varmail_config ->
+  seed:int ->
+  unit ->
+  Bench_result.t
+(** Mail-server loop: delete + create/append/fsync + read/append/fsync +
+    whole-file read. [ops] counts completed transactions. *)
+
+type fileserver_config = {
+  fsv_nfiles : int;
+  fsv_mean_size : int;
+  fsv_append_size : int;
+  fsv_nthreads : int;
+  fsv_dirwidth : int;
+}
+
+val fileserver_default : fileserver_config
+(** 2000 × ~128 KB files, 50 threads (filebench defaults, scaled). *)
+
+val fileserver :
+  Kernel.Os.t ->
+  duration:int64 ->
+  ?config:fileserver_config ->
+  seed:int ->
+  unit ->
+  Bench_result.t
+(** create+write / append / whole-file read / stat+delete mix. *)
+
+(** {1 untar} *)
+
+type manifest_entry = { me_path : string; me_size : int }
+
+type manifest = {
+  dirs : string list;  (** creation order, parents first *)
+  files : manifest_entry list;
+  total_bytes : int;
+}
+
+val linux_tree_manifest :
+  ?nfiles:int -> ?ndirs:int -> seed:int -> unit -> manifest
+(** Synthetic Linux-source-like tree: kernel-style top directories,
+    subdirectories up to several levels, lognormal file sizes (median
+    ~5 KB). Deterministic for a seed. *)
+
+val untar : Kernel.Os.t -> manifest -> Bench_result.t
+(** Unpack the manifest single-threaded (mkdir + create + 64 KB-chunk
+    writes + close), then sync; [elapsed_ns] is the paper's "untar Linux"
+    metric. *)

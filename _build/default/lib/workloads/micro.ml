@@ -1,0 +1,273 @@
+(** filebench-style microbenchmarks: read / write (sequential & random,
+    several I/O sizes, 1 or 32 threads), createfiles, deletefiles (§6.4).
+
+    Protocols follow the filebench personalities the paper ran: timed loops
+    over a pre-created fileset, counting completed operations in virtual
+    time. Threads of the read benchmarks share one open file, as filebench
+    threads share the fileset entry. *)
+
+let ok = Kernel.Errno.ok_exn
+
+(* filebench serialises fileset-entry selection and per-op bookkeeping on
+   fileset-internal locks, so its metadata personalities are effectively
+   serial even at 32 threads — the paper's near-identical 1t and 32t
+   columns (Tables 4/5, Figures 2-4). The per-op overheads are calibrated
+   from the paper's own data: untar creates ~3500 files/s while filebench
+   createfiles manages ~1100/s on the same file system, a ~550 us gap that
+   can only live in the benchmark personality. *)
+let createfiles_overhead = Sim.Time.us 550
+let deletefiles_overhead = Sim.Time.us 25
+let readwrite_overhead = Sim.Time.ns 2500
+
+(* Spawn [nthreads] fibers running [body thread_index] until [deadline];
+   wait for all of them; returns per-thread op counts. *)
+let run_threads machine ~nthreads ~deadline body =
+  let done_ = Sim.Sync.Semaphore.create 0 in
+  let counts = Array.make nthreads 0 in
+  for i = 0 to nthreads - 1 do
+    Kernel.Machine.spawn ~name:(Printf.sprintf "worker%d" i) machine (fun () ->
+        let rec loop () =
+          if Int64.compare (Kernel.Machine.now machine) deadline < 0 then begin
+            body i;
+            counts.(i) <- counts.(i) + 1;
+            loop ()
+          end
+        in
+        loop ();
+        Sim.Sync.Semaphore.release done_)
+  done;
+  for _ = 1 to nthreads do
+    Sim.Sync.Semaphore.acquire done_
+  done;
+  Array.fold_left ( + ) 0 counts
+
+(* ------------------------------------------------------------------ *)
+(* Read benchmark.                                                     *)
+
+type pattern = Seq | Rnd
+
+let pattern_name = function Seq -> "seq" | Rnd -> "rnd"
+
+(** Timed reads of [iosize] bytes from one [file_mb] file.
+    Sequential readers share a single fd (f_pos serialised, wrapping at
+    EOF); random readers pread at uniformly random aligned offsets. *)
+let read_bench os ~iosize ~pattern ~nthreads ~duration ~file_mb ~seed :
+    Bench_result.t =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let file_size = file_mb * 1024 * 1024 in
+  let path = "/readfile" in
+  (* fileset pre-creation + warm the cache like a filebench warmup pass *)
+  if not (Kernel.Os.exists os path) then begin
+    let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat wronly)) in
+    let chunk = Bytes.make (1024 * 1024) 'r' in
+    for i = 0 to file_mb - 1 do
+      ignore (ok (Kernel.Os.pwrite os fd ~pos:(i * 1024 * 1024) chunk))
+    done;
+    ok (Kernel.Os.fsync os fd);
+    ok (Kernel.Os.close os fd)
+  end;
+  let warm = ok (Kernel.Os.open_ os path Kernel.Os.rdonly) in
+  let pos = ref 0 in
+  while !pos < file_size do
+    ignore (ok (Kernel.Os.pread os warm ~pos:!pos ~len:(1024 * 1024)));
+    pos := !pos + (1024 * 1024)
+  done;
+  ok (Kernel.Os.close os warm);
+  (* shared fd, as filebench threads share the fileset entry *)
+  let fd = ok (Kernel.Os.open_ os path Kernel.Os.rdonly) in
+  let rng = Sim.Rng.create seed in
+  let rngs = Array.init nthreads (fun _ -> Sim.Rng.split rng) in
+  let fileset_lock = Sim.Sync.Mutex.create ~name:"fileset" () in
+  let t0 = Kernel.Machine.now machine in
+  let deadline = Int64.add t0 duration in
+  let body i =
+    Sim.Sync.Mutex.with_lock fileset_lock (fun () ->
+        Kernel.Machine.cpu_work machine readwrite_overhead;
+        match pattern with
+        | Seq ->
+            let data = ok (Kernel.Os.read os fd ~len:iosize) in
+            if Bytes.length data < iosize then ok (Kernel.Os.lseek os fd 0)
+        | Rnd ->
+            let slots = file_size / iosize in
+            let pos = Sim.Rng.int rngs.(i) slots * iosize in
+            ignore (ok (Kernel.Os.pread os fd ~pos ~len:iosize)))
+  in
+  let ops = run_threads machine ~nthreads ~deadline body in
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  ok (Kernel.Os.close os fd);
+  {
+    Bench_result.label =
+      Printf.sprintf "read-%s-%dk-%dt" (pattern_name pattern) (iosize / 1024)
+        nthreads;
+    ops;
+    bytes = ops * iosize;
+    elapsed_ns = elapsed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Write benchmark.                                                    *)
+
+(** Timed writes of [iosize] bytes over a [file_mb] file (rewrite in
+    place, like filebench's write personalities). *)
+let write_bench os ~iosize ~pattern ~nthreads ~duration ~file_mb ~seed :
+    Bench_result.t =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let file_size = file_mb * 1024 * 1024 in
+  let path = "/writefile" in
+  let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat rdwr)) in
+  (* preallocate so rewrites hit allocated blocks *)
+  let chunk = Bytes.make (1024 * 1024) 'w' in
+  for i = 0 to file_mb - 1 do
+    ignore (ok (Kernel.Os.pwrite os fd ~pos:(i * 1024 * 1024) chunk))
+  done;
+  ok (Kernel.Os.fsync os fd);
+  let payload = Bytes.make iosize 'W' in
+  let rng = Sim.Rng.create seed in
+  let rngs = Array.init nthreads (fun _ -> Sim.Rng.split rng) in
+  let seq_pos = ref 0 in
+  let fileset_lock = Sim.Sync.Mutex.create ~name:"fileset" () in
+  let t0 = Kernel.Machine.now machine in
+  let deadline = Int64.add t0 duration in
+  let body i =
+    Sim.Sync.Mutex.with_lock fileset_lock (fun () ->
+        Kernel.Machine.cpu_work machine readwrite_overhead;
+        match pattern with
+        | Seq ->
+            let pos = !seq_pos in
+            seq_pos := (pos + iosize) mod file_size;
+            ignore (ok (Kernel.Os.pwrite os fd ~pos payload))
+        | Rnd ->
+            let slots = file_size / iosize in
+            let pos = Sim.Rng.int rngs.(i) slots * iosize in
+            ignore (ok (Kernel.Os.pwrite os fd ~pos payload)))
+  in
+  let ops = run_threads machine ~nthreads ~deadline body in
+  (* drain what is still dirty so the measured window includes the
+     device work it generated *)
+  ok (Kernel.Os.fsync os fd);
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  ok (Kernel.Os.close os fd);
+  {
+    Bench_result.label =
+      Printf.sprintf "write-%s-%dk-%dt" (pattern_name pattern) (iosize / 1024)
+        nthreads;
+    ops;
+    bytes = ops * iosize;
+    elapsed_ns = elapsed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Create / delete benchmarks (filebench createfiles / deletefiles:
+   16 KB mean file size, files spread over directories).               *)
+
+let dir_of_file ~dirwidth i = i / dirwidth
+
+let ensure_dirs os ~prefix ~ndirs =
+  if not (Kernel.Os.exists os prefix) then ok (Kernel.Os.mkdir os prefix);
+  for d = 0 to ndirs - 1 do
+    let p = Printf.sprintf "%s/d%04d" prefix d in
+    if not (Kernel.Os.exists os p) then ok (Kernel.Os.mkdir os p)
+  done
+
+(** Timed file creations: each op creates a fresh file, writes ~16 KB,
+    closes. *)
+let create_bench os ~nthreads ~duration ~dirwidth ~mean_size ~seed :
+    Bench_result.t =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let prefix = "/createset" in
+  if not (Kernel.Os.exists os prefix) then ok (Kernel.Os.mkdir os prefix);
+  let dirs_made = ref 0 in
+  let ensure_dir d =
+    (* directories are grown lazily as the fileset expands *)
+    while !dirs_made <= d do
+      ok (Kernel.Os.mkdir os (Printf.sprintf "%s/d%04d" prefix !dirs_made));
+      incr dirs_made
+    done
+  in
+  let next = ref 0 in
+  let rng = Sim.Rng.create seed in
+  let rngs = Array.init nthreads (fun _ -> Sim.Rng.split rng) in
+  let fileset_lock = Sim.Sync.Mutex.create ~name:"fileset" () in
+  let t0 = Kernel.Machine.now machine in
+  let deadline = Int64.add t0 duration in
+  let bytes = ref 0 in
+  let body i =
+    Sim.Sync.Mutex.with_lock fileset_lock (fun () ->
+        Kernel.Machine.cpu_work machine createfiles_overhead;
+        let id = !next in
+        next := id + 1;
+        let size =
+          max 4096
+            (int_of_float (Sim.Rng.exponential rngs.(i) ~mean:(float_of_int mean_size)))
+        in
+        let size = min size (16 * 16384) in
+        let dir = dir_of_file ~dirwidth id in
+        ensure_dir dir;
+        let path = Printf.sprintf "%s/d%04d/f%07d" prefix dir id in
+        let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat wronly)) in
+        ignore (ok (Kernel.Os.pwrite os fd ~pos:0 (Bytes.make size 'c')));
+        ok (Kernel.Os.close os fd);
+        bytes := !bytes + size)
+  in
+  let ops = run_threads machine ~nthreads ~deadline body in
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  {
+    Bench_result.label = Printf.sprintf "create-%dt" nthreads;
+    ops;
+    bytes = !bytes;
+    elapsed_ns = elapsed;
+  }
+
+(** Timed deletions over a pre-created fileset. *)
+let delete_bench os ~nthreads ~duration ~dirwidth ~precreate ~seed :
+    Bench_result.t =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let prefix = "/deleteset" in
+  ensure_dirs os ~prefix ~ndirs:((precreate / dirwidth) + 1);
+  ignore seed;
+  for id = 0 to precreate - 1 do
+    let path =
+      Printf.sprintf "%s/d%04d/f%07d" prefix (dir_of_file ~dirwidth id) id
+    in
+    let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat wronly)) in
+    ignore (ok (Kernel.Os.pwrite os fd ~pos:0 (Bytes.make 4096 'd')));
+    ok (Kernel.Os.close os fd)
+  done;
+  ok (Kernel.Os.sync os);
+  let next = ref 0 in
+  let t0 = Kernel.Machine.now machine in
+  let deadline = Int64.add t0 duration in
+  let stop = ref false in
+  let sleep_out () =
+    (* fileset exhausted: park until the deadline so the timed loop ends *)
+    let now = Kernel.Machine.now machine in
+    if Int64.compare now deadline < 0 then
+      Sim.Engine.sleep (Int64.add (Int64.sub deadline now) 1L)
+  in
+  let fileset_lock = Sim.Sync.Mutex.create ~name:"fileset" () in
+  let body _i =
+    if !stop then sleep_out ()
+    else
+      Sim.Sync.Mutex.with_lock fileset_lock (fun () ->
+          Kernel.Machine.cpu_work machine deletefiles_overhead;
+          let id = !next in
+          next := id + 1;
+          if id >= precreate then begin
+            stop := true;
+            sleep_out ()
+          end
+          else
+            let path =
+              Printf.sprintf "%s/d%04d/f%07d" prefix (dir_of_file ~dirwidth id) id
+            in
+            ok (Kernel.Os.unlink os path))
+  in
+  let ops = run_threads machine ~nthreads ~deadline body in
+  let ops = min ops precreate in
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  {
+    Bench_result.label = Printf.sprintf "delete-%dt" nthreads;
+    ops;
+    bytes = 0;
+    elapsed_ns = elapsed;
+  }

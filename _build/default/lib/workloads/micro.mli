@@ -1,0 +1,65 @@
+(** filebench-style microbenchmarks (§6.4/§6.5): read and write with
+    sequential/random patterns, several I/O sizes, and 1 or 32 threads;
+    createfiles and deletefiles.
+
+    Protocols follow the filebench personalities the paper ran: timed
+    loops over a pre-created fileset, counted in virtual time, with
+    filebench's fileset-entry serialisation and per-op bookkeeping
+    modelled explicitly (EXPERIMENTS.md documents the calibration). *)
+
+type pattern = Seq | Rnd
+
+val pattern_name : pattern -> string
+
+val run_threads :
+  Kernel.Machine.t -> nthreads:int -> deadline:int64 -> (int -> unit) -> int
+(** Spawn workers running the body until the virtual deadline; returns the
+    total completed iterations. Exposed for the macro personalities. *)
+
+val ensure_dirs : Kernel.Os.t -> prefix:string -> ndirs:int -> unit
+val dir_of_file : dirwidth:int -> int -> int
+
+val read_bench :
+  Kernel.Os.t ->
+  iosize:int ->
+  pattern:pattern ->
+  nthreads:int ->
+  duration:int64 ->
+  file_mb:int ->
+  seed:int ->
+  Bench_result.t
+(** Timed reads from one shared, pre-warmed file (Figures 2 and 3).
+    Sequential readers share a file offset; random readers pread at
+    uniform aligned offsets. *)
+
+val write_bench :
+  Kernel.Os.t ->
+  iosize:int ->
+  pattern:pattern ->
+  nthreads:int ->
+  duration:int64 ->
+  file_mb:int ->
+  seed:int ->
+  Bench_result.t
+(** Timed in-place rewrites of a preallocated file (Figure 4); the final
+    fsync is inside the measured window so deferred writeback is paid. *)
+
+val create_bench :
+  Kernel.Os.t ->
+  nthreads:int ->
+  duration:int64 ->
+  dirwidth:int ->
+  mean_size:int ->
+  seed:int ->
+  Bench_result.t
+(** filebench createfiles (Table 4): create, write ~[mean_size], close. *)
+
+val delete_bench :
+  Kernel.Os.t ->
+  nthreads:int ->
+  duration:int64 ->
+  dirwidth:int ->
+  precreate:int ->
+  seed:int ->
+  Bench_result.t
+(** filebench deletefiles (Table 5) over a pre-created fileset. *)

@@ -1,0 +1,1 @@
+lib/xv6fs/fs.ml: Array Bento Bytes Char Hashtbl Int64 Kernel Layout List Printf String Util

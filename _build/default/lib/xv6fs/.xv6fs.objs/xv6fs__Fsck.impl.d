@@ -1,0 +1,1 @@
+lib/xv6fs/fsck.ml: Array Bytes Char Device Fmt Hashtbl Layout List Option Printf Util

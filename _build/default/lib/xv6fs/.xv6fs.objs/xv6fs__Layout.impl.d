@@ -1,0 +1,1 @@
+lib/xv6fs/layout.ml: Array Bytes Int64 List Printf String Util

@@ -1,0 +1,1 @@
+lib/xv6fs/xv6fs_v2.ml: Bento Fs Hashtbl

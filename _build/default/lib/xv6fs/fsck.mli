@@ -1,0 +1,27 @@
+(** Offline consistency checker for the xv6 on-disk format (the e2fsck
+    analogue): superblock, inode table, block references vs bitmap,
+    directory graph with "." / ".." structure, link counts, reachability
+    from the root, and pending-log detection.
+
+    Used by the randomised crash-injection tests to prove that whatever a
+    power failure leaves behind, log recovery restores a consistent file
+    system. *)
+
+type report = {
+  errors : string list;  (** consistency violations *)
+  warnings : string list;  (** oddities that are not corruption *)
+  files : int;
+  directories : int;
+  used_blocks : int;
+  pending_log : int;  (** committed-but-uninstalled blocks in the log *)
+}
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val check : read_block:(int -> Bytes.t) -> nblocks:int -> unit -> report
+(** Check an arbitrary image exposed one block at a time. *)
+
+val check_device : ?stable:bool -> Device.Ssd.t -> report
+(** Check a device's current view, or with [~stable:true] only what would
+    survive a crash right now. *)

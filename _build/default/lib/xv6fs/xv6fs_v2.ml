@@ -1,0 +1,157 @@
+(** xv6fs version 2 — the upgrade target for the online-upgrade experiments
+    (§4.8).
+
+    Same on-disk format as v1, two in-memory improvements:
+    - a lookup memoisation table in front of the linear directory scan,
+      invalidated on any mutation of the directory;
+    - operation counting, transferred through upgrade state so a chain of
+      upgrades keeps a running total.
+
+    The module demonstrates what high-velocity deployment looks like under
+    Bento: v2 mounts against the same kernel services, restores v1's
+    transferred state (allocator rotors, open inodes), and serves the same
+    open files without an unmount. *)
+
+module Make (K : Bento.Bentoks.KSERVICES) = struct
+  module V1 = Fs.Make (K)
+  open Bento.Fs_api
+
+  type t = {
+    base : V1.t;
+    lookup_cache : (int * string, attr) Hashtbl.t;
+    mutable ops : int;
+    mutable ops_before_upgrade : int;
+  }
+
+  let name = "xv6fs"
+  let version = 2
+  let max_file_size = V1.max_file_size
+
+  let mkfs = V1.mkfs
+
+  let mount () =
+    match V1.mount () with
+    | Error _ as e -> e
+    | Ok base ->
+        Ok
+          {
+            base;
+            lookup_cache = Hashtbl.create 1024;
+            ops = 0;
+            ops_before_upgrade = 0;
+          }
+
+  let destroy t = V1.destroy t.base
+  let statfs t = V1.statfs t.base
+
+  let tick t = t.ops <- t.ops + 1
+
+  let invalidate_dir t dir =
+    Hashtbl.iter
+      (fun ((d, _) as key) _ -> if d = dir then Hashtbl.remove t.lookup_cache key)
+      (Hashtbl.copy t.lookup_cache)
+
+  let getattr t ~ino =
+    tick t;
+    V1.getattr t.base ~ino
+
+  let lookup t ~dir name =
+    tick t;
+    match Hashtbl.find_opt t.lookup_cache (dir, name) with
+    | Some a -> (
+        (* revalidate cheaply against the inode itself *)
+        match V1.getattr t.base ~ino:a.a_ino with
+        | Ok fresh -> Ok fresh
+        | Error _ ->
+            Hashtbl.remove t.lookup_cache (dir, name);
+            V1.lookup t.base ~dir name)
+    | None -> (
+        match V1.lookup t.base ~dir name with
+        | Ok a as r ->
+            Hashtbl.replace t.lookup_cache (dir, name) a;
+            r
+        | Error _ as e -> e)
+
+  let create t ~dir name =
+    tick t;
+    invalidate_dir t dir;
+    V1.create t.base ~dir name
+
+  let mkdir t ~dir name =
+    tick t;
+    invalidate_dir t dir;
+    V1.mkdir t.base ~dir name
+
+  let unlink t ~dir name =
+    tick t;
+    Hashtbl.remove t.lookup_cache (dir, name);
+    V1.unlink t.base ~dir name
+
+  let rmdir t ~dir name =
+    tick t;
+    Hashtbl.remove t.lookup_cache (dir, name);
+    V1.rmdir t.base ~dir name
+
+  let rename t ~olddir ~oldname ~newdir ~newname =
+    tick t;
+    invalidate_dir t olddir;
+    invalidate_dir t newdir;
+    V1.rename t.base ~olddir ~oldname ~newdir ~newname
+
+  let link t ~ino ~dir name =
+    tick t;
+    invalidate_dir t dir;
+    V1.link t.base ~ino ~dir name
+
+  let symlink t ~dir name ~target =
+    tick t;
+    invalidate_dir t dir;
+    V1.symlink t.base ~dir name ~target
+
+  let readlink t ~ino =
+    tick t;
+    V1.readlink t.base ~ino
+
+  let read t ~ino ~off ~len =
+    tick t;
+    V1.read t.base ~ino ~off ~len
+
+  let write t ~ino ~off data =
+    tick t;
+    V1.write t.base ~ino ~off data
+
+  let truncate t ~ino ~size =
+    tick t;
+    V1.truncate t.base ~ino ~size
+
+  let fsync t ~ino =
+    tick t;
+    V1.fsync t.base ~ino
+
+  let sync t =
+    tick t;
+    V1.sync t.base
+
+  let readdir t ~ino =
+    tick t;
+    V1.readdir t.base ~ino
+
+  let iopen t ~ino = V1.iopen t.base ~ino
+  let irelease t ~ino = V1.irelease t.base ~ino
+
+  let extract_state t =
+    let st = V1.extract_state t.base in
+    Bento.Upgrade_state.with_int
+      { st with Bento.Upgrade_state.version }
+      "total_ops"
+      (t.ops_before_upgrade + t.ops)
+
+  let restore_state t st =
+    V1.restore_state t.base st;
+    match Bento.Upgrade_state.int st "total_ops" with
+    | Some n -> t.ops_before_upgrade <- n
+    | None -> ()
+
+  (** v2-only introspection used by tests and the upgrade benchmark. *)
+  let total_ops t = t.ops_before_upgrade + t.ops
+end

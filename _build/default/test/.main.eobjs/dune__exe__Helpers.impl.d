@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bento Bytes Char Kernel Sim Xv6fs

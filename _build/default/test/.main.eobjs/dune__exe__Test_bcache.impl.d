@@ -1,0 +1,1 @@
+test/test_bcache.ml: Alcotest Bytes Device Helpers Int64 Kernel List Sim

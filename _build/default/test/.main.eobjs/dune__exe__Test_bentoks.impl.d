@@ -1,0 +1,1 @@
+test/test_bentoks.ml: Alcotest Bento Bytes Device Helpers Int64 Kernel List Printf

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Bytes Device Int64 Printf Sim

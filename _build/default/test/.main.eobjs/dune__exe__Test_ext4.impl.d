@@ -1,0 +1,1 @@
+test/test_ext4.ml: Alcotest Bytes Device Ext4sim Helpers Kernel List Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bento Bytes Char Device Helpers Kernel List Printf QCheck QCheck_alcotest Sim String Vfs_xv6 Xv6fs

@@ -1,0 +1,1 @@
+test/test_fuse.ml: Alcotest Bento Bento_user Bytes Fusesim Helpers Int64 Kernel Printf Sim

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Bytes Char Ext4sim Int64 List QCheck QCheck_alcotest String Util Xv6fs

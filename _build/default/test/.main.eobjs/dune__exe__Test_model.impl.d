@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Bento Bento_user Bytes Ext4sim Hashtbl Helpers Kernel List Option Printf QCheck QCheck_alcotest String Vfs_xv6

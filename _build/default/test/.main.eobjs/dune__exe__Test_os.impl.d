@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Bytes Helpers Kernel List String Xv6fs

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Bugstudy Bytes Device Float Helpers Kernel List Printf Sim

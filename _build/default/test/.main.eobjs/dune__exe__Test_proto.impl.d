@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Fusesim Kernel List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Int64 List Printexc Printf QCheck QCheck_alcotest Sim

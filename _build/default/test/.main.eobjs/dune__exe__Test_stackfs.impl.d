@@ -1,0 +1,1 @@
+test/test_stackfs.ml: Alcotest Bento Bento_user Bytes Helpers Kernel String Xv6fs

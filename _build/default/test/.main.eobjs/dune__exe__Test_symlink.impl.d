@@ -1,0 +1,1 @@
+test/test_symlink.ml: Alcotest Bento Bento_user Bytes Ext4sim Helpers Kernel Vfs_xv6

@@ -1,0 +1,1 @@
+test/test_upgrade.ml: Alcotest Bento Bytes Helpers Int64 Kernel List Printf Sim String Xv6fs

@@ -1,0 +1,1 @@
+test/test_uring.ml: Alcotest Bytes Helpers Int64 Kernel List Printf

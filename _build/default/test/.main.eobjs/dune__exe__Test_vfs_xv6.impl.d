@@ -1,0 +1,1 @@
+test/test_vfs_xv6.ml: Alcotest Bento Bytes Device Helpers Kernel List Printf Sim Vfs_xv6 Xv6fs

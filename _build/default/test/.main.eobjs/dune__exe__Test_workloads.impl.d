@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename Hashtbl Helpers Int64 Kernel List Printf Sim Workloads

@@ -1,0 +1,1 @@
+test/test_xv6fs.ml: Alcotest Bento Bytes Device Helpers Kernel List Printf Sim Xv6fs

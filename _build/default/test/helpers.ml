@@ -1,0 +1,43 @@
+(** Shared scaffolding for the test suites: build a machine, mkfs + mount a
+    file system, run test bodies inside a simulation fiber. *)
+
+let default_disk_blocks = 65536 (* 256 MB *)
+
+let ok = Kernel.Errno.ok_exn
+
+let xv6_maker : (module Bento.Fs_api.FS_MAKER) = (module Xv6fs.Fs.Make)
+
+(** Run [f] as a fiber on a fresh machine and drain the simulation. *)
+let in_sim ?(disk_blocks = default_disk_blocks) f =
+  let machine = Kernel.Machine.create ~disk_blocks ~block_size:4096 () in
+  let finished = ref false in
+  Kernel.Machine.spawn ~name:"test" machine (fun () ->
+      f machine;
+      finished := true);
+  Kernel.Machine.run machine;
+  Alcotest.(check bool) "test fiber ran to completion" true !finished
+
+(** mkfs + mount xv6fs over Bento, hand [f] the Os syscall layer. *)
+let with_xv6 ?disk_blocks ?(maker = xv6_maker) f =
+  in_sim ?disk_blocks (fun machine ->
+      ok (Bento.Bentofs.mkfs machine maker);
+      let vfs, handle =
+        ok (Bento.Bentofs.mount ~background:false machine maker)
+      in
+      let os = Kernel.Os.create vfs in
+      f machine os vfs handle;
+      Bento.Bentofs.unmount vfs handle)
+
+let bytes_of_string = Bytes.of_string
+
+(** Deterministic pseudo-random payload of [n] bytes. *)
+let payload ?(seed = 7) n =
+  let rng = Sim.Rng.create seed in
+  Bytes.init n (fun _ -> Char.chr (Sim.Rng.int rng 256))
+
+let check_errno = Alcotest.testable Kernel.Errno.pp ( = )
+
+let check_res name expected = function
+  | Ok _ -> Alcotest.failf "%s: expected error %s but succeeded" name
+              (Kernel.Errno.to_string expected)
+  | Error e -> Alcotest.check check_errno name expected e

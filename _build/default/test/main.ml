@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "bento"
+    [
+      ("sim", Test_sim.suite);
+      ("layout", Test_layout.suite);
+      ("device", Test_device.suite);
+      ("bcache", Test_bcache.suite);
+      ("bentoks", Test_bentoks.suite);
+      ("xv6fs", Test_xv6fs.suite);
+      ("os", Test_os.suite);
+      ("symlink", Test_symlink.suite);
+      ("vfs", Test_vfs.suite);
+      ("upgrade", Test_upgrade.suite);
+      ("stackfs", Test_stackfs.suite);
+      ("fsck", Test_fsck.suite);
+      ("workloads", Test_workloads.suite);
+      ("policy", Test_policy.suite);
+      ("uring", Test_uring.suite);
+      ("model", Test_model.suite);
+      ("vfs_xv6", Test_vfs_xv6.suite);
+      ("fuse", Test_fuse.suite);
+      ("proto", Test_proto.suite);
+      ("ext4", Test_ext4.suite);
+    ]

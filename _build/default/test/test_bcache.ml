@@ -1,0 +1,117 @@
+(** Unit tests of the kernel buffer cache: refcounting, LRU eviction,
+    pinning, and writeback-on-eviction. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let with_bc ?(capacity = 8) f =
+  in_sim (fun machine -> f machine (Kernel.Bcache.create ~capacity machine))
+
+let test_read_write_roundtrip () =
+  with_bc (fun _m bc ->
+      let b = Kernel.Bcache.getblk bc 5 in
+      Bytes.fill b.Kernel.Bcache.data 0 4096 'r';
+      Kernel.Bcache.bwrite bc b;
+      Kernel.Bcache.brelse bc b;
+      let b = Kernel.Bcache.bread bc 5 in
+      Alcotest.(check char) "content" 'r' (Bytes.get b.Kernel.Bcache.data 0);
+      Kernel.Bcache.brelse bc b;
+      Kernel.Bcache.check_invariants bc)
+
+let test_cache_hit_no_device_read () =
+  with_bc (fun machine bc ->
+      let dev_reads () =
+        Sim.Stats.Counter.get_int
+          (Sim.Stats.counter (Device.Ssd.stats (Kernel.Machine.disk machine)) "read_cmds")
+      in
+      let b = Kernel.Bcache.bread bc 3 in
+      Kernel.Bcache.brelse bc b;
+      let before = dev_reads () in
+      let b = Kernel.Bcache.bread bc 3 in
+      Kernel.Bcache.brelse bc b;
+      Alcotest.(check int) "second bread is a hit" before (dev_reads ()))
+
+let test_eviction_lru () =
+  with_bc ~capacity:4 (fun _m bc ->
+      (* fill, then overflow: the least recently released goes *)
+      for i = 0 to 3 do
+        let b = Kernel.Bcache.bread bc i in
+        Kernel.Bcache.brelse bc b
+      done;
+      (* touch 0 to make 1 the LRU *)
+      let b = Kernel.Bcache.bread bc 0 in
+      Kernel.Bcache.brelse bc b;
+      let b = Kernel.Bcache.bread bc 99 in
+      Kernel.Bcache.brelse bc b;
+      Alcotest.(check int) "capacity respected" 4 (Kernel.Bcache.cached_blocks bc);
+      Kernel.Bcache.check_invariants bc)
+
+let test_referenced_buffers_not_evicted () =
+  with_bc ~capacity:4 (fun _m bc ->
+      let held = List.init 4 (fun i -> Kernel.Bcache.bread bc i) in
+      (* all buffers referenced: the next miss must fail, not corrupt *)
+      (match Kernel.Bcache.bread bc 50 with
+      | exception Kernel.Bcache.No_buffers -> ()
+      | _ -> Alcotest.fail "expected No_buffers");
+      List.iter (fun b -> Kernel.Bcache.brelse bc b) held;
+      (* now there is room *)
+      let b = Kernel.Bcache.bread bc 50 in
+      Kernel.Bcache.brelse bc b)
+
+let test_dirty_eviction_writes_back () =
+  with_bc ~capacity:4 (fun machine bc ->
+      let b = Kernel.Bcache.getblk bc 7 in
+      Bytes.fill b.Kernel.Bcache.data 0 4096 'd';
+      Kernel.Bcache.mark_dirty b;
+      Kernel.Bcache.brelse bc b;
+      (* force eviction of block 7 *)
+      for i = 100 to 104 do
+        let b = Kernel.Bcache.bread bc i in
+        Kernel.Bcache.brelse bc b
+      done;
+      (* contents must have been written back, not lost *)
+      let b = Kernel.Bcache.bread bc 7 in
+      Alcotest.(check char) "written back on eviction" 'd'
+        (Bytes.get b.Kernel.Bcache.data 0);
+      Kernel.Bcache.brelse bc b;
+      ignore machine)
+
+let test_sleeplock_serialises_holders () =
+  with_bc (fun machine bc ->
+      let order = ref [] in
+      let done_ = Sim.Sync.Semaphore.create 0 in
+      for i = 0 to 2 do
+        Kernel.Machine.spawn machine (fun () ->
+            let b = Kernel.Bcache.bread bc 11 in
+            order := i :: !order;
+            Sim.Engine.sleep (Sim.Time.us 10);
+            Kernel.Bcache.brelse bc b;
+            Sim.Sync.Semaphore.release done_)
+      done;
+      for _ = 0 to 2 do
+        Sim.Sync.Semaphore.acquire done_
+      done;
+      Alcotest.(check int) "all three held it" 3 (List.length !order);
+      (* serialised: total time at least 3 x 10us *)
+      Alcotest.(check bool) "serialised" true
+        (Int64.compare (Kernel.Machine.now machine) (Sim.Time.us 30) >= 0))
+
+let test_brelse_unlocked_rejected () =
+  with_bc (fun _m bc ->
+      let b = Kernel.Bcache.bread bc 1 in
+      Kernel.Bcache.brelse bc b;
+      match Kernel.Bcache.brelse bc b with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "double brelse accepted")
+
+let suite =
+  [
+    tc "roundtrip" `Quick test_read_write_roundtrip;
+    tc "cache hit" `Quick test_cache_hit_no_device_read;
+    tc "lru eviction" `Quick test_eviction_lru;
+    tc "no eviction of referenced" `Quick test_referenced_buffers_not_evicted;
+    tc "dirty eviction writes back" `Quick test_dirty_eviction_writes_back;
+    tc "sleeplock serialises" `Quick test_sleeplock_serialises_holders;
+    tc "double brelse rejected" `Quick test_brelse_unlocked_rejected;
+  ]

@@ -1,0 +1,121 @@
+(** Tests of the BentoKS capability layer: the ownership/borrow contract of
+    §4.4-§4.7. In Rust the compiler rejects these misuses; here the runtime
+    checks catch them, and these tests are the proof they do. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let with_services f =
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create machine in
+      let services = Bento.Bentoks.kernel_services machine bc in
+      let module K = (val services) in
+      f machine (module K : Bento.Bentoks.KSERVICES))
+
+let test_buffer_roundtrip () =
+  with_services (fun _m (module K) ->
+      let b = K.getblk 10 in
+      Bytes.fill (K.Buffer.data b) 0 4096 'z';
+      K.bwrite b;
+      K.brelse b;
+      K.with_bread 10 (fun b' ->
+          Alcotest.(check char) "data" 'z' (Bytes.get (K.Buffer.data b') 0)))
+
+let test_use_after_release () =
+  with_services (fun _m (module K) ->
+      let b = K.bread 5 in
+      K.brelse b;
+      match K.Buffer.data b with
+      | _ -> Alcotest.fail "use-after-release not caught"
+      | exception Bento.Bentoks.Use_after_release _ -> ())
+
+let test_double_release () =
+  with_services (fun _m (module K) ->
+      let b = K.bread 6 in
+      K.brelse b;
+      match K.brelse b with
+      | () -> Alcotest.fail "double release not caught"
+      | exception Bento.Bentoks.Double_release _ -> ())
+
+let test_write_after_release () =
+  with_services (fun _m (module K) ->
+      let b = K.getblk 7 in
+      K.brelse b;
+      match K.bwrite b with
+      | () -> Alcotest.fail "bwrite after release not caught"
+      | exception Bento.Bentoks.Use_after_release _ -> ())
+
+let test_with_bread_releases_on_exception () =
+  with_services (fun _m (module K) ->
+      (match K.with_bread 8 (fun _ -> failwith "fs bug") with
+      | _ -> ()
+      | exception Failure _ -> ());
+      (* buffer must have been released: a new bread must not deadlock *)
+      K.with_bread 8 (fun _ -> ()))
+
+let test_pin_prevents_eviction () =
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create ~capacity:8 machine in
+      let services = Bento.Bentoks.kernel_services machine bc in
+      let module K = (val services) in
+      let b = K.getblk 1 in
+      Bytes.fill (K.Buffer.data b) 0 4096 'p';
+      K.pin b;
+      K.brelse b;
+      (* thrash the cache far past capacity *)
+      for i = 100 to 140 do
+        K.with_getblk i (fun b' -> Bytes.fill (K.Buffer.data b') 0 4096 'x')
+      done;
+      (* block 1 must still be cached with its contents (no disk write
+         happened, so eviction would have lost the data) *)
+      let b' = K.bread 1 in
+      Alcotest.(check char) "pinned data intact" 'p' (Bytes.get (K.Buffer.data b') 0);
+      K.unpin b';
+      K.brelse b')
+
+let test_bwrite_all_parallelism () =
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create machine in
+      let services = Bento.Bentoks.kernel_services machine bc in
+      let module K = (val services) in
+      (* contiguous run + scattered singles: all should complete *)
+      let bufs = List.init 24 (fun i -> K.getblk (if i < 16 then 100 + i else 1000 + (i * 7))) in
+      List.iter (fun b -> Bytes.fill (K.Buffer.data b) 0 4096 'q') bufs;
+      let t0 = Kernel.Machine.now machine in
+      K.bwrite_all bufs;
+      let dt = Int64.sub (Kernel.Machine.now machine) t0 in
+      List.iter K.brelse bufs;
+      (* 24 blocks: a serial per-block issue would cost 24 x write_base;
+         batching + channels must beat half of that *)
+      let serial = Int64.mul 24L (Device.Ssd.default_config.Device.Ssd.write_base) in
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel submit %Ld < serial %Ld" dt serial)
+        true
+        (Int64.compare (Int64.mul dt 2L) serial < 0))
+
+let test_capabilities_cannot_outlive_flush_order () =
+  (* flush gives durability to everything written before it *)
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create machine in
+      let services = Bento.Bentoks.kernel_services machine bc in
+      let module K = (val services) in
+      K.with_getblk 42 (fun b ->
+          Bytes.fill (K.Buffer.data b) 0 4096 'd';
+          K.bwrite b);
+      K.flush ();
+      Device.Ssd.crash (Kernel.Machine.disk machine);
+      let data = Device.Ssd.Offline.stable_read (Kernel.Machine.disk machine) 42 in
+      Alcotest.(check char) "durable after flush" 'd' (Bytes.get data 0))
+
+let suite =
+  [
+    tc "buffer roundtrip" `Quick test_buffer_roundtrip;
+    tc "use-after-release caught" `Quick test_use_after_release;
+    tc "double release caught" `Quick test_double_release;
+    tc "write-after-release caught" `Quick test_write_after_release;
+    tc "scoped release on exception" `Quick test_with_bread_releases_on_exception;
+    tc "pin prevents eviction" `Quick test_pin_prevents_eviction;
+    tc "bwrite_all parallel submit" `Quick test_bwrite_all_parallelism;
+    tc "flush ordering durability" `Quick test_capabilities_cannot_outlive_flush_order;
+  ]

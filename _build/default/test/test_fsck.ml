@@ -1,0 +1,172 @@
+(** fsck tests and randomised crash-injection: after any power failure, log
+    recovery must hand back a consistent file system with all fsynced data
+    intact. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let fsck_ok machine label =
+  let r = Xv6fs.Fsck.check_device (Kernel.Machine.disk machine) in
+  if not (Xv6fs.Fsck.ok r) then
+    Alcotest.failf "%s: fsck errors: %s" label
+      (String.concat " | " r.Xv6fs.Fsck.errors)
+
+let test_fresh_fs_is_clean () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let r = Xv6fs.Fsck.check_device (Kernel.Machine.disk machine) in
+      Alcotest.(check (list string)) "no errors" [] r.Xv6fs.Fsck.errors;
+      Alcotest.(check int) "no files yet" 0 r.Xv6fs.Fsck.files;
+      Alcotest.(check int) "root dir" 1 r.Xv6fs.Fsck.directories)
+
+let test_populated_fs_is_clean () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.mkdir os "/a");
+      ok (Kernel.Os.mkdir os "/a/b");
+      for i = 0 to 30 do
+        ok
+          (Kernel.Os.write_file os
+             (Printf.sprintf "/a/f%d" i)
+             (payload (4096 * (1 + (i mod 5)))))
+      done;
+      ok (Kernel.Os.link os "/a/f0" "/a/b/alias");
+      ok (Kernel.Os.unlink os "/a/f1");
+      ok (Kernel.Os.rename os "/a/f2" "/a/b/moved");
+      Bento.Bentofs.unmount vfs h;
+      let r = Xv6fs.Fsck.check_device (Kernel.Machine.disk machine) in
+      Alcotest.(check (list string)) "no errors" [] r.Xv6fs.Fsck.errors;
+      Alcotest.(check int) "files" 30 r.Xv6fs.Fsck.files;
+      Alcotest.(check int) "dirs" 3 r.Xv6fs.Fsck.directories)
+
+let test_fsck_detects_corruption () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.write_file os "/f" (payload 16384));
+      Bento.Bentofs.unmount vfs h;
+      (* corrupt: clear a bitmap bit that should be set *)
+      let dev = Kernel.Machine.disk machine in
+      let sb =
+        match Xv6fs.Layout.get_superblock (Device.Ssd.Offline.read dev 1) with
+        | Ok sb -> sb
+        | Error e -> Alcotest.fail e
+      in
+      let bm_block = sb.Xv6fs.Layout.bmapstart in
+      let bm = Device.Ssd.Offline.read dev bm_block in
+      (* root dir block bit: first data block *)
+      let bit = sb.Xv6fs.Layout.datastart mod (4096 * 8) in
+      let byte = Char.code (Bytes.get bm (bit / 8)) in
+      Bytes.set bm (bit / 8) (Char.chr (byte land lnot (1 lsl (bit mod 8))));
+      Device.Ssd.Offline.write dev bm_block bm;
+      let r = Xv6fs.Fsck.check_device dev in
+      Alcotest.(check bool) "corruption detected" false (Xv6fs.Fsck.ok r))
+
+(* Randomised crash injection: apply random ops, crash with partial write
+   survival, remount (log recovery), verify fsck-clean + fsynced data. *)
+let crash_trial seed =
+  let result = ref true in
+  in_sim ~disk_blocks:32768 (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      let rng = Sim.Rng.create seed in
+      let synced : (string * Bytes.t) list ref = ref [] in
+      let live_files = ref [] in
+      for step = 0 to 39 do
+        let p = Sim.Rng.int rng 100 in
+        if p < 40 then begin
+          (* create + write; sometimes fsync and remember the contents *)
+          let path = Printf.sprintf "/f%d" step in
+          let data = payload ~seed:(seed + step) (512 + Sim.Rng.int rng 20000) in
+          let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat wronly)) in
+          ignore (ok (Kernel.Os.pwrite os fd ~pos:0 data));
+          if Sim.Rng.bool rng then begin
+            ok (Kernel.Os.fsync os fd);
+            synced := (path, data) :: List.remove_assoc path !synced
+          end;
+          ok (Kernel.Os.close os fd);
+          live_files := path :: !live_files
+        end
+        else if p < 55 then begin
+          match !live_files with
+          | f :: rest ->
+              (match Kernel.Os.unlink os f with Ok () | Error _ -> ());
+              synced := List.remove_assoc f !synced;
+              live_files := rest
+          | [] -> ()
+        end
+        else if p < 70 then
+          ok (Kernel.Os.mkdir os (Printf.sprintf "/d%d" step))
+        else if p < 80 then ok (Kernel.Os.sync os)
+        else begin
+          match !live_files with
+          | f :: _ ->
+              let fd = ok (Kernel.Os.open_ os f Kernel.Os.(appendf wronly)) in
+              ignore (ok (Kernel.Os.write os fd (payload ~seed:step 2048)));
+              ok (Kernel.Os.close os fd);
+              (* content changed after its fsync: no longer an oracle *)
+              synced := List.remove_assoc f !synced
+          | [] -> ()
+        end
+      done;
+      (* power failure with random partial survival of volatile writes *)
+      Device.Ssd.crash ~survive:(Sim.Rng.float rng) ~rng (Kernel.Machine.disk machine)
+      [@warning "-9"];
+      (* remount: log recovery runs *)
+      let vfs2, h2 = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os2 = Kernel.Os.create vfs2 in
+      (* every fsynced file must be intact *)
+      List.iter
+        (fun (path, data) ->
+          match Kernel.Os.read_file os2 path with
+          | Ok got ->
+              if not (Bytes.equal got data) then begin
+                Printf.eprintf "crash_trial %d: %s content mismatch\n" seed path;
+                result := false
+              end
+          | Error e ->
+              Printf.eprintf "crash_trial %d: %s lost (%s)\n" seed path
+                (Kernel.Errno.to_string e);
+              result := false)
+        !synced;
+      Bento.Bentofs.unmount vfs2 h2;
+      (* the recovered, cleanly unmounted image must be consistent *)
+      let r = Xv6fs.Fsck.check_device (Kernel.Machine.disk machine) in
+      if not (Xv6fs.Fsck.ok r) then begin
+        Printf.eprintf "crash_trial %d: fsck: %s\n" seed
+          (String.concat " | " r.Xv6fs.Fsck.errors);
+        result := false
+      end;
+      ignore (vfs, h));
+  !result
+
+let prop_crash_recovery =
+  QCheck.Test.make ~count:25 ~name:"random crash: fsynced data survives, fs consistent"
+    QCheck.(int_bound 10_000)
+    (fun seed -> crash_trial seed)
+
+let test_vfs_xv6_image_checks_clean () =
+  in_sim (fun machine ->
+      ok (Vfs_xv6.mkfs machine);
+      let vfs = ok (Vfs_xv6.mount ~background:false machine) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.mkdir os "/x");
+      for i = 0 to 9 do
+        ok (Kernel.Os.write_file os (Printf.sprintf "/x/%d" i) (payload 8192))
+      done;
+      Vfs_xv6.unmount vfs;
+      fsck_ok machine "vfs_xv6 image")
+
+let suite =
+  [
+    tc "fresh fs clean" `Quick test_fresh_fs_is_clean;
+    tc "populated fs clean" `Quick test_populated_fs_is_clean;
+    tc "detects corruption" `Quick test_fsck_detects_corruption;
+    tc "vfs_xv6 image clean" `Quick test_vfs_xv6_image_checks_clean;
+    QCheck_alcotest.to_alcotest prop_crash_recovery;
+  ]

@@ -1,0 +1,85 @@
+(** Behavioural tests of the log commit policy the benchmarks rely on
+    (documented in DESIGN.md): metadata operations commit (and flush)
+    eagerly; buffered data writes do not commit until fsync, sync, or log
+    pressure. Also checks the bug-study aggregates against the paper's
+    prose. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let flushes machine =
+  Sim.Stats.Counter.get_int
+    (Sim.Stats.counter (Device.Ssd.stats (Kernel.Machine.disk machine)) "flushes")
+
+let test_metadata_commits_eagerly () =
+  with_xv6 (fun machine os _ _ ->
+      let f0 = flushes machine in
+      ok (Kernel.Os.mkdir os "/meta");
+      Alcotest.(check bool) "mkdir flushed" true (flushes machine > f0);
+      let f1 = flushes machine in
+      let fd = ok (Kernel.Os.open_ os "/meta/f" Kernel.Os.(creat wronly)) in
+      Alcotest.(check bool) "create flushed" true (flushes machine > f1);
+      ok (Kernel.Os.close os fd))
+
+let test_buffered_writes_commit_lazily () =
+  with_xv6 (fun machine os _ _ ->
+      let fd = ok (Kernel.Os.open_ os "/data" Kernel.Os.(creat wronly)) in
+      let f0 = flushes machine in
+      (* buffered writes within the dirty limit: page cache only *)
+      for i = 0 to 15 do
+        ignore (ok (Kernel.Os.pwrite os fd ~pos:(i * 4096) (payload 4096)))
+      done;
+      Alcotest.(check int) "no flush from buffered writes" f0 (flushes machine);
+      (* fsync forces the commit *)
+      ok (Kernel.Os.fsync os fd);
+      Alcotest.(check bool) "fsync flushes" true (flushes machine > f0);
+      ok (Kernel.Os.close os fd))
+
+let test_log_pressure_forces_commit () =
+  with_xv6 (fun machine os _ _ ->
+      let fd = ok (Kernel.Os.open_ os "/big" Kernel.Os.(creat wronly)) in
+      let f0 = flushes machine in
+      (* far beyond the log capacity (127 blocks): writeback must cycle
+         the log through pressure commits without any fsync *)
+      let _ = ok (Kernel.Os.pwrite os fd ~pos:0 (payload (4096 * 4096))) in
+      ok (Kernel.Os.close os fd);
+      (* close writes back; the data volume alone forces commits *)
+      Alcotest.(check bool) "pressure commits happened" true
+        (flushes machine > f0);
+      ok (Kernel.Os.sync os);
+      Alcotest.(check bool) "readback intact" true
+        (Bytes.equal (payload (4096 * 4096)) (ok (Kernel.Os.read_file os "/big"))))
+
+(* The §2.1 prose claims must fall out of the Table 1 dataset. *)
+let test_bugstudy_claims () =
+  let c = Bugstudy.Study.claims () in
+  Alcotest.(check int) "74 low-level bugs" 74 c.Bugstudy.Study.total;
+  let near name expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.1f ~ %.0f" name actual expected)
+      true
+      (Float.abs (actual -. expected) < 1.0)
+  in
+  near "memory 68%" 68. c.Bugstudy.Study.memory_pct;
+  near "leaks 50% of memory" 50. c.Bugstudy.Study.leak_share_of_memory_pct;
+  near "rust-preventable 93%" 93. c.Bugstudy.Study.rust_preventable_pct;
+  near "oops 26%" 26. c.Bugstudy.Study.oops_pct;
+  near "leak effect 34%" 34. c.Bugstudy.Study.leak_effect_pct
+
+let test_errno_codes_roundtrip () =
+  List.iter
+    (fun (e, _) ->
+      match Kernel.Errno.of_code (Kernel.Errno.to_code e) with
+      | Some e' when e' = e -> ()
+      | _ -> Alcotest.failf "errno %s code roundtrip" (Kernel.Errno.to_string e))
+    Kernel.Errno.all
+
+let suite =
+  [
+    tc "metadata commits eagerly" `Quick test_metadata_commits_eagerly;
+    tc "buffered writes commit lazily" `Quick test_buffered_writes_commit_lazily;
+    tc "log pressure forces commits" `Quick test_log_pressure_forces_commit;
+    tc "bug study claims" `Quick test_bugstudy_claims;
+    tc "errno wire codes" `Quick test_errno_codes_roundtrip;
+  ]

@@ -1,0 +1,229 @@
+(** Tests of the discrete-event engine and synchronisation primitives. *)
+
+let tc = Alcotest.test_case
+
+let test_virtual_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.spawn ~name:"a" e (fun () ->
+         Sim.Engine.sleep 100L;
+         log := ("a", Sim.Engine.now e) :: !log));
+  ignore
+    (Sim.Engine.spawn ~name:"b" e (fun () ->
+         Sim.Engine.sleep 50L;
+         log := ("b", Sim.Engine.now e) :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair string int64)))
+    "events in time order"
+    [ ("a", 100L); ("b", 50L) ]
+    !log
+
+let test_sleep_zero_is_yield () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         order := 1 :: !order;
+         Sim.Engine.yield ();
+         order := 3 :: !order));
+  ignore (Sim.Engine.spawn e (fun () -> order := 2 :: !order));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "yield interleaves" [ 3; 2; 1 ] !order
+
+let test_determinism () =
+  let run () =
+    let e = Sim.Engine.create () in
+    let rng = Sim.Rng.create 11 in
+    let trace = Buffer.create 64 in
+    for i = 0 to 9 do
+      ignore
+        (Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep (Int64.of_int (Sim.Rng.int rng 1000));
+             Buffer.add_string trace (Printf.sprintf "%d@%Ld;" i (Sim.Engine.now e))))
+    done;
+    Sim.Engine.run e;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical traces" (run ()) (run ())
+
+let test_fiber_failure_propagates () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn ~name:"boom" e (fun () -> failwith "boom"));
+  match Sim.Engine.run e with
+  | () -> Alcotest.fail "expected Fiber_failure"
+  | exception Sim.Engine.Fiber_failure ("boom", Failure _) -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+
+let test_deadlock_detected () =
+  let e = Sim.Engine.create () in
+  let m = Sim.Sync.Mutex.create () in
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         Sim.Sync.Mutex.lock m;
+         Sim.Sync.Mutex.lock m (* self-deadlock *)));
+  match Sim.Engine.run e with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Engine.Deadlock _ -> ()
+
+let test_mutex_mutual_exclusion () =
+  let e = Sim.Engine.create () in
+  let m = Sim.Sync.Mutex.create () in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sim.Engine.spawn e (fun () ->
+           Sim.Sync.Mutex.with_lock m (fun () ->
+               incr inside;
+               max_inside := max !max_inside !inside;
+               Sim.Engine.sleep 10L;
+               decr inside)))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "never two inside" 1 !max_inside;
+  Alcotest.(check int) "contended count" 9 (Sim.Sync.Mutex.contended m)
+
+let test_rwlock_readers_parallel_writers_exclusive () =
+  let e = Sim.Engine.create () in
+  let rw = Sim.Sync.Rwlock.create () in
+  let readers = ref 0 in
+  let max_readers = ref 0 in
+  let writer_active = ref false in
+  let violations = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Sim.Engine.spawn e (fun () ->
+           Sim.Sync.Rwlock.with_read rw (fun () ->
+               if !writer_active then incr violations;
+               incr readers;
+               max_readers := max !max_readers !readers;
+               Sim.Engine.sleep 20L;
+               decr readers)))
+  done;
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         Sim.Sync.Rwlock.with_write rw (fun () ->
+             writer_active := true;
+             if !readers > 0 then incr violations;
+             Sim.Engine.sleep 20L;
+             writer_active := false)));
+  Sim.Engine.run e;
+  Alcotest.(check int) "no lock violations" 0 !violations;
+  Alcotest.(check bool) "readers overlapped" true (!max_readers > 1)
+
+let test_semaphore_bounds () =
+  let e = Sim.Engine.create () in
+  let sem = Sim.Sync.Semaphore.create 3 in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sim.Engine.spawn e (fun () ->
+           Sim.Sync.Semaphore.acquire sem;
+           incr inside;
+           max_inside := max !max_inside !inside;
+           Sim.Engine.sleep 10L;
+           decr inside;
+           Sim.Sync.Semaphore.release sem))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "at most 3 inside" true (!max_inside <= 3)
+
+let test_resource_queueing () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create 2 in
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         for _ = 1 to 3 do
+           ()
+         done));
+  for _ = 1 to 4 do
+    ignore (Sim.Engine.spawn e (fun () -> Sim.Resource.use r 100L))
+  done;
+  Sim.Engine.run e;
+  (* 4 jobs x 100ns on 2 servers: finishes at t=200 *)
+  Alcotest.(check int64) "makespan" 200L (Sim.Engine.now e);
+  Alcotest.(check int64) "busy time" 400L (Sim.Resource.busy_ns r)
+
+let test_channel_fifo () =
+  let e = Sim.Engine.create () in
+  let ch = Sim.Sync.Channel.create () in
+  let got = ref [] in
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         for i = 1 to 5 do
+           Sim.Sync.Channel.send ch i
+         done;
+         Sim.Sync.Channel.close ch));
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         try
+           while true do
+             got := Sim.Sync.Channel.recv ch :: !got
+           done
+         with Sim.Sync.Channel.Closed -> ()));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo order" [ 5; 4; 3; 2; 1 ] !got
+
+let test_ivar () =
+  let e = Sim.Engine.create () in
+  let iv = Sim.Sync.Ivar.create () in
+  let got = ref 0 in
+  ignore (Sim.Engine.spawn e (fun () -> got := Sim.Sync.Ivar.read iv));
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         Sim.Engine.sleep 500L;
+         Sim.Sync.Ivar.fill iv 42));
+  Sim.Engine.run e;
+  Alcotest.(check int) "ivar value" 42 !got;
+  Alcotest.(check int64) "reader woke at fill time" 500L (Sim.Engine.now e)
+
+let test_run_until () =
+  let e = Sim.Engine.create () in
+  let ticks = ref 0 in
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         for _ = 1 to 100 do
+           Sim.Engine.sleep 10L;
+           incr ticks
+         done));
+  Sim.Engine.run_until e 250L;
+  Alcotest.(check int) "partial progress" 25 !ticks;
+  Sim.Engine.run e;
+  Alcotest.(check int) "completes later" 100 !ticks
+
+(* Property: the heap pops in nondecreasing (time, seq) order. *)
+let prop_heap_ordering =
+  QCheck.Test.make ~count:200 ~name:"heap pops in order"
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Sim.Heap.create () in
+      List.iteri
+        (fun i t -> Sim.Heap.push h ~time:(Int64.of_int t) ~seq:i ())
+        times;
+      let rec drain last ok =
+        match Sim.Heap.pop h with
+        | None -> ok
+        | Some e ->
+            let t = e.Sim.Heap.time in
+            drain t (ok && Int64.compare last t <= 0)
+      in
+      drain Int64.min_int true)
+
+let suite =
+  [
+    tc "virtual time ordering" `Quick test_virtual_time;
+    tc "yield" `Quick test_sleep_zero_is_yield;
+    tc "determinism" `Quick test_determinism;
+    tc "fiber failure propagates" `Quick test_fiber_failure_propagates;
+    tc "deadlock detection" `Quick test_deadlock_detected;
+    tc "mutex exclusion" `Quick test_mutex_mutual_exclusion;
+    tc "rwlock semantics" `Quick test_rwlock_readers_parallel_writers_exclusive;
+    tc "semaphore bounds" `Quick test_semaphore_bounds;
+    tc "resource queueing" `Quick test_resource_queueing;
+    tc "channel fifo + close" `Quick test_channel_fifo;
+    tc "ivar" `Quick test_ivar;
+    tc "run_until" `Quick test_run_until;
+    QCheck_alcotest.to_alcotest prop_heap_ordering;
+  ]

@@ -1,0 +1,122 @@
+(** Tests of composable file systems (§3.4 / challenge 6): layers compose
+    by functor application over the file-operations API, mount like any
+    Bento fs, and carry their state through online upgrades. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+module Key = struct
+  let key = "bento-secret"
+end
+
+module Xor_xv6 = Bento.Stackfs.Xor (Key) (Xv6fs.Fs.Make)
+
+let xor_maker : (module Bento.Fs_api.FS_MAKER) = (module Xor_xv6)
+
+let test_xor_roundtrip () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xor_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xor_maker) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.mkdir os "/enc");
+      let secret = "attack at dawn, via the file-operations API" in
+      ok (Kernel.Os.write_file os "/enc/msg" (bytes_of_string secret));
+      ok (Kernel.Os.sync os);
+      Alcotest.(check string) "decrypts through the layer" secret
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/enc/msg")));
+      Bento.Bentofs.unmount vfs h)
+
+let test_xor_ciphertext_on_disk () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xor_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xor_maker) in
+      let os = Kernel.Os.create vfs in
+      let secret = String.make 64 'S' in
+      ok (Kernel.Os.write_file os "/f" (bytes_of_string secret));
+      Bento.Bentofs.unmount vfs h;
+      (* mount WITHOUT the layer: the bytes on disk must not be plaintext *)
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      let raw = ok (Kernel.Os.read_file os "/f") in
+      Alcotest.(check int) "same length" 64 (Bytes.length raw);
+      Alcotest.(check bool) "not plaintext on disk" false
+        (Bytes.to_string raw = secret);
+      Bento.Bentofs.unmount vfs h;
+      (* and back with the layer: plaintext again *)
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xor_maker) in
+      let os = Kernel.Os.create vfs in
+      Alcotest.(check string) "layer restores plaintext" secret
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/f")));
+      Bento.Bentofs.unmount vfs h)
+
+let test_layers_compose () =
+  (* provenance over xor over xv6: three deep, still a normal mount *)
+  let module Stack = Bento.Stackfs.Provenance (Xor_xv6) in
+  let maker : (module Bento.Fs_api.FS_MAKER) = (module Stack) in
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine maker) in
+      let os = Kernel.Os.create vfs in
+      Alcotest.(check string) "layer names stack" "prov+xor+xv6fs"
+        (Bento.Bentofs.current_name h);
+      ok (Kernel.Os.write_file os "/deep" (bytes_of_string "works"));
+      Alcotest.(check string) "roundtrip through 3 layers" "works"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/deep")));
+      Bento.Bentofs.unmount vfs h)
+
+let test_provenance_tracks_lineage () =
+  (* use the functor directly so we can query lineage *)
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create machine in
+      let services = Bento.Bentoks.kernel_services machine bc in
+      let module K = (val services) in
+      let module P = Bento.Stackfs.Provenance (Xv6fs.Fs.Make) (K) in
+      ok (P.mkfs ());
+      let fs = ok (P.mount ()) in
+      (* input file *)
+      let input = ok (P.create fs ~dir:1 "input.csv") in
+      let _ =
+        ok (P.write fs ~ino:input.Bento.Fs_api.a_ino ~off:0 (bytes_of_string "1,2,3"))
+      in
+      (* open the input (a reader holds it), then derive an output *)
+      ok (P.iopen fs ~ino:input.Bento.Fs_api.a_ino);
+      let output = ok (P.create fs ~dir:1 "output.dat") in
+      let _ =
+        ok (P.write fs ~ino:output.Bento.Fs_api.a_ino ~off:0 (bytes_of_string "6"))
+      in
+      P.irelease fs ~ino:input.Bento.Fs_api.a_ino;
+      Alcotest.(check (list int))
+        "output derived from input"
+        [ input.Bento.Fs_api.a_ino ]
+        (P.derived_from fs ~ino:output.Bento.Fs_api.a_ino);
+      (* lineage survives the §4.8 state transfer *)
+      let st = P.extract_state fs in
+      let fs2 = ok (P.mount ()) in
+      P.restore_state fs2 st;
+      Alcotest.(check (list int))
+        "lineage transferred across upgrade"
+        [ input.Bento.Fs_api.a_ino ]
+        (P.derived_from fs2 ~ino:output.Bento.Fs_api.a_ino);
+      P.destroy fs2)
+
+let test_stack_runs_under_fuse_too () =
+  (* the composed fs is still a functor over services: it mounts at user
+     level unchanged *)
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xor_maker);
+      let vfs, h = ok (Bento_user.mount ~background:false machine xor_maker) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.write_file os "/u" (bytes_of_string "stacked+fused"));
+      Alcotest.(check string) "roundtrip" "stacked+fused"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/u")));
+      Bento_user.unmount vfs h)
+
+let suite =
+  [
+    tc "xor layer roundtrip" `Quick test_xor_roundtrip;
+    tc "ciphertext on disk" `Quick test_xor_ciphertext_on_disk;
+    tc "three layers compose" `Quick test_layers_compose;
+    tc "provenance lineage" `Quick test_provenance_tracks_lineage;
+    tc "stack under FUSE" `Quick test_stack_runs_under_fuse_too;
+  ]

@@ -1,0 +1,161 @@
+(** Online-upgrade tests (§4.8): swapping xv6fs v1 for v2 under live
+    applications, preserving open files and transferred state. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let v2_maker : (module Bento.Fs_api.FS_MAKER) = (module Xv6fs.Xv6fs_v2.Make)
+
+let test_basic_upgrade () =
+  with_xv6 (fun _m os _vfs h ->
+      ok (Kernel.Os.write_file os "/pre" (bytes_of_string "before upgrade"));
+      Alcotest.(check int) "v1 mounted" 1 (Bento.Bentofs.current_version h);
+      let report = Bento.Upgrade.upgrade h v2_maker in
+      Alcotest.(check int) "v2 running" 2 (Bento.Bentofs.current_version h);
+      Alcotest.(check int) "versions" 1 report.Bento.Upgrade.from_version;
+      Alcotest.(check int) "to" 2 report.Bento.Upgrade.to_version;
+      (* data written before the upgrade is still there, no remount *)
+      Alcotest.(check string) "pre-upgrade data" "before upgrade"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/pre")));
+      (* and the new version works *)
+      ok (Kernel.Os.write_file os "/post" (bytes_of_string "after"));
+      Alcotest.(check string) "post-upgrade data" "after"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/post"))))
+
+let test_open_files_survive () =
+  with_xv6 (fun _m os _vfs h ->
+      let fd = ok (Kernel.Os.open_ os "/live" Kernel.Os.(creat rdwr)) in
+      let _ = ok (Kernel.Os.write os fd (bytes_of_string "half")) in
+      let report = Bento.Upgrade.upgrade h v2_maker in
+      Alcotest.(check bool) "open inode transferred" true
+        (report.Bento.Upgrade.transferred_open_inodes >= 1);
+      (* keep using the same fd across the upgrade *)
+      let _ = ok (Kernel.Os.write os fd (bytes_of_string "+half")) in
+      ok (Kernel.Os.fsync os fd);
+      ok (Kernel.Os.close os fd);
+      Alcotest.(check string) "writes from both sides" "half+half"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/live"))))
+
+let test_upgrade_under_load () =
+  with_xv6 (fun machine os _vfs h ->
+      let stop = ref false in
+      let failures = ref 0 in
+      let writes = ref 0 in
+      let done_ = Sim.Sync.Semaphore.create 0 in
+      for w = 0 to 3 do
+        Kernel.Machine.spawn machine (fun () ->
+            let i = ref 0 in
+            while not !stop do
+              incr i;
+              (match
+                 Kernel.Os.write_file os
+                   (Printf.sprintf "/w%d-%d" w (!i mod 50))
+                   (bytes_of_string "load")
+               with
+              | Ok () -> incr writes
+              | Error _ -> incr failures);
+              Sim.Engine.sleep (Sim.Time.us 200)
+            done;
+            Sim.Sync.Semaphore.release done_)
+      done;
+      Sim.Engine.sleep (Sim.Time.ms 20);
+      let report = Bento.Upgrade.upgrade h v2_maker in
+      Sim.Engine.sleep (Sim.Time.ms 20);
+      stop := true;
+      for _ = 0 to 3 do
+        Sim.Sync.Semaphore.acquire done_
+      done;
+      Alcotest.(check int) "no failed operations across upgrade" 0 !failures;
+      Alcotest.(check bool) "work happened" true (!writes > 50);
+      Alcotest.(check bool) "pause is small" true
+        (Int64.compare report.Bento.Upgrade.pause_ns (Sim.Time.ms 50) < 0))
+
+let test_allocator_state_transferred () =
+  with_xv6 (fun _m os _vfs h ->
+      (* push the allocator rotor forward *)
+      for i = 0 to 49 do
+        ok (Kernel.Os.write_file os (Printf.sprintf "/a%d" i) (payload 8192))
+      done;
+      let report = Bento.Upgrade.upgrade h v2_maker in
+      Alcotest.(check bool) "rotors transferred" true
+        (report.Bento.Upgrade.transferred_ints >= 4);
+      (* allocation still works and does not corrupt: new + old data *)
+      for i = 0 to 49 do
+        ok (Kernel.Os.write_file os (Printf.sprintf "/b%d" i) (payload 8192))
+      done;
+      for i = 0 to 49 do
+        Alcotest.(check bool)
+          (Printf.sprintf "old a%d intact" i)
+          true
+          (Bytes.equal (payload 8192)
+             (ok (Kernel.Os.read_file os (Printf.sprintf "/a%d" i))))
+      done)
+
+let test_chained_upgrades_preserve_counters () =
+  with_xv6 (fun _m os _vfs h ->
+      ok (Kernel.Os.write_file os "/x" (bytes_of_string "1"));
+      let _ = Bento.Upgrade.upgrade h v2_maker in
+      ok (Kernel.Os.write_file os "/y" (bytes_of_string "2"));
+      (* v2 -> v2: total_ops must carry over through extract/restore *)
+      let _ = Bento.Upgrade.upgrade h v2_maker in
+      ok (Kernel.Os.write_file os "/z" (bytes_of_string "3"));
+      Alcotest.(check string) "all three files" "123"
+        (String.concat ""
+           (List.map
+              (fun p -> Bytes.to_string (ok (Kernel.Os.read_file os p)))
+              [ "/x"; "/y"; "/z" ])))
+
+(* the v2 lookup cache must never serve stale entries *)
+let test_v2_lookup_cache_invalidation () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine v2_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine v2_maker) in
+      let os = Kernel.Os.create vfs in
+      Alcotest.(check int) "v2 mounted" 2 (Bento.Bentofs.current_version h);
+      ok (Kernel.Os.write_file os "/a" (bytes_of_string "one"));
+      Alcotest.(check string) "warm" "one"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/a")));
+      (* rename over a cached name *)
+      ok (Kernel.Os.write_file os "/b" (bytes_of_string "two"));
+      ok (Kernel.Os.rename os "/b" "/a");
+      Alcotest.(check string) "cache invalidated on rename" "two"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/a")));
+      ok (Kernel.Os.unlink os "/a");
+      check_res "cache invalidated on unlink" Kernel.Errno.ENOENT
+        (Kernel.Os.stat os "/a");
+      (* recreate with same name: new inode must be found *)
+      ok (Kernel.Os.write_file os "/a" (bytes_of_string "three"));
+      Alcotest.(check string) "recreate" "three"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/a")));
+      Bento.Bentofs.unmount vfs h)
+
+let test_registry () =
+  let reg = Bento.Registry.create () in
+  Bento.Registry.register reg "xv6fs" xv6_maker;
+  Bento.Registry.register reg "xv6fs_v2" v2_maker;
+  Alcotest.(check (list string)) "registered" [ "xv6fs"; "xv6fs_v2" ]
+    (Bento.Registry.registered reg);
+  (match Bento.Registry.register reg "xv6fs" xv6_maker with
+  | () -> Alcotest.fail "duplicate registration accepted"
+  | exception Bento.Registry.Already_registered _ -> ());
+  in_sim (fun machine ->
+      ok (Bento.Registry.mkfs reg "xv6fs" machine);
+      let vfs, h = ok (Bento.Registry.mount ~background:false reg "xv6fs" machine) in
+      (* rmmod while mounted must fail *)
+      (match Bento.Registry.unregister reg "xv6fs" with
+      | () -> Alcotest.fail "rmmod while mounted accepted"
+      | exception Bento.Registry.Busy _ -> ());
+      Bento.Registry.unmount reg "xv6fs" vfs h;
+      Bento.Registry.unregister reg "xv6fs")
+
+let suite =
+  [
+    tc "basic upgrade" `Quick test_basic_upgrade;
+    tc "open files survive" `Quick test_open_files_survive;
+    tc "upgrade under load" `Quick test_upgrade_under_load;
+    tc "allocator state transferred" `Quick test_allocator_state_transferred;
+    tc "chained upgrades" `Quick test_chained_upgrades_preserve_counters;
+    tc "v2 lookup cache invalidation" `Quick test_v2_lookup_cache_invalidation;
+    tc "module registry insmod/rmmod" `Quick test_registry;
+  ]

@@ -1,0 +1,100 @@
+(** Tests of the io_uring-style async I/O interface (§8.1). *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let test_batch_roundtrip () =
+  with_xv6 (fun _m os _ _ ->
+      let ring = Kernel.Uring.create os in
+      let fd = ok (Kernel.Os.open_ os "/u" Kernel.Os.(creat rdwr)) in
+      (* batch of writes at distinct offsets *)
+      let writes =
+        List.init 8 (fun i ->
+            (i, Kernel.Uring.Write { fd; pos = i * 4096; data = payload ~seed:i 4096 }))
+      in
+      let cs = Kernel.Uring.submit_and_wait ring writes in
+      Alcotest.(check int) "all writes completed" 8 (List.length cs);
+      List.iter
+        (fun c ->
+          match c.Kernel.Uring.result with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "write %d: %s" c.Kernel.Uring.user_data
+                         (Kernel.Errno.to_string e))
+        cs;
+      (* batch of reads; user_data correlates results to offsets *)
+      let reads =
+        List.init 8 (fun i -> (i, Kernel.Uring.Read { fd; pos = i * 4096; len = 4096 }))
+      in
+      let cs = Kernel.Uring.submit_and_wait ring reads in
+      Alcotest.(check int) "all reads completed" 8 (List.length cs);
+      List.iter
+        (fun c ->
+          match c.Kernel.Uring.result with
+          | Ok data ->
+              Alcotest.(check bool)
+                (Printf.sprintf "read %d content" c.Kernel.Uring.user_data)
+                true
+                (Bytes.equal data (payload ~seed:c.Kernel.Uring.user_data 4096))
+          | Error e -> Alcotest.failf "read: %s" (Kernel.Errno.to_string e))
+        cs;
+      ok (Kernel.Os.close os fd))
+
+let test_errors_reported_per_op () =
+  with_xv6 (fun _m os _ _ ->
+      let ring = Kernel.Uring.create os in
+      let fd = ok (Kernel.Os.open_ os "/e" Kernel.Os.(creat wronly)) in
+      let cs =
+        Kernel.Uring.submit_and_wait ring
+          [
+            (1, Kernel.Uring.Write { fd; pos = 0; data = payload 4096 });
+            (2, Kernel.Uring.Read { fd; pos = 0; len = 4096 }) (* wronly! *);
+            (3, Kernel.Uring.Fsync { fd });
+          ]
+      in
+      let by_ud ud = List.find (fun c -> c.Kernel.Uring.user_data = ud) cs in
+      (match (by_ud 1).Kernel.Uring.result with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "write failed: %s" (Kernel.Errno.to_string e));
+      (match (by_ud 2).Kernel.Uring.result with
+      | Error Kernel.Errno.EBADF -> ()
+      | _ -> Alcotest.fail "read on wronly fd must fail EBADF");
+      (match (by_ud 3).Kernel.Uring.result with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "fsync failed: %s" (Kernel.Errno.to_string e));
+      ok (Kernel.Os.close os fd))
+
+let test_batching_amortises_crossings () =
+  (* N cached reads via the ring in one batch must cost less virtual time
+     than N synchronous pread syscalls: one crossing + parallel workers *)
+  with_xv6 (fun machine os _ _ ->
+      ok (Kernel.Os.write_file os "/warm" (payload (64 * 4096)));
+      let fd = ok (Kernel.Os.open_ os "/warm" Kernel.Os.rdonly) in
+      let _ = ok (Kernel.Os.pread os fd ~pos:0 ~len:(64 * 4096)) in
+      (* synchronous *)
+      let t0 = Kernel.Machine.now machine in
+      for i = 0 to 63 do
+        ignore (ok (Kernel.Os.pread os fd ~pos:(i * 4096) ~len:4096))
+      done;
+      let sync_cost = Int64.sub (Kernel.Machine.now machine) t0 in
+      (* ring *)
+      let ring = Kernel.Uring.create os in
+      let t1 = Kernel.Machine.now machine in
+      let cs =
+        Kernel.Uring.submit_and_wait ring
+          (List.init 64 (fun i -> (i, Kernel.Uring.Read { fd; pos = i * 4096; len = 4096 })))
+      in
+      let ring_cost = Int64.sub (Kernel.Machine.now machine) t1 in
+      Alcotest.(check int) "completions" 64 (List.length cs);
+      Alcotest.(check bool)
+        (Printf.sprintf "ring %Ldns < sync %Ldns" ring_cost sync_cost)
+        true
+        (Int64.compare ring_cost sync_cost < 0);
+      ok (Kernel.Os.close os fd))
+
+let suite =
+  [
+    tc "batch roundtrip + correlation" `Quick test_batch_roundtrip;
+    tc "per-op error reporting" `Quick test_errors_reported_per_op;
+    tc "batching amortises crossings" `Quick test_batching_amortises_crossings;
+  ]

@@ -1,0 +1,135 @@
+(** Tests of the VFS generic machinery: page cache behaviour, writeback
+    batching (writepage vs writepages), dirty throttling, and reclaim. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let wb_stats vfs name =
+  Sim.Stats.Counter.get_int (Sim.Stats.counter (Kernel.Vfs.stats vfs) name)
+
+let test_page_cache_hit_avoids_device () =
+  with_xv6 (fun machine os _vfs _h ->
+      ok (Kernel.Os.write_file os "/c" (payload (64 * 4096)));
+      ok (Kernel.Os.sync os);
+      let fd = ok (Kernel.Os.open_ os "/c" Kernel.Os.rdonly) in
+      let _ = ok (Kernel.Os.pread os fd ~pos:0 ~len:(64 * 4096)) in
+      let dev_reads_before =
+        Sim.Stats.Counter.get_int
+          (Sim.Stats.counter (Device.Ssd.stats (Kernel.Machine.disk machine)) "read_cmds")
+      in
+      (* all subsequent reads must be cache hits *)
+      for i = 0 to 63 do
+        ignore (ok (Kernel.Os.pread os fd ~pos:(i * 4096) ~len:4096))
+      done;
+      let dev_reads_after =
+        Sim.Stats.Counter.get_int
+          (Sim.Stats.counter (Device.Ssd.stats (Kernel.Machine.disk machine)) "read_cmds")
+      in
+      Alcotest.(check int) "no device reads from cache" dev_reads_before
+        dev_reads_after;
+      ok (Kernel.Os.close os fd))
+
+let test_writepages_batching () =
+  (* Bento (wb_batch=256) must issue far fewer write_pages calls than the
+     per-page C baseline for the same dirty range. *)
+  let calls_for ~wb_batch =
+    let machine = Kernel.Machine.create ~disk_blocks:65536 ~block_size:4096 () in
+    let result = ref 0 in
+    Kernel.Machine.spawn machine (fun () ->
+        ok (Bento.Bentofs.mkfs machine xv6_maker);
+        let vfs, h =
+          ok (Bento.Bentofs.mount ~background:false ~wb_batch machine xv6_maker)
+        in
+        let os = Kernel.Os.create vfs in
+        let fd = ok (Kernel.Os.open_ os "/f" Kernel.Os.(creat wronly)) in
+        let _ = ok (Kernel.Os.pwrite os fd ~pos:0 (payload (128 * 4096))) in
+        ok (Kernel.Os.fsync os fd);
+        ok (Kernel.Os.close os fd);
+        result := wb_stats vfs "wb_calls";
+        Bento.Bentofs.unmount vfs h);
+    Kernel.Machine.run machine;
+    !result
+  in
+  let batched = calls_for ~wb_batch:256 in
+  let per_page = calls_for ~wb_batch:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d calls << per-page %d calls" batched per_page)
+    true
+    (batched * 8 < per_page);
+  Alcotest.(check int) "per-page = one call per page" 128 per_page
+
+let test_dirty_throttling () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      (* tiny dirty limit: writes must trigger foreground writeback *)
+      let vfs, h =
+        ok (Bento.Bentofs.mount ~background:false ~dirty_limit:64 machine xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let fd = ok (Kernel.Os.open_ os "/f" Kernel.Os.(creat wronly)) in
+      let _ = ok (Kernel.Os.pwrite os fd ~pos:0 (payload (512 * 4096))) in
+      Alcotest.(check bool) "throttles fired" true
+        (wb_stats vfs "dirty_throttles" > 0);
+      ok (Kernel.Os.close os fd);
+      Bento.Bentofs.unmount vfs h)
+
+let test_page_reclaim_under_pressure () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      (* cap the page cache at 256 pages = 1 MB *)
+      let vfs, h =
+        ok
+          (Bento.Bentofs.mount ~background:false ~page_cap:256 machine xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      for i = 0 to 9 do
+        ok (Kernel.Os.write_file os (Printf.sprintf "/f%d" i) (payload (64 * 4096)))
+      done;
+      Alcotest.(check bool) "reclaims fired" true
+        (wb_stats vfs "page_reclaims" > 0);
+      (* data must still read back correctly from the device *)
+      for i = 0 to 9 do
+        Alcotest.(check bool)
+          (Printf.sprintf "f%d content" i)
+          true
+          (Bytes.equal (payload (64 * 4096))
+             (ok (Kernel.Os.read_file os (Printf.sprintf "/f%d" i))))
+      done;
+      Bento.Bentofs.unmount vfs h)
+
+let test_runs_of_indexes () =
+  let runs = Kernel.Vfs.runs_of_indexes ~batch:4 [ 0; 1; 2; 3; 4; 7; 8; 20 ] in
+  Alcotest.(check (list (list int)))
+    "contiguous runs, capped at batch"
+    [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 7; 8 ]; [ 20 ] ]
+    runs;
+  Alcotest.(check (list (list int))) "empty" [] (Kernel.Vfs.runs_of_indexes ~batch:4 []);
+  Alcotest.(check (list (list int)))
+    "batch 1 = singletons"
+    [ [ 5 ]; [ 6 ] ]
+    (Kernel.Vfs.runs_of_indexes ~batch:1 [ 5; 6 ])
+
+let test_background_flusher_writes_back () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:true machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      let fd = ok (Kernel.Os.open_ os "/bg" Kernel.Os.(creat wronly)) in
+      (* dirty enough pages to exceed the background threshold *)
+      let _ = ok (Kernel.Os.pwrite os fd ~pos:0 (payload (10000 * 4096))) in
+      (* give the flusher a couple of periods *)
+      Sim.Engine.sleep (Sim.Time.sec 2);
+      Alcotest.(check bool) "flusher ran" true (wb_stats vfs "wb_calls" > 0);
+      ok (Kernel.Os.close os fd);
+      Bento.Bentofs.unmount vfs h)
+
+let suite =
+  [
+    tc "page cache absorbs reads" `Quick test_page_cache_hit_avoids_device;
+    tc "writepages batching" `Quick test_writepages_batching;
+    tc "dirty throttling" `Quick test_dirty_throttling;
+    tc "page reclaim under pressure" `Quick test_page_reclaim_under_pressure;
+    tc "runs_of_indexes" `Quick test_runs_of_indexes;
+    tc "background flusher" `Quick test_background_flusher_writes_back;
+  ]

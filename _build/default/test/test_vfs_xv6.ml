@@ -1,0 +1,121 @@
+(** Tests of the C-style VFS baseline, including on-disk compatibility with
+    the Bento version (same format, different implementations). *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let with_cfs ?disk_blocks f =
+  in_sim ?disk_blocks (fun machine ->
+      ok (Vfs_xv6.mkfs machine);
+      let vfs = ok (Vfs_xv6.mount ~background:false machine) in
+      let os = Kernel.Os.create vfs in
+      f machine os vfs;
+      Vfs_xv6.unmount vfs)
+
+let read_str os path = Bytes.to_string (ok (Kernel.Os.read_file os path))
+
+let test_basic_ops () =
+  with_cfs (fun _m os _ ->
+      ok (Kernel.Os.mkdir os "/d");
+      ok (Kernel.Os.write_file os "/d/f" (bytes_of_string "c-kernel"));
+      Alcotest.(check string) "read" "c-kernel" (read_str os "/d/f");
+      ok (Kernel.Os.rename os "/d/f" "/d/g");
+      Alcotest.(check string) "renamed" "c-kernel" (read_str os "/d/g");
+      ok (Kernel.Os.unlink os "/d/g");
+      ok (Kernel.Os.rmdir os "/d"))
+
+let test_large_file () =
+  with_cfs ~disk_blocks:(48 * 1024) (fun _m os _ ->
+      let size = (Xv6fs.Layout.ndirect + Xv6fs.Layout.nindirect + 3) * 4096 in
+      let data = payload size in
+      let fd = ok (Kernel.Os.open_ os "/big" Kernel.Os.(creat wronly)) in
+      let _ = ok (Kernel.Os.pwrite os fd ~pos:0 data) in
+      ok (Kernel.Os.fsync os fd);
+      ok (Kernel.Os.close os fd);
+      Alcotest.(check bool) "content" true
+        (Bytes.equal data (ok (Kernel.Os.read_file os "/big"))))
+
+let test_crash_recovery () =
+  in_sim (fun machine ->
+      ok (Vfs_xv6.mkfs machine);
+      let vfs = ok (Vfs_xv6.mount ~background:false machine) in
+      let os = Kernel.Os.create vfs in
+      let fd = ok (Kernel.Os.open_ os "/f" Kernel.Os.(creat wronly)) in
+      let _ = ok (Kernel.Os.write os fd (bytes_of_string "stable")) in
+      ok (Kernel.Os.fsync os fd);
+      Device.Ssd.crash (Kernel.Machine.disk machine);
+      let vfs2 = ok (Vfs_xv6.mount ~background:false machine) in
+      let os2 = Kernel.Os.create vfs2 in
+      Alcotest.(check string) "recovered" "stable"
+        (Bytes.to_string (ok (Kernel.Os.read_file os2 "/f")));
+      Vfs_xv6.unmount vfs2;
+      ignore (vfs, os))
+
+(* The same image must mount under either implementation: format with the
+   Bento mkfs, fill via the C mount, then read everything back through a
+   Bento mount. *)
+let test_cross_implementation_image () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs = ok (Vfs_xv6.mount ~background:false machine) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.mkdir os "/shared");
+      for i = 0 to 9 do
+        ok
+          (Kernel.Os.write_file os
+             (Printf.sprintf "/shared/f%d" i)
+             (bytes_of_string (Printf.sprintf "payload-%d" i)))
+      done;
+      Vfs_xv6.unmount vfs;
+      let vfs2, h2 = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os2 = Kernel.Os.create vfs2 in
+      for i = 0 to 9 do
+        Alcotest.(check string)
+          (Printf.sprintf "bento reads c-written file %d" i)
+          (Printf.sprintf "payload-%d" i)
+          (Bytes.to_string
+             (ok (Kernel.Os.read_file os2 (Printf.sprintf "/shared/f%d" i))))
+      done;
+      ok (Kernel.Os.write_file os2 "/shared/from-bento" (bytes_of_string "b"));
+      Bento.Bentofs.unmount vfs2 h2;
+      (* and back again *)
+      let vfs3 = ok (Vfs_xv6.mount ~background:false machine) in
+      let os3 = Kernel.Os.create vfs3 in
+      Alcotest.(check string) "c reads bento-written file" "b"
+        (Bytes.to_string (ok (Kernel.Os.read_file os3 "/shared/from-bento")));
+      Vfs_xv6.unmount vfs3)
+
+let test_concurrent_metadata () =
+  with_cfs (fun machine os _ ->
+      let done_ = Sim.Sync.Semaphore.create 0 in
+      for w = 0 to 7 do
+        Kernel.Machine.spawn machine (fun () ->
+            let dir = Printf.sprintf "/t%d" w in
+            ok (Kernel.Os.mkdir os dir);
+            for i = 0 to 9 do
+              ok
+                (Kernel.Os.write_file os
+                   (Printf.sprintf "%s/f%d" dir i)
+                   (bytes_of_string "x"))
+            done;
+            for i = 0 to 9 do
+              ok (Kernel.Os.unlink os (Printf.sprintf "%s/f%d" dir i))
+            done;
+            ok (Kernel.Os.rmdir os dir);
+            Sim.Sync.Semaphore.release done_)
+      done;
+      for _ = 0 to 7 do
+        Sim.Sync.Semaphore.acquire done_
+      done;
+      let entries = ok (Kernel.Os.readdir os "/") in
+      Alcotest.(check int) "root back to dots only" 2 (List.length entries))
+
+let suite =
+  [
+    tc "basic ops" `Quick test_basic_ops;
+    tc "large file" `Quick test_large_file;
+    tc "crash recovery" `Quick test_crash_recovery;
+    tc "cross-implementation image" `Quick test_cross_implementation_image;
+    tc "concurrent metadata" `Quick test_concurrent_metadata;
+  ]

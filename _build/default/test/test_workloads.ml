@@ -1,0 +1,114 @@
+(** Tests of the workload generators: determinism, distribution shape, and
+    the timed-run machinery. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let test_manifest_deterministic () =
+  let m1 = Workloads.Macro.linux_tree_manifest ~nfiles:500 ~ndirs:40 ~seed:7 () in
+  let m2 = Workloads.Macro.linux_tree_manifest ~nfiles:500 ~ndirs:40 ~seed:7 () in
+  Alcotest.(check int) "same file count" (List.length m1.Workloads.Macro.files)
+    (List.length m2.Workloads.Macro.files);
+  Alcotest.(check int) "same bytes" m1.Workloads.Macro.total_bytes
+    m2.Workloads.Macro.total_bytes;
+  Alcotest.(check bool) "same paths" true
+    (List.for_all2
+       (fun a b -> a.Workloads.Macro.me_path = b.Workloads.Macro.me_path)
+       m1.Workloads.Macro.files m2.Workloads.Macro.files);
+  let m3 = Workloads.Macro.linux_tree_manifest ~nfiles:500 ~ndirs:40 ~seed:8 () in
+  Alcotest.(check bool) "different seed differs" true
+    (m3.Workloads.Macro.total_bytes <> m1.Workloads.Macro.total_bytes)
+
+let test_manifest_shape () =
+  let m = Workloads.Macro.linux_tree_manifest ~nfiles:2000 ~ndirs:100 ~seed:1 () in
+  Alcotest.(check int) "file count" 2000 (List.length m.Workloads.Macro.files);
+  Alcotest.(check int) "dir count" 101 (List.length m.Workloads.Macro.dirs);
+  let mean = float_of_int m.Workloads.Macro.total_bytes /. 2000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "kernel-tree-like mean size (%.0f)" mean)
+    true
+    (mean > 4_000. && mean < 40_000.);
+  (* parents precede children so untar can mkdir in order *)
+  let seen = Hashtbl.create 128 in
+  Hashtbl.add seen "/" ();
+  List.iter
+    (fun d ->
+      let parent = Filename.dirname d in
+      if not (Hashtbl.mem seen parent) then
+        Alcotest.failf "dir %s before its parent %s" d parent;
+      Hashtbl.add seen d ())
+    m.Workloads.Macro.dirs
+
+let test_manifest_untars_cleanly () =
+  with_xv6 ~disk_blocks:(128 * 1024) (fun machine os _ _ ->
+      let m = Workloads.Macro.linux_tree_manifest ~nfiles:300 ~ndirs:30 ~seed:3 () in
+      let r = Workloads.Macro.untar os m in
+      Alcotest.(check int) "all files created" 300 r.Workloads.Bench_result.ops;
+      (* spot-check a file exists with the declared size *)
+      let f = List.nth m.Workloads.Macro.files 123 in
+      let st = ok (Kernel.Os.stat os f.Workloads.Macro.me_path) in
+      Alcotest.(check int) "size matches manifest" f.Workloads.Macro.me_size
+        st.Kernel.Vfs.st_size;
+      ignore machine)
+
+let test_bench_result_math () =
+  let r =
+    {
+      Workloads.Bench_result.label = "x";
+      ops = 500;
+      bytes = 5_000_000;
+      elapsed_ns = 2_000_000_000L;
+    }
+  in
+  Alcotest.(check (float 0.01)) "ops/s" 250.0 (Workloads.Bench_result.ops_per_sec r);
+  Alcotest.(check (float 0.01)) "MB/s" 2.5 (Workloads.Bench_result.mbps r)
+
+let test_read_bench_runs () =
+  with_xv6 ~disk_blocks:(64 * 1024) (fun _m os _ _ ->
+      let r =
+        Workloads.Micro.read_bench os ~iosize:4096 ~pattern:Workloads.Micro.Rnd
+          ~nthreads:4 ~duration:(Sim.Time.ms 20) ~file_mb:4 ~seed:1
+      in
+      Alcotest.(check bool) "made progress" true (r.Workloads.Bench_result.ops > 10);
+      Alcotest.(check bool) "time advanced" true
+        (Int64.compare r.Workloads.Bench_result.elapsed_ns (Sim.Time.ms 20) >= 0))
+
+let test_create_delete_benches_run () =
+  with_xv6 ~disk_blocks:(64 * 1024) (fun _m os _ _ ->
+      let c =
+        Workloads.Micro.create_bench os ~nthreads:2 ~duration:(Sim.Time.ms 30)
+          ~dirwidth:10 ~mean_size:8192 ~seed:2
+      in
+      Alcotest.(check bool) "creates happened" true (c.Workloads.Bench_result.ops > 3);
+      let d =
+        Workloads.Micro.delete_bench os ~nthreads:2 ~duration:(Sim.Time.ms 30)
+          ~dirwidth:10 ~precreate:50 ~seed:2
+      in
+      Alcotest.(check bool) "deletes happened" true (d.Workloads.Bench_result.ops > 3);
+      Alcotest.(check bool) "not more than precreated" true
+        (d.Workloads.Bench_result.ops <= 50))
+
+let test_zipf_skew () =
+  let rng = Sim.Rng.create 9 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.zipf rng ~n:100 ~theta:0.9 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* rank 0 must be much hotter than rank 50 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed: %d vs %d" counts.(0) counts.(50))
+    true
+    (counts.(0) > 4 * max 1 counts.(50))
+
+let suite =
+  [
+    tc "manifest deterministic" `Quick test_manifest_deterministic;
+    tc "manifest shape" `Quick test_manifest_shape;
+    tc "manifest untars cleanly" `Quick test_manifest_untars_cleanly;
+    tc "bench result math" `Quick test_bench_result_math;
+    tc "read bench runs" `Quick test_read_bench_runs;
+    tc "create/delete benches run" `Quick test_create_delete_benches_run;
+    tc "zipf skew" `Quick test_zipf_skew;
+  ]

@@ -1,0 +1,301 @@
+(** Integration tests of the xv6 file system mounted through Bento. *)
+
+open Helpers
+
+let tc = Alcotest.test_case
+
+let read_str os path = Bytes.to_string (ok (Kernel.Os.read_file os path))
+
+let test_create_read_write () =
+  with_xv6 (fun _m os _vfs _h ->
+      ok (Kernel.Os.write_file os "/hello.txt" (bytes_of_string "hello bento"));
+      Alcotest.(check string) "read back" "hello bento" (read_str os "/hello.txt");
+      let st = ok (Kernel.Os.stat os "/hello.txt") in
+      Alcotest.(check int) "size" 11 st.Kernel.Vfs.st_size;
+      Alcotest.(check int) "nlink" 1 st.Kernel.Vfs.st_nlink)
+
+let test_overwrite () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.write_file os "/f" (bytes_of_string "aaaaaaaa"));
+      ok (Kernel.Os.write_file os "/f" (bytes_of_string "bb"));
+      Alcotest.(check string) "truncating overwrite" "bb" (read_str os "/f"))
+
+let test_append () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.write_file os "/f" (bytes_of_string "one"));
+      let fd = ok (Kernel.Os.open_ os "/f" Kernel.Os.(appendf wronly)) in
+      let _ = ok (Kernel.Os.write os fd (bytes_of_string "two")) in
+      ok (Kernel.Os.close os fd);
+      Alcotest.(check string) "appended" "onetwo" (read_str os "/f"))
+
+let test_large_file_double_indirect () =
+  (* cross the direct (48 KB) and single-indirect (4 MB + 48 KB)
+     boundaries so the double-indirect path is exercised *)
+  with_xv6 ~disk_blocks:(48 * 1024) (fun _m os _ _ ->
+      let size = (Xv6fs.Layout.ndirect + Xv6fs.Layout.nindirect + 5) * 4096 in
+      let data = payload size in
+      let fd = ok (Kernel.Os.open_ os "/big" Kernel.Os.(creat wronly)) in
+      let written = ok (Kernel.Os.pwrite os fd ~pos:0 data) in
+      Alcotest.(check int) "wrote all" size written;
+      ok (Kernel.Os.fsync os fd);
+      ok (Kernel.Os.close os fd);
+      let got = ok (Kernel.Os.read_file os "/big") in
+      Alcotest.(check bool) "content equal" true (Bytes.equal data got))
+
+let test_sparse_holes () =
+  with_xv6 (fun _m os _ _ ->
+      let fd = ok (Kernel.Os.open_ os "/sparse" Kernel.Os.(creat rdwr)) in
+      let _ = ok (Kernel.Os.pwrite os fd ~pos:(10 * 4096) (bytes_of_string "end")) in
+      let hole = ok (Kernel.Os.pread os fd ~pos:4096 ~len:8) in
+      Alcotest.(check bytes) "hole reads zeroes" (Bytes.make 8 '\000') hole;
+      let tail = ok (Kernel.Os.pread os fd ~pos:(10 * 4096) ~len:3) in
+      Alcotest.(check string) "tail" "end" (Bytes.to_string tail);
+      ok (Kernel.Os.close os fd))
+
+let test_mkdir_tree () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.mkdir os "/a");
+      ok (Kernel.Os.mkdir os "/a/b");
+      ok (Kernel.Os.mkdir os "/a/b/c");
+      ok (Kernel.Os.write_file os "/a/b/c/f" (bytes_of_string "deep"));
+      Alcotest.(check string) "deep read" "deep" (read_str os "/a/b/c/f");
+      let names =
+        ok (Kernel.Os.readdir os "/a/b")
+        |> List.map (fun d -> d.Kernel.Vfs.d_name)
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) "readdir" [ "."; ".."; "c" ] names)
+
+let test_unlink () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.write_file os "/gone" (bytes_of_string "x"));
+      ok (Kernel.Os.unlink os "/gone");
+      check_res "unlink removes" Kernel.Errno.ENOENT (Kernel.Os.stat os "/gone");
+      check_res "double unlink" Kernel.Errno.ENOENT (Kernel.Os.unlink os "/gone"))
+
+let test_unlink_frees_blocks () =
+  with_xv6 (fun _m os _ _ ->
+      let free0 = (Kernel.Os.statfs os).Kernel.Vfs.f_bfree in
+      ok (Kernel.Os.write_file os "/f" (payload (64 * 4096)));
+      ok (Kernel.Os.sync os);
+      let free1 = (Kernel.Os.statfs os).Kernel.Vfs.f_bfree in
+      Alcotest.(check bool) "blocks consumed" true (free1 < free0);
+      ok (Kernel.Os.unlink os "/f");
+      ok (Kernel.Os.sync os);
+      let free2 = (Kernel.Os.statfs os).Kernel.Vfs.f_bfree in
+      Alcotest.(check int) "all blocks returned" free0 free2)
+
+let test_rmdir () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.mkdir os "/d");
+      ok (Kernel.Os.write_file os "/d/f" (bytes_of_string "x"));
+      check_res "rmdir non-empty" Kernel.Errno.ENOTEMPTY (Kernel.Os.rmdir os "/d");
+      ok (Kernel.Os.unlink os "/d/f");
+      ok (Kernel.Os.rmdir os "/d");
+      check_res "gone" Kernel.Errno.ENOENT (Kernel.Os.stat os "/d"))
+
+let test_rename_simple () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.write_file os "/old" (bytes_of_string "data"));
+      ok (Kernel.Os.rename os "/old" "/new");
+      check_res "old gone" Kernel.Errno.ENOENT (Kernel.Os.stat os "/old");
+      Alcotest.(check string) "moved" "data" (read_str os "/new"))
+
+let test_rename_replace () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.write_file os "/a" (bytes_of_string "aaa"));
+      ok (Kernel.Os.write_file os "/b" (bytes_of_string "bbb"));
+      ok (Kernel.Os.rename os "/a" "/b");
+      Alcotest.(check string) "replaced" "aaa" (read_str os "/b");
+      check_res "a gone" Kernel.Errno.ENOENT (Kernel.Os.stat os "/a"))
+
+let test_rename_across_dirs () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.mkdir os "/src");
+      ok (Kernel.Os.mkdir os "/dst");
+      ok (Kernel.Os.mkdir os "/src/sub");
+      ok (Kernel.Os.write_file os "/src/sub/f" (bytes_of_string "payload"));
+      ok (Kernel.Os.rename os "/src/sub" "/dst/sub");
+      Alcotest.(check string) "file moved with dir" "payload"
+        (read_str os "/dst/sub/f");
+      check_res "src empty" Kernel.Errno.ENOENT (Kernel.Os.stat os "/src/sub");
+      (* ".." of the moved dir must now point at /dst *)
+      let dst = ok (Kernel.Os.stat os "/dst") in
+      let dotdot = ok (Kernel.Os.stat os "/dst/sub/..") in
+      Alcotest.(check int) "dotdot updated" dst.Kernel.Vfs.st_ino
+        dotdot.Kernel.Vfs.st_ino)
+
+let test_hard_link () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.write_file os "/orig" (bytes_of_string "shared"));
+      ok (Kernel.Os.link os "/orig" "/alias");
+      Alcotest.(check string) "alias reads" "shared" (read_str os "/alias");
+      let st = ok (Kernel.Os.stat os "/alias") in
+      Alcotest.(check int) "nlink 2" 2 st.Kernel.Vfs.st_nlink;
+      ok (Kernel.Os.unlink os "/orig");
+      Alcotest.(check string) "alias survives" "shared" (read_str os "/alias");
+      let st = ok (Kernel.Os.stat os "/alias") in
+      Alcotest.(check int) "nlink back to 1" 1 st.Kernel.Vfs.st_nlink)
+
+let test_errors () =
+  with_xv6 (fun _m os _ _ ->
+      check_res "missing" Kernel.Errno.ENOENT (Kernel.Os.stat os "/nope");
+      ok (Kernel.Os.write_file os "/f" (bytes_of_string "x"));
+      check_res "file as dir" Kernel.Errno.ENOTDIR (Kernel.Os.stat os "/f/sub");
+      check_res "mkdir exists" Kernel.Errno.EEXIST (Kernel.Os.mkdir os "/f");
+      ok (Kernel.Os.mkdir os "/d");
+      check_res "unlink dir" Kernel.Errno.EISDIR (Kernel.Os.unlink os "/d");
+      check_res "rmdir file" Kernel.Errno.ENOTDIR (Kernel.Os.rmdir os "/f");
+      check_res "bad fd" Kernel.Errno.EBADF (Kernel.Os.close os 99))
+
+let test_many_files () =
+  with_xv6 (fun _m os _ _ ->
+      ok (Kernel.Os.mkdir os "/pile");
+      for i = 0 to 199 do
+        ok
+          (Kernel.Os.write_file os
+             (Printf.sprintf "/pile/file%03d" i)
+             (bytes_of_string (string_of_int i)))
+      done;
+      let entries = ok (Kernel.Os.readdir os "/pile") in
+      Alcotest.(check int) "200 files + dots" 202 (List.length entries);
+      for i = 0 to 199 do
+        Alcotest.(check string)
+          (Printf.sprintf "file %d" i)
+          (string_of_int i)
+          (read_str os (Printf.sprintf "/pile/file%03d" i))
+      done;
+      for i = 0 to 199 do
+        ok (Kernel.Os.unlink os (Printf.sprintf "/pile/file%03d" i))
+      done;
+      ok (Kernel.Os.rmdir os "/pile"))
+
+let test_persistence_across_remount () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      ok (Kernel.Os.mkdir os "/persist");
+      ok (Kernel.Os.write_file os "/persist/f" (bytes_of_string "durable"));
+      Bento.Bentofs.unmount vfs h;
+      (* fresh mount: fresh caches, data must come from the device *)
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      Alcotest.(check string)
+        "data survived remount" "durable"
+        (Bytes.to_string (ok (Kernel.Os.read_file os "/persist/f")));
+      Bento.Bentofs.unmount vfs h)
+
+let test_fsync_durability_vs_crash () =
+  in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, h = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os = Kernel.Os.create vfs in
+      let fd = ok (Kernel.Os.open_ os "/f" Kernel.Os.(creat wronly)) in
+      let _ = ok (Kernel.Os.write os fd (bytes_of_string "synced")) in
+      ok (Kernel.Os.fsync os fd);
+      (* power failure: volatile device cache is lost; no unmount *)
+      Device.Ssd.crash (Kernel.Machine.disk machine);
+      let vfs2, h2 = ok (Bento.Bentofs.mount ~background:false machine xv6_maker) in
+      let os2 = Kernel.Os.create vfs2 in
+      Alcotest.(check string)
+        "fsynced data survived crash" "synced"
+        (Bytes.to_string (ok (Kernel.Os.read_file os2 "/f")));
+      Bento.Bentofs.unmount vfs2 h2;
+      ignore (vfs, h))
+
+let test_concurrent_writers () =
+  with_xv6 (fun machine os _ _ ->
+      let done_ = Sim.Sync.Semaphore.create 0 in
+      for w = 0 to 7 do
+        Kernel.Machine.spawn ~name:(Printf.sprintf "writer%d" w) machine
+          (fun () ->
+            for i = 0 to 19 do
+              ok
+                (Kernel.Os.write_file os
+                   (Printf.sprintf "/w%d-%d" w i)
+                   (bytes_of_string (Printf.sprintf "%d:%d" w i)))
+            done;
+            Sim.Sync.Semaphore.release done_)
+      done;
+      for _ = 0 to 7 do
+        Sim.Sync.Semaphore.acquire done_
+      done;
+      for w = 0 to 7 do
+        for i = 0 to 19 do
+          Alcotest.(check string)
+            (Printf.sprintf "w%d-%d" w i)
+            (Printf.sprintf "%d:%d" w i)
+            (read_str os (Printf.sprintf "/w%d-%d" w i))
+        done
+      done)
+
+(* exercise keep-aware truncation across the direct / single-indirect /
+   double-indirect boundaries *)
+let test_partial_truncate_across_levels () =
+  with_xv6 ~disk_blocks:(48 * 1024) (fun _m os _ _ ->
+      let blocks = Xv6fs.Layout.ndirect + Xv6fs.Layout.nindirect + 50 in
+      let size = blocks * 4096 in
+      let data = payload size in
+      let fd = ok (Kernel.Os.open_ os "/lvl" Kernel.Os.(creat rdwr)) in
+      let _ = ok (Kernel.Os.pwrite os fd ~pos:0 data) in
+      ok (Kernel.Os.fsync os fd);
+      let free_full = (Kernel.Os.statfs os).Kernel.Vfs.f_bfree in
+      (* cut back into the single-indirect range *)
+      let sz1 = (Xv6fs.Layout.ndirect + 100) * 4096 + 123 in
+      ok (Kernel.Os.ftruncate os fd sz1);
+      ok (Kernel.Os.sync os);
+      let free1 = (Kernel.Os.statfs os).Kernel.Vfs.f_bfree in
+      Alcotest.(check bool) "double-indirect blocks freed" true
+        (free1 > free_full + Xv6fs.Layout.nindirect / 4);
+      Alcotest.(check bool) "kept content intact" true
+        (Bytes.equal (Bytes.sub data 0 sz1)
+           (ok (Kernel.Os.pread os fd ~pos:0 ~len:sz1)));
+      (* cut back into the direct range *)
+      let sz2 = (4 * 4096) + 77 in
+      ok (Kernel.Os.ftruncate os fd sz2);
+      ok (Kernel.Os.sync os);
+      Alcotest.(check bool) "kept head intact" true
+        (Bytes.equal (Bytes.sub data 0 sz2)
+           (ok (Kernel.Os.pread os fd ~pos:0 ~len:sz2)));
+      (* extend across the old boundaries: zeroes everywhere beyond sz2 *)
+      let sz3 = (Xv6fs.Layout.ndirect + 5) * 4096 in
+      ok (Kernel.Os.ftruncate os fd sz3);
+      let tail = ok (Kernel.Os.pread os fd ~pos:sz2 ~len:(sz3 - sz2)) in
+      Alcotest.(check bool) "extension reads zeroes" true
+        (Bytes.for_all (fun c -> c = '\000') tail);
+      ok (Kernel.Os.close os fd);
+      (* and the image stays fsck-clean *)
+      ok (Kernel.Os.sync os))
+
+let test_statfs_sane () =
+  with_xv6 (fun _m os _ _ ->
+      let s = Kernel.Os.statfs os in
+      Alcotest.(check bool) "blocks > 0" true (s.Kernel.Vfs.f_blocks > 0);
+      Alcotest.(check bool) "free <= total" true
+        (s.Kernel.Vfs.f_bfree <= s.Kernel.Vfs.f_blocks);
+      Alcotest.(check bool) "inodes > 0" true (s.Kernel.Vfs.f_files > 0))
+
+let suite =
+  [
+    tc "create/read/write" `Quick test_create_read_write;
+    tc "overwrite truncates" `Quick test_overwrite;
+    tc "append" `Quick test_append;
+    tc "large file (double indirect)" `Quick test_large_file_double_indirect;
+    tc "sparse holes" `Quick test_sparse_holes;
+    tc "mkdir tree" `Quick test_mkdir_tree;
+    tc "unlink" `Quick test_unlink;
+    tc "unlink frees blocks" `Quick test_unlink_frees_blocks;
+    tc "rmdir" `Quick test_rmdir;
+    tc "rename simple" `Quick test_rename_simple;
+    tc "rename replace" `Quick test_rename_replace;
+    tc "rename across dirs" `Quick test_rename_across_dirs;
+    tc "hard link" `Quick test_hard_link;
+    tc "error paths" `Quick test_errors;
+    tc "many files in a dir" `Quick test_many_files;
+    tc "persistence across remount" `Quick test_persistence_across_remount;
+    tc "fsync survives crash" `Quick test_fsync_durability_vs_crash;
+    tc "concurrent writers" `Quick test_concurrent_writers;
+    tc "partial truncate across levels" `Quick test_partial_truncate_across_levels;
+    tc "statfs" `Quick test_statfs_sane;
+  ]
