@@ -6,6 +6,8 @@
       main.exe fig2|fig3|fig4|table1..table6|ablate|upgrade
       main.exe bechamel      — wall-clock microbenchmarks of hot structures
       main.exe all --duration 2.0 --untar-files 70000
+      main.exe fig2 --json out.json     — machine-readable results
+      main.exe fig2 --trace out.trace.json — Chrome/Perfetto trace of the runs
 
     Absolute numbers come from the calibrated cost model (EXPERIMENTS.md);
     the shapes — who wins and by how much — are the reproduction target. *)
@@ -17,6 +19,8 @@ let untar_files = ref 14_000
    the measured rates are already stable (they change by only a few percent
    between 0.25 s and 1 s windows) *)
 let seed = ref 42
+let json_path : string option ref = ref None
+let trace_path : string option ref = ref None
 
 let dur () = Sim.Time.of_float_ns (!duration *. 1e9)
 
@@ -24,6 +28,56 @@ let pf = Printf.printf
 
 let header title =
   pf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json / --trace).                          *)
+
+let results : Util.Json.t list ref = ref [] (* newest first *)
+
+(* One JSON row per measured run: identity, throughput, and the per-op
+   latency percentiles from the workload's histogram. Also relabels the
+   run's trace observation so Perfetto shows "<section>:<config>:<system>"
+   as the process name. *)
+let record ~section ~system ~config (r : Workloads.Bench_result.t) =
+  if !Targets.observe then begin
+    let sysname = Targets.system_name system in
+    Targets.relabel_last (Printf.sprintf "%s:%s:%s" section config sysname);
+    let open Util.Json in
+    let pct q =
+      match Workloads.Bench_result.lat_percentile r q with
+      | Some v -> int64 v
+      | None -> Null
+    in
+    let lat_max =
+      match r.lat with
+      | Some h when Sim.Stats.Histogram.count h > 0 ->
+          int64 (Sim.Stats.Histogram.max_ns h)
+      | _ -> Null
+    in
+    let counters =
+      List.map (fun (k, v) -> (k, int64 v)) (Targets.last_counters ())
+    in
+    let row =
+      Obj
+        [
+          ("section", String section);
+          ("system", String sysname);
+          ("config", String config);
+          ("label", String r.label);
+          ("ops", Int r.ops);
+          ("bytes", Int r.bytes);
+          ("elapsed_ns", int64 r.elapsed_ns);
+          ("ops_per_sec", Float (Workloads.Bench_result.ops_per_sec r));
+          ("mbps", Float (Workloads.Bench_result.mbps r));
+          ("lat_p50_ns", pct 50.0);
+          ("lat_p90_ns", pct 90.0);
+          ("lat_p99_ns", pct 99.0);
+          ("lat_max_ns", lat_max);
+          ("counters", Obj counters);
+        ]
+    in
+    results := row :: !results
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Tables 1-3: the bug study and qualitative comparisons.               *)
@@ -62,6 +116,9 @@ let fig2 () =
       List.iter
         (fun sys ->
           let r = run_read sys ~iosize:4096 ~pattern ~nthreads in
+          record ~section:"fig2" ~system:sys
+            ~config:(Printf.sprintf "read-%s-4k-%dt" pname nthreads)
+            r;
           pf "%12.1f" (Workloads.Bench_result.ops_per_sec r /. 1000.))
         Targets.all_xv6;
       pf "\n%!")
@@ -81,6 +138,11 @@ let fig3 () =
           List.iter
             (fun sys ->
               let r = run_read sys ~iosize ~pattern ~nthreads in
+              record ~section:"fig3" ~system:sys
+                ~config:
+                  (Printf.sprintf "read-%s-%dk-%dt" pname (iosize / 1024)
+                     nthreads)
+                r;
               pf "%12.2f" (Workloads.Bench_result.mbps r /. 1000.))
             Targets.all_xv6;
           pf "\n%!")
@@ -112,6 +174,11 @@ let fig4 () =
                     Workloads.Micro.write_bench os ~iosize ~pattern ~nthreads
                       ~duration:(dur ()) ~file_mb:256 ~seed:!seed)
               in
+              record ~section:"fig4" ~system:sys
+                ~config:
+                  (Printf.sprintf "write-%s-%dk-%dt" pname (iosize / 1024)
+                     nthreads)
+                r;
               pf "%12.1f" (Workloads.Bench_result.mbps r))
             Targets.all_xv6;
           pf "\n%!")
@@ -136,6 +203,9 @@ let table4 () =
                 Workloads.Micro.create_bench os ~nthreads ~duration:(dur ())
                   ~dirwidth:100 ~mean_size:16384 ~seed:!seed)
           in
+          record ~section:"table4" ~system:sys
+            ~config:(Printf.sprintf "create-%dt" nthreads)
+            r;
           pf "%12.0f" (Workloads.Bench_result.ops_per_sec r))
         Targets.all_xv6;
       pf "\n%!")
@@ -160,6 +230,9 @@ let table5 () =
                 Workloads.Micro.delete_bench os ~nthreads ~duration:(dur ())
                   ~dirwidth:100 ~precreate ~seed:!seed)
           in
+          record ~section:"table5" ~system:sys
+            ~config:(Printf.sprintf "delete-%dt" nthreads)
+            r;
           pf "%12.0f" (Workloads.Bench_result.ops_per_sec r))
         Targets.all_xv6;
       pf "\n%!")
@@ -177,10 +250,12 @@ let table6 () =
         Targets.run sys (fun _m os ->
             Workloads.Macro.varmail os ~duration:(dur ()) ~seed:!seed ())
       in
+      record ~section:"table6" ~system:sys ~config:"varmail" vm;
       let fsv =
         Targets.run sys (fun _m os ->
             Workloads.Macro.fileserver os ~duration:(dur ()) ~seed:!seed ())
       in
+      record ~section:"table6" ~system:sys ~config:"fileserver" fsv;
       let untar_manifest =
         Workloads.Macro.linux_tree_manifest
           ~nfiles:(match sys with Targets.Fuse -> !untar_files / 10 | _ -> !untar_files)
@@ -191,6 +266,7 @@ let table6 () =
         Targets.run ~disk_blocks:(3 * 1024 * 1024) sys (fun _m os ->
             Workloads.Macro.untar os untar_manifest)
       in
+      record ~section:"table6" ~system:sys ~config:"untar" ut;
       let scale = match sys with Targets.Fuse -> 10. | _ -> 1. in
       pf "%-12s %12.0f %12.0f %12.1f\n%!" (Targets.system_name sys)
         (Workloads.Bench_result.ops_per_sec vm)
@@ -236,9 +312,11 @@ let ablate () =
   let bento =
     Targets.run Targets.Bento_fs (fun _m os -> Workloads.Macro.untar os manifest)
   in
+  record ~section:"ablate" ~system:Targets.Bento_fs ~config:"untar" bento;
   let ckern =
     Targets.run Targets.C_kernel (fun _m os -> Workloads.Macro.untar os manifest)
   in
+  record ~section:"ablate" ~system:Targets.C_kernel ~config:"untar" ckern;
   pf "untar %d files: Bento %.1fs  C-Kernel %.1fs  ratio %.2fx\n%!"
     (List.length manifest.Workloads.Macro.files)
     (Workloads.Bench_result.elapsed_sec bento)
@@ -250,11 +328,13 @@ let ablate () =
         Workloads.Micro.create_bench os ~nthreads:1 ~duration:(dur ())
           ~dirwidth:100 ~mean_size:16384 ~seed:!seed)
   in
+  record ~section:"ablate" ~system:Targets.Bento_fs ~config:"create-1t" bento_c;
   let fuse_c =
     Targets.run Targets.Fuse (fun _m os ->
         Workloads.Micro.create_bench os ~nthreads:1 ~duration:(dur ())
           ~dirwidth:100 ~mean_size:16384 ~seed:!seed)
   in
+  record ~section:"ablate" ~system:Targets.Fuse ~config:"create-1t" fuse_c;
   pf "create: Bento %.0f/s  FUSE %.0f/s  slowdown %.0fx\n%!"
     (Workloads.Bench_result.ops_per_sec bento_c)
     (Workloads.Bench_result.ops_per_sec fuse_c)
@@ -265,10 +345,12 @@ let ablate () =
     Targets.run Targets.Bento_fs (fun _m os ->
         Workloads.Macro.varmail os ~duration:(dur ()) ~seed:!seed ())
   in
+  record ~section:"ablate" ~system:Targets.Bento_fs ~config:"varmail" vm_x;
   let vm_e =
     Targets.run Targets.Ext4 (fun _m os ->
         Workloads.Macro.varmail os ~duration:(dur ()) ~seed:!seed ())
   in
+  record ~section:"ablate" ~system:Targets.Ext4 ~config:"varmail" vm_e;
   pf "varmail: xv6-log %.0f/s  jbd2 %.0f/s  ext4 advantage %.2fx\n%!"
     (Workloads.Bench_result.ops_per_sec vm_x)
     (Workloads.Bench_result.ops_per_sec vm_e)
@@ -406,6 +488,52 @@ let all () =
   upgrade ();
   bechamel ()
 
+(* Write the accumulated result rows as {meta, results}. *)
+let write_json path sections =
+  let open Util.Json in
+  let doc =
+    Obj
+      [
+        ( "meta",
+          Obj
+            [
+              ("benchmark", String "bento-sim");
+              ("sections", List (List.map (fun s -> String s) sections));
+              ("duration_s", Float !duration);
+              ("untar_files", Int !untar_files);
+              ("seed", Int !seed);
+            ] );
+        ("results", List (List.rev !results));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  pf "wrote %d result rows to %s\n%!" (List.length !results) path
+
+(* Combine every traced run into one Chrome trace-event file: one process
+   per run (pid = run order, process_name = section:config:system), so
+   per-process timestamps are each run's monotone virtual clock. *)
+let write_trace path =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  let runs = List.rev !Targets.observations in
+  List.iteri
+    (fun i (o : Targets.observation) ->
+      let wrote =
+        Sim.Trace.write_events buf ~pid:(i + 1) ~process_name:o.obs_label
+          ~first:!first o.obs_tracer
+      in
+      if wrote then first := false)
+    runs;
+  Buffer.add_string buf "]\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  pf "wrote trace of %d runs to %s\n%!" (List.length runs) path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let sections = ref [] in
@@ -420,11 +548,19 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | "--json" :: v :: rest ->
+        json_path := Some v;
+        parse rest
+    | "--trace" :: v :: rest ->
+        trace_path := Some v;
+        parse rest
     | s :: rest ->
         sections := s :: !sections;
         parse rest
   in
   parse args;
+  if !json_path <> None || !trace_path <> None then Targets.observe := true;
+  if !trace_path <> None then Targets.trace_enabled := true;
   let sections = List.rev !sections in
   let run_section = function
     | "table1" -> table1 ()
@@ -447,6 +583,9 @@ let () =
           s;
         exit 2
   in
-  match sections with
+  (match sections with
   | [] -> all ()
-  | ss -> List.iter run_section ss
+  | ss -> List.iter run_section ss);
+  let ran = match sections with [] -> [ "all" ] | ss -> ss in
+  Option.iter (fun p -> write_json p ran) !json_path;
+  Option.iter write_trace !trace_path

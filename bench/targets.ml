@@ -16,10 +16,51 @@ let system_name = function
 let all_xv6 = [ Bento_fs; C_kernel; Fuse ]
 let all_with_ext4 = [ Bento_fs; C_kernel; Fuse; Ext4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Observability: when the harness is asked for machine-readable output
+   ([--json]) or traces ([--trace]), each run's tracer and end-of-run
+   counter snapshot are kept so main can write them out afterwards. *)
+
+type observation = {
+  mutable obs_label : string;
+  obs_tracer : Sim.Trace.t;
+  obs_counters : (string * int64) list;
+}
+
+let observe = ref false  (** record an [observation] per run *)
+
+let trace_enabled = ref false  (** additionally enable the span tracer *)
+
+let observations : observation list ref = ref []  (* newest first *)
+
+(* Counter snapshot across the registries a run touches: the machine-wide
+   one (syscalls, crossings, op_lat...) and the device's. *)
+let snapshot_counters machine =
+  let out = ref [] in
+  let add prefix stats =
+    Sim.Stats.iter_counters stats (fun name c ->
+        out := (prefix ^ name, Sim.Stats.Counter.get c) :: !out)
+  in
+  add "machine." (Kernel.Machine.stats machine);
+  add "ssd." (Device.Ssd.stats (Kernel.Machine.disk machine));
+  List.rev !out
+
+(** Rename the most recent observation — called by the harness right after
+    a run, once it knows the section/config the run belonged to. *)
+let relabel_last label =
+  match !observations with
+  | o :: _ -> o.obs_label <- label
+  | [] -> ()
+
+let last_counters () =
+  match !observations with o :: _ -> o.obs_counters | [] -> []
+
 (** Bring up [system] on a fresh machine, run [f os], tear down, drain the
     simulation, and return [f]'s result. *)
-let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) system f =
+let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
   let machine = Kernel.Machine.create ~disk_blocks ~block_size:4096 () in
+  if !trace_enabled then
+    Sim.Trace.set_enabled (Kernel.Machine.tracer machine) true;
   let result = ref None in
   Kernel.Machine.spawn ~name:"bench" machine (fun () ->
       match system with
@@ -48,6 +89,18 @@ let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) system f =
           result := Some (f machine os);
           Ext4sim.Ext4.unmount vfs h);
   Kernel.Machine.run machine;
+  if !observe then begin
+    let obs_label =
+      match label with Some l -> l | None -> system_name system
+    in
+    observations :=
+      {
+        obs_label;
+        obs_tracer = Kernel.Machine.tracer machine;
+        obs_counters = snapshot_counters machine;
+      }
+      :: !observations
+  end;
   match !result with
   | Some r -> r
   | None -> failwith "bench target produced no result"

@@ -16,6 +16,8 @@ type handle = {
   bcache : Kernel.Bcache.t;
   services : (module Bentoks.KSERVICES);
   mutable upgrades : int;
+  tracer : Sim.Trace.t;
+  crossings : Sim.Stats.Counter.t;  (** VFS → BentoFS dispatch crossings *)
 }
 
 let wb_batch_pages = 256
@@ -23,9 +25,19 @@ let wb_batch_pages = 256
     kernel module's batched writeback this layer inherits. *)
 
 (* Every VFS entry point runs under the dispatch read lock so upgrades can
-   quiesce by taking it in write mode. *)
-let with_fs h f =
-  Sim.Sync.Rwlock.with_read h.dispatch_lock (fun () -> f h.current)
+   quiesce by taking it in write mode. Each crossing is counted and traced
+   so the per-layer accounting in the benchmarks can attribute time spent
+   below the VFS to the Bento dispatch layer. *)
+let with_fs h name f =
+  Sim.Stats.Counter.incr h.crossings;
+  Sim.Trace.span_begin h.tracer ~cat:"bento" name;
+  match Sim.Sync.Rwlock.with_read h.dispatch_lock (fun () -> f h.current) with
+  | r ->
+      Sim.Trace.span_end h.tracer ~cat:"bento" name;
+      r
+  | exception e ->
+      Sim.Trace.span_end h.tracer ~cat:"bento" name;
+      raise e
 
 let translate_attr = Fs_api.vfs_stat
 
@@ -40,43 +52,50 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
     root_ino = 1;
     lookup =
       (fun ~dir name ->
-        with_fs h (fun d ->
+        with_fs h "bento:lookup" (fun d ->
             let* a = d.Fs_api.d_lookup ~dir name in
             Ok (translate_attr a)));
     getattr =
       (fun ino ->
-        with_fs h (fun d ->
+        with_fs h "bento:getattr" (fun d ->
             let* a = d.Fs_api.d_getattr ~ino in
             Ok (translate_attr a)));
     create =
       (fun ~dir name ->
-        with_fs h (fun d ->
+        with_fs h "bento:create" (fun d ->
             let* a = d.Fs_api.d_create ~dir name in
             Ok (translate_attr a)));
     mkdir =
       (fun ~dir name ->
-        with_fs h (fun d ->
+        with_fs h "bento:mkdir" (fun d ->
             let* a = d.Fs_api.d_mkdir ~dir name in
             Ok (translate_attr a)));
-    unlink = (fun ~dir name -> with_fs h (fun d -> d.Fs_api.d_unlink ~dir name));
-    rmdir = (fun ~dir name -> with_fs h (fun d -> d.Fs_api.d_rmdir ~dir name));
+    unlink =
+      (fun ~dir name ->
+        with_fs h "bento:unlink" (fun d -> d.Fs_api.d_unlink ~dir name));
+    rmdir =
+      (fun ~dir name ->
+        with_fs h "bento:rmdir" (fun d -> d.Fs_api.d_rmdir ~dir name));
     rename =
       (fun ~olddir ~oldname ~newdir ~newname ->
-        with_fs h (fun d -> d.Fs_api.d_rename ~olddir ~oldname ~newdir ~newname));
+        with_fs h "bento:rename" (fun d ->
+            d.Fs_api.d_rename ~olddir ~oldname ~newdir ~newname));
     link =
       (fun ~ino ~dir name ->
-        with_fs h (fun d ->
+        with_fs h "bento:link" (fun d ->
             let* a = d.Fs_api.d_link ~ino ~dir name in
             Ok (translate_attr a)));
     symlink =
       (fun ~dir name ~target ->
-        with_fs h (fun d ->
+        with_fs h "bento:symlink" (fun d ->
             let* a = d.Fs_api.d_symlink ~dir name ~target in
             Ok (translate_attr a)));
-    readlink = (fun ~ino -> with_fs h (fun d -> d.Fs_api.d_readlink ~ino));
+    readlink =
+      (fun ~ino ->
+        with_fs h "bento:readlink" (fun d -> d.Fs_api.d_readlink ~ino));
     readdir =
       (fun ino ->
-        with_fs h (fun d ->
+        with_fs h "bento:readdir" (fun d ->
             let* des = d.Fs_api.d_readdir ~ino in
             Ok
               (List.map
@@ -89,7 +108,7 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
                  des)));
     readpage =
       (fun ~ino ~index ->
-        with_fs h (fun d ->
+        with_fs h "bento:readpage" (fun d ->
             let* data = d.Fs_api.d_read ~ino ~off:(index * psz) ~len:psz in
             (* VFS wants a full page; zero-fill a short read at EOF. *)
             if Bytes.length data = psz then Ok data
@@ -100,7 +119,7 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
             end));
     write_pages =
       (fun ~ino ~isize pages ->
-        with_fs h (fun d ->
+        with_fs h "bento:write_pages" (fun d ->
             (* Contiguous dirty run: one fs write (writepages). Clamp the
                tail to the inode size so the fs records the true size. *)
             match Array.length pages with
@@ -118,14 +137,18 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
                   let* _ = d.Fs_api.d_write ~ino ~off (Bytes.sub buf 0 len) in
                   Ok ()));
     truncate =
-      (fun ~ino size -> with_fs h (fun d -> d.Fs_api.d_truncate ~ino ~size));
-    fsync = (fun ~ino -> with_fs h (fun d -> d.Fs_api.d_fsync ~ino));
-    sync_fs = (fun () -> with_fs h (fun d -> d.Fs_api.d_sync ()));
-    iopen = (fun ~ino -> with_fs h (fun d -> d.Fs_api.d_iopen ~ino));
-    irelease = (fun ~ino -> with_fs h (fun d -> d.Fs_api.d_irelease ~ino));
+      (fun ~ino size ->
+        with_fs h "bento:truncate" (fun d -> d.Fs_api.d_truncate ~ino ~size));
+    fsync =
+      (fun ~ino -> with_fs h "bento:fsync" (fun d -> d.Fs_api.d_fsync ~ino));
+    sync_fs = (fun () -> with_fs h "bento:sync_fs" (fun d -> d.Fs_api.d_sync ()));
+    iopen = (fun ~ino -> with_fs h "bento:iopen" (fun d -> d.Fs_api.d_iopen ~ino));
+    irelease =
+      (fun ~ino ->
+        with_fs h "bento:irelease" (fun d -> d.Fs_api.d_irelease ~ino));
     statfs =
       (fun () ->
-        with_fs h (fun d ->
+        with_fs h "bento:statfs" (fun d ->
             let s = d.Fs_api.d_statfs () in
             {
               Kernel.Vfs.f_blocks = s.Fs_api.s_blocks;
@@ -171,6 +194,8 @@ let mount ?dirty_limit ?page_cap ?background ?wb_batch (machine : Kernel.Machine
           bcache;
           services;
           upgrades = 0;
+          tracer = Kernel.Machine.tracer machine;
+          crossings = Kernel.Machine.counter machine "bento_crossings";
         }
       in
       let vfs =

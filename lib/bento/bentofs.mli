@@ -15,6 +15,9 @@ type handle = {
   bcache : Kernel.Bcache.t;
   services : (module Bentoks.KSERVICES);
   mutable upgrades : int;
+  tracer : Sim.Trace.t;
+  crossings : Sim.Stats.Counter.t;
+      (** machine counter ["bento_crossings"]: VFS → BentoFS dispatches *)
 }
 (** The mount handle; [Upgrade] swaps [current] under [dispatch_lock]. *)
 

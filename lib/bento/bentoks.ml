@@ -113,6 +113,11 @@ end
 let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
     (module KSERVICES) =
   let stats = Kernel.Machine.stats machine in
+  (* Fs → kernel crossing counters, cached so the hot buffer path pays one
+     increment rather than a hash lookup per call. *)
+  let ks_bread = Kernel.Machine.counter machine "bentoks_bread" in
+  let ks_getblk = Kernel.Machine.counter machine "bentoks_getblk" in
+  let ks_bwrite = Kernel.Machine.counter machine "bentoks_bwrite" in
   (module struct
     module Buffer = struct
       type t = { bh : Kernel.Bcache.buf; mutable released : bool }
@@ -130,12 +135,18 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
         Kernel.Bcache.mark_dirty b.bh
     end
 
-    let bread n = { Buffer.bh = Kernel.Bcache.bread bc n; released = false }
-    let getblk n = { Buffer.bh = Kernel.Bcache.getblk bc n; released = false }
+    let bread n =
+      Sim.Stats.Counter.incr ks_bread;
+      { Buffer.bh = Kernel.Bcache.bread bc n; released = false }
+
+    let getblk n =
+      Sim.Stats.Counter.incr ks_getblk;
+      { Buffer.bh = Kernel.Bcache.getblk bc n; released = false }
 
     let bwrite (b : Buffer.t) =
       if b.Buffer.released then
         raise (Use_after_release (Printf.sprintf "block %d" (Buffer.block b)));
+      Sim.Stats.Counter.incr ks_bwrite;
       Kernel.Bcache.bwrite bc b.Buffer.bh
 
     (* Group consecutive block runs into contiguous device commands. *)
@@ -162,6 +173,7 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
 
     let bwrite_seq bs =
       check_live "bwrite_seq" bs;
+      Sim.Stats.Counter.incr ks_bwrite;
       List.iter
         (fun run ->
           Kernel.Bcache.bwrite_contig bc (List.map (fun b -> b.Buffer.bh) run))
@@ -169,6 +181,7 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
 
     let bwrite_all bs =
       check_live "bwrite_all" bs;
+      Sim.Stats.Counter.incr ks_bwrite;
       match runs_of bs with
       | [] -> ()
       | [ run ] ->

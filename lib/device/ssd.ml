@@ -54,14 +54,18 @@ type t = {
   channels : Sim.Resource.t;
   flush_lock : Sim.Sync.Mutex.t;
   stats : Sim.Stats.t;
+  tracer : Sim.Trace.t;
+  read_lat : Sim.Stats.Histogram.t;  (** command service incl. queueing *)
+  write_lat : Sim.Stats.Histogram.t;
   mutable failed : bool;  (** set by [crash]: all subsequent I/O fails *)
 }
 
 exception Out_of_range of int
 exception Device_failed
 
-let create ?(config = default_config) ~nblocks ~block_size engine =
+let create ?(config = default_config) ?tracer ~nblocks ~block_size engine =
   if nblocks <= 0 || block_size <= 0 then invalid_arg "Ssd.create";
+  let stats = Sim.Stats.create () in
   {
     engine;
     config;
@@ -71,7 +75,11 @@ let create ?(config = default_config) ~nblocks ~block_size engine =
     volatile = Hashtbl.create 1024;
     channels = Sim.Resource.create ~name:"ssd-channels" config.channels;
     flush_lock = Sim.Sync.Mutex.create ~name:"ssd-flush" ();
-    stats = Sim.Stats.create ();
+    stats;
+    tracer =
+      (match tracer with Some tr -> tr | None -> Sim.Trace.create engine);
+    read_lat = Sim.Stats.histogram stats "cmd_read_lat";
+    write_lat = Sim.Stats.histogram stats "cmd_write_lat";
     failed = false;
   }
 
@@ -105,7 +113,12 @@ let read_contig t ~start ~count =
   Sim.Stats.Counter.incr ~by:count (counter t "blocks_read");
   let bytes = count * t.block_size in
   let dur = xfer_time ~base:t.config.read_base ~bw:t.config.read_bw ~bytes in
+  Sim.Trace.span_begin t.tracer ~cat:"device" "ssd:read";
+  let t0 = Sim.Engine.now t.engine in
   Sim.Resource.use t.channels dur;
+  Sim.Stats.Histogram.record t.read_lat
+    (Int64.sub (Sim.Engine.now t.engine) t0);
+  Sim.Trace.span_end t.tracer ~cat:"device" "ssd:read";
   if t.failed then raise Device_failed;
   Array.init count (fun i -> peek t (start + i))
 
@@ -160,7 +173,12 @@ let write_contig t ~start bufs =
   Sim.Stats.Counter.incr ~by:count (counter t "blocks_written");
   let bytes = count * t.block_size in
   let dur = xfer_time ~base:t.config.write_base ~bw:t.config.write_bw ~bytes in
+  Sim.Trace.span_begin t.tracer ~cat:"device" "ssd:write";
+  let t0 = Sim.Engine.now t.engine in
   Sim.Resource.use t.channels dur;
+  Sim.Stats.Histogram.record t.write_lat
+    (Int64.sub (Sim.Engine.now t.engine) t0);
+  Sim.Trace.span_end t.tracer ~cat:"device" "ssd:write";
   if t.failed then raise Device_failed;
   Array.iteri (fun i data -> store_volatile t (start + i) data) bufs;
   drain_overflow t
@@ -172,18 +190,21 @@ let write t block data = write_contig t ~start:block [| data |]
     expensive for the FUSE baseline. *)
 let flush t =
   if t.failed then raise Device_failed;
-  Sim.Sync.Mutex.with_lock t.flush_lock (fun () ->
-      Sim.Stats.Counter.incr (counter t "flushes");
-      let dirty = Hashtbl.length t.volatile in
-      let bytes = dirty * t.block_size in
-      let dur =
-        Int64.add t.config.flush_base
-          (Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:t.config.flush_bw)
-      in
-      Sim.Engine.sleep dur;
-      if t.failed then raise Device_failed;
-      Hashtbl.iter (fun blk data -> t.stable.(blk) <- Some data) t.volatile;
-      Hashtbl.reset t.volatile)
+  Sim.Trace.with_span t.tracer ~cat:"device" "ssd:flush" (fun () ->
+      Sim.Sync.Mutex.with_lock t.flush_lock (fun () ->
+          Sim.Stats.Counter.incr (counter t "flushes");
+          let dirty = Hashtbl.length t.volatile in
+          let bytes = dirty * t.block_size in
+          let dur =
+            Int64.add t.config.flush_base
+              (Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:t.config.flush_bw)
+          in
+          Sim.Engine.sleep dur;
+          Sim.Stats.Histogram.record
+            (Sim.Stats.histogram t.stats "cmd_flush_lat") dur;
+          if t.failed then raise Device_failed;
+          Hashtbl.iter (fun blk data -> t.stable.(blk) <- Some data) t.volatile;
+          Hashtbl.reset t.volatile))
 
 let dirty_blocks t = Hashtbl.length t.volatile
 

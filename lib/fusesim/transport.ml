@@ -12,6 +12,8 @@ type t = {
   mutable next_unique : int;
   mutable closed : bool;
   stats : Sim.Stats.t;
+  tracer : Sim.Trace.t;
+  rtt : Sim.Stats.Histogram.t;  (** kernel-side round-trip per request *)
 }
 
 exception Connection_closed
@@ -24,6 +26,8 @@ let create machine =
     next_unique = 1;
     closed = false;
     stats = Sim.Stats.create ();
+    tracer = Kernel.Machine.tracer machine;
+    rtt = Kernel.Machine.histogram machine "fuse_rtt";
   }
 
 let stats t = t.stats
@@ -46,12 +50,17 @@ let call t (req : Proto.request) : Proto.reply =
   let unique = fresh_unique t in
   let msg = Proto.encode_request ~unique req in
   incr t "requests";
+  Sim.Trace.span_begin t.tracer ~cat:"fuse" "fuse:call";
+  let t0 = Kernel.Machine.now t.machine in
   charge_crossing t (Bytes.length msg);
   let ivar = Sim.Sync.Ivar.create () in
   Hashtbl.replace t.pending unique ivar;
   Sim.Sync.Channel.send t.requests msg;
   let reply_bytes = Sim.Sync.Ivar.read ivar in
   Hashtbl.remove t.pending unique;
+  Sim.Stats.Histogram.record t.rtt
+    (Int64.sub (Kernel.Machine.now t.machine) t0);
+  Sim.Trace.span_end t.tracer ~cat:"fuse" "fuse:call";
   let unique', reply = Proto.decode_reply reply_bytes in
   if unique' <> unique then raise (Proto.Malformed "unique mismatch");
   reply

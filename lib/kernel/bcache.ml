@@ -22,6 +22,7 @@ type buf = {
 type t = {
   machine : Machine.t;
   dev : Device.Ssd.t;
+  tracer : Sim.Trace.t;
   capacity : int;
   table : (int, buf) Hashtbl.t;
   cache_lock : Sim.Sync.Mutex.t;
@@ -35,6 +36,7 @@ let create ?(capacity = 8192) machine =
   {
     machine;
     dev = Machine.disk machine;
+    tracer = Machine.tracer machine;
     capacity;
     table = Hashtbl.create (capacity * 2);
     cache_lock = Sim.Sync.Mutex.create ~name:"bcache" ();
@@ -68,6 +70,7 @@ let evict_one t =
         incr t "writeback_evictions"
       end;
       Hashtbl.remove t.table b.block;
+      Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:evict";
       incr t "evictions"
 
 (* Find-or-create the buffer for [block]; returns it with refcount raised
@@ -79,9 +82,11 @@ let getbuf t block =
         match Hashtbl.find_opt t.table block with
         | Some b ->
             incr t "hits";
+            Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:hit";
             b
         | None ->
             incr t "misses";
+            Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:miss";
             if Hashtbl.length t.table >= t.capacity then evict_one t;
             let b =
               {

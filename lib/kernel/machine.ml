@@ -1,6 +1,6 @@
 (** The simulated machine: engine + CPU cores + the attached device + global
-    statistics. Every stack (Bento, C-VFS, FUSE, ext4) runs on one of
-    these. *)
+    statistics + tracer. Every stack (Bento, C-VFS, FUSE, ext4) runs on one
+    of these. *)
 
 type t = {
   engine : Sim.Engine.t;
@@ -8,23 +8,29 @@ type t = {
   cost : Cost.t;
   disk : Device.Ssd.t;
   stats : Sim.Stats.t;
+  tracer : Sim.Trace.t;
 }
 
 let create ?(cost = Cost.default) ?config ~disk_blocks ~block_size () =
   let engine = Sim.Engine.create () in
-  let disk = Device.Ssd.create ?config ~nblocks:disk_blocks ~block_size engine in
+  let tracer = Sim.Trace.create engine in
+  let disk =
+    Device.Ssd.create ?config ~tracer ~nblocks:disk_blocks ~block_size engine
+  in
   {
     engine;
     cpu = Sim.Resource.create ~name:"cpu" cost.Cost.ncores;
     cost;
     disk;
     stats = Sim.Stats.create ();
+    tracer;
   }
 
 let engine t = t.engine
 let disk t = t.disk
 let cost t = t.cost
 let stats t = t.stats
+let tracer t = t.tracer
 let now t = Sim.Engine.now t.engine
 
 (** Burn [ns] of CPU on one of the machine's cores (queueing if all cores
@@ -35,6 +41,8 @@ let cpu_work t ns =
 
 let counter t name = Sim.Stats.counter t.stats name
 let incr ?by t name = Sim.Stats.Counter.incr ?by (counter t name)
+let latency t name = Sim.Stats.latency t.stats name
+let histogram t name = Sim.Stats.histogram t.stats name
 
 let spawn ?name t f = ignore (Sim.Engine.spawn ?name t.engine f)
 let run t = Sim.Engine.run t.engine

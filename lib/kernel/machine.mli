@@ -15,6 +15,11 @@ val engine : t -> Sim.Engine.t
 val disk : t -> Device.Ssd.t
 val cost : t -> Cost.t
 val stats : t -> Sim.Stats.t
+
+val tracer : t -> Sim.Trace.t
+(** The machine-wide span tracer (disabled by default); shared with the
+    attached device so one trace covers syscall-to-flash. *)
+
 val now : t -> int64
 
 val cpu_work : t -> int64 -> unit
@@ -23,6 +28,8 @@ val cpu_work : t -> int64 -> unit
 
 val counter : t -> string -> Sim.Stats.Counter.t
 val incr : ?by:int -> t -> string -> unit
+val latency : t -> string -> Sim.Stats.Latency.t
+val histogram : t -> string -> Sim.Stats.Histogram.t
 
 val spawn : ?name:string -> t -> (unit -> unit) -> unit
 (** Start a fiber on this machine. *)

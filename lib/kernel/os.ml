@@ -24,6 +24,8 @@ type t = {
   fds : (int, file) Hashtbl.t;
   mutable next_fd : int;
   max_files : int;
+  sys_lat : Sim.Stats.Histogram.t;  (** entry-to-exit latency, all syscalls *)
+  sys_count : Sim.Stats.Counter.t;
 }
 
 type 'a res = ('a, Errno.t) result
@@ -31,13 +33,37 @@ type 'a res = ('a, Errno.t) result
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
 let create ?(max_files = 65536) vfs =
-  { vfs; fds = Hashtbl.create 256; next_fd = 3; max_files }
+  let machine = Vfs.machine vfs in
+  {
+    vfs;
+    fds = Hashtbl.create 256;
+    next_fd = 3;
+    max_files;
+    sys_lat = Machine.histogram machine "syscall_lat";
+    sys_count = Machine.counter machine "syscalls";
+  }
 
 let vfs t = t.vfs
 
 let charge_syscall t =
   let c = Machine.cost (Vfs.machine t.vfs) in
   Machine.cpu_work (Vfs.machine t.vfs) (Int64.add c.Cost.syscall c.Cost.vfs_op)
+
+(* Every syscall body runs inside this wrapper: it charges the
+   user/kernel crossing, emits a tracer span named after the call, and
+   records entry-to-exit virtual latency. The span begins before the
+   crossing charge so queueing for a CPU core is attributed to the call. *)
+let syscall t name f =
+  let machine = Vfs.machine t.vfs in
+  let tr = Machine.tracer machine in
+  Sim.Stats.Counter.incr t.sys_count;
+  Sim.Trace.span_begin tr ~cat:"syscall" name;
+  let t0 = Machine.now machine in
+  charge_syscall t;
+  let r = f () in
+  Sim.Stats.Histogram.record t.sys_lat (Int64.sub (Machine.now machine) t0);
+  Sim.Trace.span_end tr ~cat:"syscall" name;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Path resolution.                                                    *)
@@ -139,7 +165,7 @@ let file_of t fd : file res =
 (* Syscalls.                                                           *)
 
 let open_ t path flags : int res =
-  charge_syscall t;
+  syscall t "open" @@ fun () ->
   let open_vnode (st : Vfs.stat) : int res =
     if st.Vfs.st_kind = Vfs.Dir && flags.wr then Error Errno.EISDIR
     else
@@ -169,7 +195,7 @@ let open_ t path flags : int res =
   | Error _ as e -> e
 
 let close t fd : unit res =
-  charge_syscall t;
+  syscall t "close" @@ fun () ->
   let* f = file_of t fd in
   Hashtbl.remove t.fds fd;
   let v = f.f_vnode in
@@ -182,13 +208,13 @@ let close t fd : unit res =
   Ok ()
 
 let pread t fd ~pos ~len : Bytes.t res =
-  charge_syscall t;
+  syscall t "pread" @@ fun () ->
   let* f = file_of t fd in
   if not f.f_flags.rd then Error Errno.EBADF
   else Vfs.read t.vfs f.f_vnode ~pos ~len
 
 let pwrite t fd ~pos data : int res =
-  charge_syscall t;
+  syscall t "pwrite" @@ fun () ->
   let* f = file_of t fd in
   if not f.f_flags.wr then Error Errno.EBADF
   else Vfs.write t.vfs f.f_vnode ~pos data
@@ -197,7 +223,7 @@ let pwrite t fd ~pos data : int res =
     serialisation that makes 32-thread sequential reads on one fd behave
     like the paper's. *)
 let read t fd ~len : Bytes.t res =
-  charge_syscall t;
+  syscall t "read" @@ fun () ->
   let* f = file_of t fd in
   if not f.f_flags.rd then Error Errno.EBADF
   else
@@ -207,7 +233,7 @@ let read t fd ~len : Bytes.t res =
         Ok data)
 
 let write t fd data : int res =
-  charge_syscall t;
+  syscall t "write" @@ fun () ->
   let* f = file_of t fd in
   if not f.f_flags.wr then Error Errno.EBADF
   else
@@ -218,7 +244,7 @@ let write t fd data : int res =
         Ok n)
 
 let lseek t fd pos : unit res =
-  charge_syscall t;
+  syscall t "lseek" @@ fun () ->
   let* f = file_of t fd in
   if pos < 0 then Error Errno.EINVAL
   else begin
@@ -227,25 +253,25 @@ let lseek t fd pos : unit res =
   end
 
 let fsync t fd : unit res =
-  charge_syscall t;
+  syscall t "fsync" @@ fun () ->
   let* f = file_of t fd in
   Vfs.fsync t.vfs f.f_vnode
 
 let ftruncate t fd size : unit res =
-  charge_syscall t;
+  syscall t "ftruncate" @@ fun () ->
   let* f = file_of t fd in
   if not f.f_flags.wr then Error Errno.EBADF
   else Vfs.truncate t.vfs f.f_vnode size
 
 let fstat t fd : Vfs.stat res =
-  charge_syscall t;
+  syscall t "fstat" @@ fun () ->
   let* f = file_of t fd in
   let v = f.f_vnode in
   let* st = (Vfs.ops t.vfs).Vfs.getattr v.Vfs.v_ino in
   Ok { st with Vfs.st_size = v.Vfs.v_size }
 
 let stat t path : Vfs.stat res =
-  charge_syscall t;
+  syscall t "stat" @@ fun () ->
   let* st = resolve t path in
   match Vfs.find_vnode t.vfs st.Vfs.st_ino with
   | Some v when v.Vfs.v_nopen > 0 -> Ok { st with Vfs.st_size = v.Vfs.v_size }
@@ -254,14 +280,14 @@ let stat t path : Vfs.stat res =
 let exists t path = match stat t path with Ok _ -> true | Error _ -> false
 
 let mkdir t path : unit res =
-  charge_syscall t;
+  syscall t "mkdir" @@ fun () ->
   let* parent, base = resolve_parent t path in
   let* st = (Vfs.ops t.vfs).Vfs.mkdir ~dir:parent.Vfs.st_ino base in
   Vfs.dcache_insert t.vfs ~dir:parent.Vfs.st_ino base st.Vfs.st_ino;
   Ok ()
 
 let unlink t path : unit res =
-  charge_syscall t;
+  syscall t "unlink" @@ fun () ->
   let* parent, base = resolve_parent t path in
   let* st = Vfs.lookup t.vfs ~dir:parent.Vfs.st_ino base in
   if st.Vfs.st_kind = Vfs.Dir then Error Errno.EISDIR
@@ -276,7 +302,7 @@ let unlink t path : unit res =
     Ok ()
 
 let rmdir t path : unit res =
-  charge_syscall t;
+  syscall t "rmdir" @@ fun () ->
   let* parent, base = resolve_parent t path in
   let* st = Vfs.lookup t.vfs ~dir:parent.Vfs.st_ino base in
   if st.Vfs.st_kind <> Vfs.Dir then Error Errno.ENOTDIR
@@ -286,7 +312,7 @@ let rmdir t path : unit res =
     Ok ()
 
 let rename t oldpath newpath : unit res =
-  charge_syscall t;
+  syscall t "rename" @@ fun () ->
   let* oparent, oname = resolve_parent t oldpath in
   let* nparent, nname = resolve_parent t newpath in
   let* () =
@@ -298,7 +324,7 @@ let rename t oldpath newpath : unit res =
   Ok ()
 
 let link t oldpath newpath : unit res =
-  charge_syscall t;
+  syscall t "link" @@ fun () ->
   let* st = resolve t oldpath in
   if st.Vfs.st_kind = Vfs.Dir then Error Errno.EPERM
   else
@@ -308,36 +334,32 @@ let link t oldpath newpath : unit res =
     Ok ()
 
 let symlink t target linkpath : unit res =
-  charge_syscall t;
+  syscall t "symlink" @@ fun () ->
   let* parent, base = resolve_parent t linkpath in
   let* st = (Vfs.ops t.vfs).Vfs.symlink ~dir:parent.Vfs.st_ino base ~target in
   Vfs.dcache_insert t.vfs ~dir:parent.Vfs.st_ino base st.Vfs.st_ino;
   Ok ()
 
 let readlink t path : string res =
-  charge_syscall t;
+  syscall t "readlink" @@ fun () ->
   let* st = resolve ~follow_last:false t path in
   if st.Vfs.st_kind <> Vfs.Symlink then Error Errno.EINVAL
   else (Vfs.ops t.vfs).Vfs.readlink ~ino:st.Vfs.st_ino
 
 (** stat(2) without following a final symlink. *)
 let lstat t path : Vfs.stat res =
-  charge_syscall t;
-  resolve ~follow_last:false t path
+  syscall t "lstat" @@ fun () -> resolve ~follow_last:false t path
 
 let readdir t path : Vfs.dirent list res =
-  charge_syscall t;
+  syscall t "readdir" @@ fun () ->
   let* st = resolve t path in
   if st.Vfs.st_kind <> Vfs.Dir then Error Errno.ENOTDIR
   else (Vfs.ops t.vfs).Vfs.readdir st.Vfs.st_ino
 
-let sync t : unit res =
-  charge_syscall t;
-  Vfs.sync t.vfs
+let sync t : unit res = syscall t "sync" @@ fun () -> Vfs.sync t.vfs
 
 let statfs t : Vfs.statfs =
-  charge_syscall t;
-  (Vfs.ops t.vfs).Vfs.statfs ()
+  syscall t "statfs" @@ fun () -> (Vfs.ops t.vfs).Vfs.statfs ()
 
 (* Convenience helpers used by examples and workloads. *)
 

@@ -96,6 +96,7 @@ let incr ?by t name = Sim.Stats.Counter.incr ?by (Sim.Stats.counter t.stats name
 
 let cost t = Machine.cost t.machine
 let cpu t ns = Machine.cpu_work t.machine ns
+let tracer t = Machine.tracer t.machine
 
 let vnode_of t ino ~kind ~size =
   match Hashtbl.find_opt t.vnodes ino with
@@ -169,6 +170,7 @@ let runs_of_indexes ~batch indexes =
 
 (** Write all dirty pages of [v] down into the file system. *)
 let writeback_vnode t v =
+  Sim.Trace.with_span (tracer t) ~cat:"vfs" "vfs:writeback" (fun () ->
   Sim.Sync.Mutex.with_lock v.v_wb (fun () ->
       let dirty =
         Hashtbl.fold (fun i p acc -> if p.pdirty then i :: acc else acc) v.v_pages []
@@ -204,7 +206,7 @@ let writeback_vnode t v =
                   incr t "wb_errors"
             end)
           runs
-      end)
+      end))
 
 (** Balance: a writer that pushed the system over the dirty limit does
     writeback of its own file until below (Linux balance_dirty_pages). *)
@@ -314,6 +316,7 @@ let page_of t v index : (page, Errno.t) result =
       Ok p
   | None -> (
       incr t "page_misses";
+      Sim.Trace.instant (tracer t) ~cat:"vfs" "vfs:page_miss";
       match t.ops.readpage ~ino:v.v_ino ~index with
       | Ok data ->
           let p = { pdata = data; pdirty = false } in
@@ -404,8 +407,14 @@ let write t v ~pos data : int res =
     make them durable. *)
 let fsync t v : unit res =
   incr t "fsyncs";
-  writeback_vnode t v;
-  t.ops.fsync ~ino:v.v_ino
+  Sim.Trace.with_span (tracer t) ~cat:"vfs" "vfs:fsync" (fun () ->
+      let t0 = Machine.now t.machine in
+      writeback_vnode t v;
+      let r = t.ops.fsync ~ino:v.v_ino in
+      Sim.Stats.Histogram.record
+        (Machine.histogram t.machine "fsync_lat")
+        (Int64.sub (Machine.now t.machine) t0);
+      r)
 
 let truncate t v size : unit res =
   if size < 0 then Error Errno.EINVAL

@@ -47,6 +47,10 @@ let create () =
 let now t = t.now
 let set_trace t b = t.trace <- b
 
+(** Fiber id of the currently running fiber, or -1 outside fiber context
+    (used by the tracer to attribute events to threads). *)
+let current_fid t = match t.running with Some f -> f.fid | None -> -1
+
 let schedule_at t time f =
   if Int64.compare time t.now < 0 then
     invalid_arg "Engine.schedule_at: time in the past";

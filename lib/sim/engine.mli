@@ -27,6 +27,10 @@ val now : t -> int64
 val set_trace : t -> bool -> unit
 (** Enable coarse event-count tracing to stderr (debugging aid). *)
 
+val current_fid : t -> int
+(** Id of the currently running fiber, or -1 outside fiber context. Used by
+    {!Trace} to attribute events to simulated threads. *)
+
 val schedule_at : t -> int64 -> (unit -> unit) -> unit
 (** Run a callback at an absolute virtual time (>= [now t]). *)
 

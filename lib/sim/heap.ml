@@ -1,34 +1,59 @@
 (** Array-based binary min-heap, specialised to [(int64 * int)] keys
     (event time, insertion sequence number). The sequence number makes event
-    ordering total and hence the whole simulation deterministic. *)
+    ordering total and hence the whole simulation deterministic.
+
+    Slots are [entry option] so that popped entries are really gone: a
+    vacated slot is reset to [None], and the backing array shrinks once the
+    live size falls below a quarter of capacity. Otherwise payload closures
+    (and everything they capture) would stay reachable from [arr] for the
+    lifetime of the run. *)
 
 type 'a entry = { time : int64; seq : int; payload : 'a }
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+type 'a t = { mutable arr : 'a entry option array; mutable size : int }
+
+let min_capacity = 16
 
 let create () = { arr = [||]; size = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
+let capacity h = Array.length h.arr
 
 let lt a b =
   match Int64.compare a.time b.time with
   | 0 -> a.seq < b.seq
   | c -> c < 0
 
-let grow h entry =
+let get h i =
+  match h.arr.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Heap: empty slot in live region"
+
+let grow h =
   let cap = Array.length h.arr in
   if h.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
-    let narr = Array.make ncap entry in
+    let ncap = if cap = 0 then min_capacity else cap * 2 in
+    let narr = Array.make ncap None in
+    Array.blit h.arr 0 narr 0 h.size;
+    h.arr <- narr
+  end
+
+(* Halve the backing array when occupancy drops below 1/4 so a burst of
+   events does not pin a large array (and its stale slots) forever. *)
+let shrink h =
+  let cap = Array.length h.arr in
+  if cap > min_capacity && h.size < cap / 4 then begin
+    let ncap = max min_capacity (cap / 2) in
+    let narr = Array.make ncap None in
     Array.blit h.arr 0 narr 0 h.size;
     h.arr <- narr
   end
 
 let push h ~time ~seq payload =
   let entry = { time; seq; payload } in
-  grow h entry;
-  h.arr.(h.size) <- entry;
+  grow h;
+  h.arr.(h.size) <- Some entry;
   h.size <- h.size + 1;
   (* sift up *)
   let i = ref (h.size - 1) in
@@ -36,7 +61,7 @@ let push h ~time ~seq payload =
     !i > 0
     &&
     let p = (!i - 1) / 2 in
-    lt h.arr.(!i) h.arr.(p)
+    lt (get h !i) (get h p)
   do
     let p = (!i - 1) / 2 in
     let tmp = h.arr.(p) in
@@ -45,23 +70,24 @@ let push h ~time ~seq payload =
     i := p
   done
 
-let peek h = if h.size = 0 then None else Some h.arr.(0)
+let peek h = if h.size = 0 then None else h.arr.(0)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.arr.(0) in
+    let top = get h 0 in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.arr.(0) <- h.arr.(h.size);
+      h.arr.(h.size) <- None;
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.size && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.size && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if l < h.size && lt (get h l) (get h !smallest) then smallest := l;
+        if r < h.size && lt (get h r) (get h !smallest) then smallest := r;
         if !smallest = !i then continue := false
         else begin
           let tmp = h.arr.(!smallest) in
@@ -70,6 +96,8 @@ let pop h =
           i := !smallest
         end
       done
-    end;
+    end
+    else h.arr.(0) <- None;
+    shrink h;
     Some top
   end

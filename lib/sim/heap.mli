@@ -9,6 +9,10 @@ type 'a t
 val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Current backing-array size. Popped slots are cleared and the array
+    shrinks at 1/4 occupancy, so popped payloads are unreachable. *)
+val capacity : 'a t -> int
 val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
 val peek : 'a t -> 'a entry option
 val pop : 'a t -> 'a entry option

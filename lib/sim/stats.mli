@@ -1,5 +1,6 @@
-(** Named counters and latency accumulators used across the kernel, device,
-    and workloads for utilisation and per-operation statistics. *)
+(** Named counters, latency accumulators, and log-bucketed histograms used
+    across the kernel, device, and workloads for utilisation and
+    per-operation statistics. *)
 
 module Counter : sig
   type t
@@ -27,8 +28,38 @@ module Latency : sig
   val reset : t -> unit
 end
 
+(** Log-bucketed duration histogram (HDR-style): exact below 32 ns, 16
+    sub-buckets per power of two above, so any quantile is reported within
+    ~6% relative error. O(1), allocation-free recording. *)
+module Histogram : sig
+  type t
+
+  val create : string -> t
+
+  val record : t -> int64 -> unit
+  (** Record a duration in virtual nanoseconds (negative clamps to 0). *)
+
+  val count : t -> int
+  val total : t -> int64
+  val mean : t -> int64
+  val min_ns : t -> int64
+  val max_ns : t -> int64
+
+  val percentile : t -> float -> int64
+  (** [percentile t q] for [q] in [0,100]; p100 equals [max_ns]. 0 when
+      empty. *)
+
+  val iter_buckets : t -> (lo:int64 -> hi:int64 -> count:int -> unit) -> unit
+  (** Visit non-empty buckets in increasing value order, with the inclusive
+      value range each covers. *)
+
+  val name : t -> string
+  val reset : t -> unit
+end
+
 type t
-(** A registry of counters and latency trackers, addressed by name. *)
+(** A registry of counters, latency trackers, and histograms, addressed by
+    name. *)
 
 val create : unit -> t
 
@@ -36,8 +67,12 @@ val counter : t -> string -> Counter.t
 (** Find-or-create. *)
 
 val latency : t -> string -> Latency.t
+val histogram : t -> string -> Histogram.t
 
 val iter_counters : t -> (string -> Counter.t -> unit) -> unit
 (** In name order (deterministic output). *)
+
+val iter_latencies : t -> (string -> Latency.t -> unit) -> unit
+val iter_histograms : t -> (string -> Histogram.t -> unit) -> unit
 
 val reset : t -> unit

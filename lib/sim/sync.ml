@@ -262,7 +262,10 @@ module Channel = struct
         v
     | None -> if t.closed then raise Closed else invalid_arg "Channel.recv"
 
-  let recv_opt t = if Queue.is_empty t.items && t.closed then None else Some (recv t)
+  (* [recv] can raise [Closed] in two ways: immediately (empty + already
+     closed) or after blocking, when [close] wakes the receiver with no item
+     to hand over. Both mean the same thing here: no more values. *)
+  let recv_opt t = match recv t with v -> Some v | exception Closed -> None
 
   let close t =
     t.closed <- true;

@@ -1,0 +1,171 @@
+(** Span/event tracer over virtual time.
+
+    Layers emit begin/end spans and instant events stamped with the
+    engine's virtual clock and the running fiber's id. Events land in a
+    bounded ring buffer (oldest dropped first), so tracing a long run costs
+    a fixed amount of memory. A disabled tracer reduces every emit to one
+    branch — and never perturbs virtual time either way, since emitting
+    performs no sleeps and no CPU accounting.
+
+    Export is Chrome trace-event JSON (the "JSON array format"), loadable
+    in chrome://tracing and Perfetto: spans become B/E pairs, instants
+    become "i" events, fibers map to tids. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  ts : int64;  (** virtual nanoseconds *)
+  tid : int;  (** fiber id, -1 outside fiber context *)
+}
+
+type t = {
+  engine : Engine.t;
+  mutable enabled : bool;
+  ring : event option array;
+  mutable head : int;  (** next slot to write *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) engine =
+  if capacity < 1 then invalid_arg "Trace.create";
+  {
+    engine;
+    enabled = false;
+    ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+let dropped t = t.dropped
+let length t = t.len
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let emit t ph cat name =
+  let cap = Array.length t.ring in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.ring.(t.head) <-
+    Some
+      {
+        ph;
+        name;
+        cat;
+        ts = Engine.now t.engine;
+        tid = Engine.current_fid t.engine;
+      };
+  t.head <- (t.head + 1) mod cap
+
+let span_begin t ?(cat = "") name = if t.enabled then emit t Begin cat name
+let span_end t ?(cat = "") name = if t.enabled then emit t End cat name
+let instant t ?(cat = "") name = if t.enabled then emit t Instant cat name
+
+let with_span t ?cat name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ?cat name;
+    match f () with
+    | v ->
+        span_end t ?cat name;
+        v
+    | exception exn ->
+        span_end t ?cat name;
+        raise exn
+  end
+
+(** Events oldest-first (and therefore nondecreasing in [ts]). *)
+let events t =
+  let cap = Array.length t.ring in
+  let first = (t.head - t.len + cap * 2) mod cap in
+  List.init t.len (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON export.                                     *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Chrome timestamps are microseconds; keep full nanosecond precision as a
+   decimal fraction so virtual-time ordering survives the unit change. *)
+let add_ts buf ts =
+  Buffer.add_string buf
+    (Printf.sprintf "%Ld.%03Ld" (Int64.div ts 1000L)
+       (Int64.rem ts 1000L))
+
+let add_event buf ~pid e =
+  Buffer.add_string buf "{\"name\":\"";
+  escape_into buf e.name;
+  Buffer.add_string buf "\",\"cat\":\"";
+  escape_into buf (if e.cat = "" then "sim" else e.cat);
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_string buf
+    (match e.ph with Begin -> "B" | End -> "E" | Instant -> "i");
+  Buffer.add_string buf "\",\"ts\":";
+  add_ts buf e.ts;
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid e.tid);
+  (match e.ph with
+  | Instant -> Buffer.add_string buf ",\"s\":\"t\"}"
+  | _ -> Buffer.add_char buf '}')
+
+(** Append this tracer's events to [buf] as comma-separated JSON objects
+    (no surrounding brackets), for embedding several runs — each under its
+    own [pid] — into one trace file. [first] tells the writer whether a
+    leading comma is needed; returns whether anything was written. *)
+let write_events buf ~pid ?process_name ~first t =
+  let sep = ref (not first) in
+  let wrote = ref false in
+  let comma () =
+    if !sep then Buffer.add_char buf ',';
+    sep := true;
+    wrote := true
+  in
+  (match process_name with
+  | Some pname ->
+      comma ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\""
+           pid);
+      escape_into buf pname;
+      Buffer.add_string buf "\"}}"
+  | None -> ());
+  List.iter
+    (fun e ->
+      comma ();
+      add_event buf ~pid e)
+    (events t);
+  !wrote
+
+(** The whole tracer as one self-contained Chrome trace JSON document. *)
+let to_chrome_json ?(pid = 1) ?process_name t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  ignore (write_events buf ~pid ?process_name ~first:true t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Span/event tracer over virtual time.
+
+    Begin/end spans and instant events are stamped with the engine's
+    virtual clock and the running fiber's id, and kept in a bounded ring
+    buffer (oldest events dropped first). Disabled — the default — every
+    emit is a single branch, and tracing never affects virtual time in
+    either state. Exports Chrome trace-event JSON for chrome://tracing /
+    Perfetto, with fibers as threads. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  ts : int64;  (** virtual nanoseconds *)
+  tid : int;  (** fiber id, -1 outside fiber context *)
+}
+
+type t
+
+val create : ?capacity:int -> Engine.t -> t
+(** A disabled tracer with a ring of [capacity] events (default 65536). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val span_begin : t -> ?cat:string -> string -> unit
+val span_end : t -> ?cat:string -> string -> unit
+val instant : t -> ?cat:string -> string -> unit
+
+val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run a function inside a begin/end pair (ended on exceptions too). When
+    disabled this is just a call to the function. *)
+
+val events : t -> event list
+(** Retained events, oldest first; timestamps are nondecreasing. *)
+
+val length : t -> int
+val dropped : t -> int
+(** Events overwritten after the ring filled. *)
+
+val clear : t -> unit
+
+val write_events :
+  Buffer.t -> pid:int -> ?process_name:string -> first:bool -> t -> bool
+(** Append the events as comma-separated Chrome trace objects (no
+    brackets), under process id [pid] — for combining several runs into one
+    file. [first] suppresses the leading comma; returns true if anything
+    was written. *)
+
+val to_chrome_json : ?pid:int -> ?process_name:string -> t -> string
+(** A complete Chrome trace-event JSON document ("JSON array format"). *)

@@ -1,0 +1,17 @@
+(** Minimal JSON emitter (no parser) for machine-readable bench output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line document. Strings are escaped per RFC 8259;
+    NaN/infinite floats become [null]. *)
+
+val int64 : int64 -> t
+(** Emit as a plain integer literal (virtual-ns values fit in 2^53). *)

@@ -5,6 +5,8 @@ type t = {
   ops : int;  (** completed operations (benchmark-defined unit) *)
   bytes : int;  (** payload bytes moved, for throughput benchmarks *)
   elapsed_ns : int64;  (** virtual time *)
+  lat : Sim.Stats.Histogram.t option;
+      (** per-op latency (virtual ns), when the workload records it *)
 }
 
 let elapsed_sec r = Int64.to_float r.elapsed_ns /. 1e9
@@ -17,6 +19,18 @@ let mbps r =
   let s = elapsed_sec r in
   if s <= 0. then 0. else float_of_int r.bytes /. 1e6 /. s
 
+let lat_percentile r q =
+  match r.lat with
+  | Some h when Sim.Stats.Histogram.count h > 0 ->
+      Some (Sim.Stats.Histogram.percentile h q)
+  | _ -> None
+
 let pp ppf r =
   Fmt.pf ppf "%s: %d ops, %.1f ops/s, %.1f MB/s in %.3fs" r.label r.ops
-    (ops_per_sec r) (mbps r) (elapsed_sec r)
+    (ops_per_sec r) (mbps r) (elapsed_sec r);
+  match (lat_percentile r 50.0, lat_percentile r 99.0) with
+  | Some p50, Some p99 ->
+      Fmt.pf ppf " (p50 %.1fus, p99 %.1fus)"
+        (Int64.to_float p50 /. 1e3)
+        (Int64.to_float p99 /. 1e3)
+  | _ -> ()

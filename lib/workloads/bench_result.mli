@@ -5,9 +5,16 @@ type t = {
   ops : int;  (** completed operations (benchmark-defined unit) *)
   bytes : int;  (** payload bytes moved, for throughput benchmarks *)
   elapsed_ns : int64;
+  lat : Sim.Stats.Histogram.t option;
+      (** per-op latency (virtual ns), when the workload records it *)
 }
 
 val elapsed_sec : t -> float
 val ops_per_sec : t -> float
 val mbps : t -> float
+
+val lat_percentile : t -> float -> int64 option
+(** [lat_percentile r q] is the [q]-th percentile of per-op latency in
+    virtual ns, or [None] if the workload recorded no latencies. *)
+
 val pp : Format.formatter -> t -> unit

@@ -83,7 +83,13 @@ let varmail os ~duration ?(config = varmail_default) ~seed () : Bench_result.t
   in
   let ops = Micro.run_threads machine ~nthreads:c.vm_nthreads ~deadline body in
   let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
-  { Bench_result.label = "varmail"; ops; bytes = 0; elapsed_ns = elapsed }
+  {
+    Bench_result.label = "varmail";
+    ops;
+    bytes = 0;
+    elapsed_ns = elapsed;
+    lat = Some (Micro.op_lat machine);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* fileserver                                                           *)
@@ -174,7 +180,13 @@ let fileserver os ~duration ?(config = fileserver_default) ~seed () :
   in
   let ops = Micro.run_threads machine ~nthreads:c.fsv_nthreads ~deadline body in
   let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
-  { Bench_result.label = "fileserver"; ops; bytes = !bytes; elapsed_ns = elapsed }
+  {
+    Bench_result.label = "fileserver";
+    ops;
+    bytes = !bytes;
+    elapsed_ns = elapsed;
+    lat = Some (Micro.op_lat machine);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* untar                                                                *)
@@ -236,8 +248,10 @@ let untar os (m : manifest) : Bench_result.t =
   let t0 = Kernel.Machine.now machine in
   List.iter (fun d -> ok (Kernel.Os.mkdir os d)) m.dirs;
   let chunk = Bytes.make 65536 't' in
+  let lat = Micro.op_lat machine in
   List.iter
     (fun { me_path; me_size } ->
+      let f0 = Kernel.Machine.now machine in
       let fd = ok (Kernel.Os.open_ os me_path Kernel.Os.(creat wronly)) in
       let rec put off =
         if off < me_size then begin
@@ -247,7 +261,9 @@ let untar os (m : manifest) : Bench_result.t =
         end
       in
       put 0;
-      ok (Kernel.Os.close os fd))
+      ok (Kernel.Os.close os fd);
+      Sim.Stats.Histogram.record lat
+        (Int64.sub (Kernel.Machine.now machine) f0))
     m.files;
   (* tar exits; like the paper we then account the time to quiesce *)
   ok (Kernel.Os.sync os);
@@ -257,4 +273,5 @@ let untar os (m : manifest) : Bench_result.t =
     ops = List.length m.files;
     bytes = m.total_bytes;
     elapsed_ns = elapsed;
+    lat = Some lat;
   }

@@ -19,16 +19,29 @@ let createfiles_overhead = Sim.Time.us 550
 let deletefiles_overhead = Sim.Time.us 25
 let readwrite_overhead = Sim.Time.ns 2500
 
+(* The histogram the timed loops record per-op latencies into; one per
+   machine, so a fresh stack (as the bench harness builds per run) starts
+   empty. *)
+let op_lat machine = Kernel.Machine.histogram machine "op_lat"
+
 (* Spawn [nthreads] fibers running [body thread_index] until [deadline];
-   wait for all of them; returns per-thread op counts. *)
+   wait for all of them; returns per-thread op counts. Each completed op's
+   latency lands in the machine's [op_lat] histogram, except ops that were
+   still in flight at the deadline (their tail would be an artifact of the
+   cutoff, e.g. deletefiles parking until the deadline). *)
 let run_threads machine ~nthreads ~deadline body =
+  let lat = op_lat machine in
   let done_ = Sim.Sync.Semaphore.create 0 in
   let counts = Array.make nthreads 0 in
   for i = 0 to nthreads - 1 do
     Kernel.Machine.spawn ~name:(Printf.sprintf "worker%d" i) machine (fun () ->
         let rec loop () =
-          if Int64.compare (Kernel.Machine.now machine) deadline < 0 then begin
+          let t0 = Kernel.Machine.now machine in
+          if Int64.compare t0 deadline < 0 then begin
             body i;
+            let t1 = Kernel.Machine.now machine in
+            if Int64.compare t1 deadline <= 0 then
+              Sim.Stats.Histogram.record lat (Int64.sub t1 t0);
             counts.(i) <- counts.(i) + 1;
             loop ()
           end
@@ -102,6 +115,7 @@ let read_bench os ~iosize ~pattern ~nthreads ~duration ~file_mb ~seed :
     ops;
     bytes = ops * iosize;
     elapsed_ns = elapsed;
+    lat = Some (op_lat machine);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -154,6 +168,7 @@ let write_bench os ~iosize ~pattern ~nthreads ~duration ~file_mb ~seed :
     ops;
     bytes = ops * iosize;
     elapsed_ns = elapsed;
+    lat = Some (op_lat machine);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -216,6 +231,7 @@ let create_bench os ~nthreads ~duration ~dirwidth ~mean_size ~seed :
     ops;
     bytes = !bytes;
     elapsed_ns = elapsed;
+    lat = Some (op_lat machine);
   }
 
 (** Timed deletions over a pre-created fileset. *)
@@ -270,4 +286,5 @@ let delete_bench os ~nthreads ~duration ~dirwidth ~precreate ~seed :
     ops;
     bytes = 0;
     elapsed_ns = elapsed;
+    lat = Some (op_lat machine);
   }

@@ -11,10 +11,16 @@ type pattern = Seq | Rnd
 
 val pattern_name : pattern -> string
 
+val op_lat : Kernel.Machine.t -> Sim.Stats.Histogram.t
+(** The machine's per-op latency histogram (["op_lat"]) that the timed
+    loops record into; exposed so macro personalities share it. *)
+
 val run_threads :
   Kernel.Machine.t -> nthreads:int -> deadline:int64 -> (int -> unit) -> int
 (** Spawn workers running the body until the virtual deadline; returns the
-    total completed iterations. Exposed for the macro personalities. *)
+    total completed iterations. Exposed for the macro personalities. Each
+    iteration that finishes before the deadline records its latency in
+    {!op_lat}. *)
 
 val ensure_dirs : Kernel.Os.t -> prefix:string -> ndirs:int -> unit
 val dir_of_file : dirwidth:int -> int -> int

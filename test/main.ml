@@ -2,6 +2,8 @@ let () =
   Alcotest.run "bento"
     [
       ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("trace", Test_trace.suite);
       ("layout", Test_layout.suite);
       ("device", Test_device.suite);
       ("bcache", Test_bcache.suite);

@@ -193,6 +193,91 @@ let test_run_until () =
   Sim.Engine.run e;
   Alcotest.(check int) "completes later" 100 !ticks
 
+let test_channel_close_while_blocked () =
+  let e = Sim.Engine.create () in
+  let ch = Sim.Sync.Channel.create () in
+  let got = ref (Some 99) in
+  ignore
+    (Sim.Engine.spawn ~name:"recv" e (fun () ->
+         (* blocks on the empty channel before the closer runs *)
+         got := Sim.Sync.Channel.recv_opt ch));
+  ignore
+    (Sim.Engine.spawn ~name:"closer" e (fun () ->
+         Sim.Engine.sleep 10L;
+         Sim.Sync.Channel.close ch));
+  Sim.Engine.run e;
+  Alcotest.(check (option int)) "recv_opt sees close as None" None !got
+
+let test_channel_close_drains_then_none () =
+  let e = Sim.Engine.create () in
+  let ch = Sim.Sync.Channel.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.spawn e (fun () ->
+         Sim.Sync.Channel.send ch 1;
+         Sim.Sync.Channel.send ch 2;
+         Sim.Sync.Channel.close ch;
+         log := Sim.Sync.Channel.recv_opt ch :: !log;
+         log := Sim.Sync.Channel.recv_opt ch :: !log;
+         log := Sim.Sync.Channel.recv_opt ch :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list (option int)))
+    "queued values drain before None"
+    [ Some 1; Some 2; None ]
+    (List.rev !log)
+
+(* The popped-payload space leak: after pop, the heap's backing array must
+   not keep the payload reachable. A weak pointer observes collection. *)
+let payload_witness : Obj.t Weak.t = Weak.create 1
+
+let[@inline never] heap_push_pop_cycle () =
+  (* Built in a non-inlined frame so no register keeps the payload alive
+     once we return. *)
+  let h = Sim.Heap.create () in
+  let payload = Bytes.make 4096 'p' in
+  Weak.set payload_witness 0 (Some (Obj.repr payload));
+  Sim.Heap.push h ~time:5L ~seq:1 payload;
+  (match Sim.Heap.pop h with
+  | Some e -> assert (e.Sim.Heap.payload == payload)
+  | None -> assert false);
+  h
+
+let test_heap_pop_clears_slot () =
+  let h = heap_push_pop_cycle () in
+  Gc.full_major ();
+  (match Weak.get payload_witness 0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "popped payload still reachable from the heap");
+  (* the heap itself is still usable *)
+  Sim.Heap.push h ~time:1L ~seq:2 (Bytes.create 1);
+  Alcotest.(check int) "heap usable after clearing" 1 (Sim.Heap.length h)
+
+let test_heap_shrinks_after_drain () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 999 do
+    Sim.Heap.push h ~time:(Int64.of_int (i * 31 mod 1009)) ~seq:i i
+  done;
+  let cap_full = Sim.Heap.capacity h in
+  Alcotest.(check bool) "grew to hold 1000" true (cap_full >= 1000);
+  for _ = 1 to 990 do
+    ignore (Sim.Heap.pop h)
+  done;
+  Alcotest.(check int) "10 left" 10 (Sim.Heap.length h);
+  Alcotest.(check bool) "backing array shrank" true
+    (Sim.Heap.capacity h < cap_full / 8);
+  (* remaining entries still drain in order *)
+  let last = ref Int64.min_int in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some e ->
+        Alcotest.(check bool) "ordered" true (Int64.compare !last e.Sim.Heap.time <= 0);
+        last := e.Sim.Heap.time;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h)
+
 (* Property: the heap pops in nondecreasing (time, seq) order. *)
 let prop_heap_ordering =
   QCheck.Test.make ~count:200 ~name:"heap pops in order"
@@ -223,6 +308,10 @@ let suite =
     tc "semaphore bounds" `Quick test_semaphore_bounds;
     tc "resource queueing" `Quick test_resource_queueing;
     tc "channel fifo + close" `Quick test_channel_fifo;
+    tc "channel close while blocked" `Quick test_channel_close_while_blocked;
+    tc "channel drains then None" `Quick test_channel_close_drains_then_none;
+    tc "heap pop clears slot" `Quick test_heap_pop_clears_slot;
+    tc "heap shrinks after drain" `Quick test_heap_shrinks_after_drain;
     tc "ivar" `Quick test_ivar;
     tc "run_until" `Quick test_run_until;
     QCheck_alcotest.to_alcotest prop_heap_ordering;

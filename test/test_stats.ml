@@ -1,0 +1,119 @@
+(** Tests of the stats registry: the log-bucketed histogram's percentile
+    math and the iteration entry points the bench harness dumps through. *)
+
+let tc = Alcotest.test_case
+
+module H = Sim.Stats.Histogram
+
+let test_histogram_exact_small () =
+  (* Values below 32 land in exact single-value buckets, so percentiles of
+     a tiny distribution are exact. *)
+  let h = H.create "small" in
+  List.iter (fun v -> H.record h (Int64.of_int v)) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "count" 4 (H.count h);
+  Alcotest.(check int64) "p25" 1L (H.percentile h 25.0);
+  Alcotest.(check int64) "p50" 2L (H.percentile h 50.0);
+  Alcotest.(check int64) "p75" 3L (H.percentile h 75.0);
+  Alcotest.(check int64) "p100" 4L (H.percentile h 100.0);
+  Alcotest.(check int64) "min" 1L (H.min_ns h);
+  Alcotest.(check int64) "max" 4L (H.max_ns h);
+  Alcotest.(check int64) "total" 10L (H.total h)
+
+(* The bucketing uses 16 sub-buckets per power of two, so any quantile of
+   any distribution is over-reported by at most one bucket width: under
+   100%/16 = 6.25%, plus the clamp to the observed max. *)
+let check_quantile h ~name ~exact q =
+  let p = Int64.to_float (H.percentile h q) in
+  let lo = float_of_int exact in
+  let hi = lo *. (1.0 +. 1.0 /. 16.0) in
+  if p < lo || p > hi then
+    Alcotest.failf "%s: p%.0f = %.0f outside [%.0f, %.1f]" name q p lo hi
+
+let test_histogram_uniform_percentiles () =
+  let h = H.create "uniform" in
+  for v = 1 to 1000 do
+    H.record h (Int64.of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  check_quantile h ~name:"uniform" ~exact:500 50.0;
+  check_quantile h ~name:"uniform" ~exact:900 90.0;
+  check_quantile h ~name:"uniform" ~exact:990 99.0;
+  Alcotest.(check int64) "max exact" 1000L (H.max_ns h);
+  (* p100 clamps to the observed max, not the bucket boundary *)
+  Alcotest.(check int64) "p100 = max" 1000L (H.percentile h 100.0)
+
+let test_histogram_point_mass () =
+  (* All mass on one large value: every percentile reports the same bucket,
+     within the relative-error bound, and never below the true value. *)
+  let h = H.create "point" in
+  for _ = 1 to 100 do
+    H.record h 123_456L
+  done;
+  List.iter
+    (fun q ->
+      let p = H.percentile h q in
+      if Int64.compare p 123_456L < 0 then
+        Alcotest.failf "p%.0f = %Ld under-reports" q p;
+      check_quantile h ~name:"point" ~exact:123_456 q)
+    [ 1.0; 50.0; 99.0; 100.0 ]
+
+let test_histogram_buckets_sum () =
+  let h = H.create "sum" in
+  let n = 500 in
+  for i = 1 to n do
+    H.record h (Int64.of_int (i * i * 37))
+  done;
+  let total = ref 0 in
+  let last_hi = ref (-1L) in
+  H.iter_buckets h (fun ~lo ~hi ~count ->
+      total := !total + count;
+      if Int64.compare lo !last_hi <= 0 then
+        Alcotest.failf "bucket [%Ld,%Ld] not increasing" lo hi;
+      if Int64.compare hi lo < 0 then Alcotest.failf "empty range";
+      last_hi := hi);
+  Alcotest.(check int) "bucket counts sum to total" n !total
+
+let test_histogram_reset () =
+  let h = H.create "reset" in
+  H.record h 99L;
+  H.reset h;
+  Alcotest.(check int) "count cleared" 0 (H.count h);
+  H.record h 7L;
+  Alcotest.(check int64) "usable after reset" 7L (H.percentile h 100.0)
+
+let test_registry_iteration () =
+  let s = Sim.Stats.create () in
+  Sim.Stats.Counter.incr (Sim.Stats.counter s "b_counter");
+  Sim.Stats.Latency.record (Sim.Stats.latency s "z_lat") 10L;
+  Sim.Stats.Latency.record (Sim.Stats.latency s "a_lat") 20L;
+  H.record (Sim.Stats.histogram s "m_hist") 30L;
+  H.record (Sim.Stats.histogram s "c_hist") 40L;
+  let lats = ref [] in
+  Sim.Stats.iter_latencies s (fun name _ -> lats := name :: !lats);
+  Alcotest.(check (list string)) "latencies sorted" [ "a_lat"; "z_lat" ]
+    (List.rev !lats);
+  let hists = ref [] in
+  Sim.Stats.iter_histograms s (fun name h ->
+      hists := (name, H.count h) :: !hists);
+  Alcotest.(check (list (pair string int)))
+    "histograms sorted, find-or-create shared"
+    [ ("c_hist", 1); ("m_hist", 1) ]
+    (List.rev !hists);
+  (* find-or-create returns the same object *)
+  H.record (Sim.Stats.histogram s "m_hist") 50L;
+  Alcotest.(check int) "same histogram" 2
+    (H.count (Sim.Stats.histogram s "m_hist"));
+  Sim.Stats.reset s;
+  Alcotest.(check int) "registry reset clears histograms" 0
+    (H.count (Sim.Stats.histogram s "m_hist"))
+
+let suite =
+  [
+    tc "histogram: exact below 32" `Quick test_histogram_exact_small;
+    tc "histogram: uniform percentiles" `Quick
+      test_histogram_uniform_percentiles;
+    tc "histogram: point mass" `Quick test_histogram_point_mass;
+    tc "histogram: buckets sum and order" `Quick test_histogram_buckets_sum;
+    tc "histogram: reset" `Quick test_histogram_reset;
+    tc "registry: iteration and reset" `Quick test_registry_iteration;
+  ]

@@ -59,6 +59,7 @@ let test_bench_result_math () =
       ops = 500;
       bytes = 5_000_000;
       elapsed_ns = 2_000_000_000L;
+      lat = None;
     }
   in
   Alcotest.(check (float 0.01)) "ops/s" 250.0 (Workloads.Bench_result.ops_per_sec r);
