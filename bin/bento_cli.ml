@@ -157,7 +157,112 @@ let bugstudy_cmd =
   let run () = Format.printf "%a" Bugstudy.Study.pp_table1 () in
   Cmd.v (Cmd.info "bugstudy" ~doc:"Print the Table 1 bug study") Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let env_seed () =
+    match Sys.getenv_opt "BENTO_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some n -> Some n | None -> None)
+    | None -> None
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ]
+          ~doc:"Workload seed (default: \\$BENTO_SEED if set, else 42)")
+  in
+  let ops = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Operations per workload") in
+  let points =
+    Arg.(
+      value
+      & opt string "sample"
+      & info [ "crash-points" ]
+          ~doc:"all | sample | none — which crash points to replay")
+  in
+  let sample =
+    Arg.(value & opt int 32 & info [ "sample" ] ~doc:"Crash points in sample mode")
+  in
+  let fs =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "fs" ] ~doc:"xv6 | fuse | ext4 | all — stacks to check")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Deliberately corrupt the log/journal header before every \
+             recovery replay; the checker must then report counterexamples \
+             (self-test)")
+  in
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "dump-trace" ]
+          ~doc:"Print the generated op trace (with indices) and exit")
+  in
+  let run seed ops points sample fs inject dump =
+    let seed =
+      match seed with
+      | Some s -> s
+      | None -> ( match env_seed () with Some s -> s | None -> 42)
+    in
+    if dump then begin
+      let trace = Check.Workload.generate ~seed ~ops () in
+      Array.iteri
+        (fun i op ->
+          Printf.printf "op %4d: %s%s\n" i
+            (Check.Model.op_to_string op)
+            (match trace.Check.Workload.expected.(i) with
+            | Check.Model.Ok_unit -> ""
+            | o -> "  => " ^ Check.Model.outcome_to_string o))
+        trace.Check.Workload.ops;
+      exit 0
+    end;
+    let stacks =
+      match fs with
+      | "all" -> Check.Stack.all
+      | s -> (
+          match Check.Stack.of_string s with
+          | Some k -> [ k ]
+          | None ->
+              prerr_endline ("unknown --fs: " ^ s ^ " (want xv6|fuse|ext4|all)");
+              exit 2)
+    in
+    let mode =
+      match points with
+      | "all" -> Some Check.Checker.All
+      | "sample" -> Some (Check.Checker.Sample sample)
+      | "none" -> None
+      | s ->
+          prerr_endline ("unknown --crash-points: " ^ s ^ " (want all|sample|none)");
+          exit 2
+    in
+    let report =
+      Check.Checker.run ~inject_bug:inject ~mode ~seed ~ops ~stacks ()
+    in
+    Format.printf "%a@?" Check.Checker.pp_report report;
+    if not (Check.Checker.report_ok report) then begin
+      Printf.printf "FAIL: reproduce with: bento_cli check --seed %d --ops %d --fs %s --crash-points %s\n"
+        seed ops fs points;
+      exit 1
+    end
+    else Printf.printf "OK: no oracle violations, no divergences (seed %d)\n" seed
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Crash-consistency and differential checker: one seeded workload, \
+          every stack, every crash point")
+    Term.(const run $ seed $ ops $ points $ sample $ fs $ inject $ dump)
+
 let () =
   let doc = "Bento: high-velocity kernel file systems (simulated reproduction)" in
   let info = Cmd.info "bento_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ layout_cmd; smoke_cmd; crashtest_cmd; bugstudy_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ layout_cmd; smoke_cmd; crashtest_cmd; bugstudy_cmd; check_cmd ]))

@@ -1,0 +1,85 @@
+(** The three file-system stacks from the paper behind one face, so the
+    differential driver and the crash-point enumerator can treat "mount,
+    run ops, unmount, fsck" uniformly:
+
+    - [Xv6]: Bento xv6fs inserted into the simulated kernel (BentoFS);
+    - [Fuse]: the same xv6fs code running as a userspace daemon behind
+      the FUSE transport — same on-disk format, different runtime;
+    - [Ext4]: the native ext4 comparator in data=journal mode.
+
+    All mounts are [~background:false] so a bounded run drains cleanly. *)
+
+type kind = Xv6 | Fuse | Ext4
+
+let name = function Xv6 -> "xv6" | Fuse -> "fuse" | Ext4 -> "ext4"
+
+let of_string = function
+  | "xv6" -> Some Xv6
+  | "fuse" -> Some Fuse
+  | "ext4" -> Some Ext4
+  | _ -> None
+
+let all = [ Xv6; Fuse; Ext4 ]
+
+let xv6_maker : (module Bento.Fs_api.FS_MAKER) = (module Xv6fs.Fs.Make)
+
+type mounted = { os : Kernel.Os.t; unmount : unit -> unit }
+
+let mkfs kind machine =
+  Kernel.Errno.ok_exn
+    (match kind with
+    | Xv6 | Fuse -> Bento.Bentofs.mkfs machine xv6_maker
+    | Ext4 -> Ext4sim.Ext4.mkfs machine)
+
+(** Mount; for xv6-format stacks this replays the log, for ext4 it runs
+    [Jbd2.recover] — exactly the recovery path the crash checker tests. *)
+let mount kind machine =
+  match kind with
+  | Xv6 ->
+      let vfs, h =
+        Kernel.Errno.ok_exn
+          (Bento.Bentofs.mount ~background:false machine xv6_maker)
+      in
+      { os = Kernel.Os.create vfs; unmount = (fun () -> Bento.Bentofs.unmount vfs h) }
+  | Fuse ->
+      let vfs, h =
+        Kernel.Errno.ok_exn
+          (Bento_user.mount ~background:false machine xv6_maker)
+      in
+      { os = Kernel.Os.create vfs; unmount = (fun () -> Bento_user.unmount vfs h) }
+  | Ext4 ->
+      let vfs, h =
+        Kernel.Errno.ok_exn (Ext4sim.Ext4.mount ~background:false machine)
+      in
+      { os = Kernel.Os.create vfs; unmount = (fun () -> Ext4sim.Ext4.unmount vfs h) }
+
+(** Offline consistency check of the device's current contents. *)
+let fsck_errors kind machine =
+  let dev = Kernel.Machine.disk machine in
+  match kind with
+  | Xv6 | Fuse ->
+      let r = Xv6fs.Fsck.check_device dev in
+      r.Xv6fs.Fsck.errors
+  | Ext4 ->
+      let r = Ext4sim.Fsck4.check_device dev in
+      r.Ext4sim.Fsck4.errors
+
+(** Deliberate bug injection for checker self-tests: zero the block that
+    recovery reads first (the xv6 log header / the JBD2 journal
+    superblock), which silently turns replay into a no-op — the class of
+    bug the checker exists to catch. *)
+let nuke_log kind machine =
+  let dev = Kernel.Machine.disk machine in
+  let zero = Bytes.make (Device.Ssd.block_size dev) '\000' in
+  let blk =
+    match kind with
+    | Xv6 | Fuse -> (
+        match Xv6fs.Layout.get_superblock (Device.Ssd.Offline.read dev 1) with
+        | Ok sb -> sb.Xv6fs.Layout.logstart
+        | Error m -> failwith ("nuke_log: bad xv6 superblock: " ^ m))
+    | Ext4 -> (
+        match Ext4sim.Layout4.get_superblock (Device.Ssd.Offline.read dev 1) with
+        | Ok sb -> sb.Ext4sim.Layout4.journal_start
+        | Error m -> failwith ("nuke_log: bad ext4 superblock: " ^ m))
+  in
+  Device.Ssd.Offline.write dev blk zero

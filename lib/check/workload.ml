@@ -1,0 +1,365 @@
+(** Seeded property-based workload generation, plus the trace bookkeeping
+    the crash checker needs: the oracle state after every metadata
+    operation, every version a file's contents ever took, and the
+    durability barriers (fsync/sync) that pin them down.
+
+    Everything is derived deterministically from the seed, so a failing
+    run reproduces with one command. *)
+
+let digest b =
+  Printf.sprintf "%d:%s" (Bytes.length b) (Digest.to_hex (Digest.bytes b))
+
+(** Deterministic payload for the write at op index [opidx]: both the
+    trace builder (expected contents) and the executors (actual writes)
+    call this, so contents can be compared without shipping bytes around. *)
+let payload ~seed ~opidx ~len =
+  let r = Sim.Rng.create ((seed * 1_000_003) + (opidx * 7919) + len) in
+  Bytes.init len (fun _ -> Char.chr (97 + Sim.Rng.int r 26))
+
+type trace = {
+  seed : int;
+  ops : Model.op array;
+  expected : Model.outcome array;  (** oracle outcome per op *)
+  md_before : int array;
+      (** [md_before.(i)] = metadata slots among ops[0..i-1]; length n+1 *)
+  md_states : Model.state array;
+      (** [md_states.(j)] = namespace after the first [j] metadata slots *)
+  versions : (int, (int * Bytes.t) list) Hashtbl.t;
+      (** file id -> (op index, full contents after that op), newest first *)
+  fsyncs : (int, int list) Hashtbl.t;
+      (** file id -> op indices of successful fsyncs, newest first *)
+  syncs : int list;  (** op indices of successful syncs, newest first *)
+  final : Model.state;
+}
+
+let n_ops t = Array.length t.ops
+
+(* ------------------------------------------------------------------ *)
+(* Trace builder: replay an op list through the oracle                 *)
+(* ------------------------------------------------------------------ *)
+
+let build ~seed (ops_list : Model.op list) : trace =
+  let n = List.length ops_list in
+  let ops = Array.of_list ops_list in
+  let expected = Array.make n Model.Ok_unit in
+  let md_before = Array.make (n + 1) 0 in
+  let md_states = ref [ Model.empty ] in
+  let versions = Hashtbl.create 64 in
+  let fsyncs = Hashtbl.create 64 in
+  let syncs = ref [] in
+  let contents = Hashtbl.create 64 in
+  let content_of id =
+    match Hashtbl.find_opt contents id with
+    | Some b -> b
+    | None -> Bytes.empty
+  in
+  let st = ref Model.empty in
+  Array.iteri
+    (fun i op ->
+      let st', res = Model.apply !st op in
+      st := st';
+      md_before.(i + 1) <- md_before.(i) + if Model.is_metadata op then 1 else 0;
+      if Model.is_metadata op then md_states := st' :: !md_states;
+      let record_version id b =
+        Hashtbl.replace contents id b;
+        let prev =
+          match Hashtbl.find_opt versions id with Some l -> l | None -> []
+        in
+        Hashtbl.replace versions id ((i, b) :: prev)
+      in
+      expected.(i) <-
+        (match res with
+        | Model.R_unit -> Model.Ok_unit
+        | Model.R_err e -> Model.Err e
+        | Model.R_created id ->
+            record_version id Bytes.empty;
+            Model.Ok_unit
+        | Model.R_wrote id ->
+            let pos, len =
+              match op with
+              | Model.Write { pos; len; _ } -> (pos, len)
+              | _ -> assert false
+            in
+            let cur = content_of id in
+            let newlen = max (Bytes.length cur) (pos + len) in
+            let b = Bytes.make newlen '\000' in
+            Bytes.blit cur 0 b 0 (Bytes.length cur);
+            Bytes.blit (payload ~seed ~opidx:i ~len) 0 b pos len;
+            record_version id b;
+            Model.Ok_unit
+        | Model.R_read id -> Model.Ok_data (digest (content_of id))
+        | Model.R_stat { kind; file; nlink } ->
+            Model.Ok_stat
+              {
+                kind;
+                size =
+                  (match file with
+                  | Some id -> Some (Bytes.length (content_of id))
+                  | None -> None);
+                nlink;
+              }
+        | Model.R_readlink target -> Model.Ok_data target
+        | Model.R_names l -> Model.Ok_names l
+        | Model.R_fsync id ->
+            let prev =
+              match Hashtbl.find_opt fsyncs id with Some l -> l | None -> []
+            in
+            Hashtbl.replace fsyncs id (i :: prev);
+            Model.Ok_unit
+        | Model.R_sync ->
+            syncs := i :: !syncs;
+            Model.Ok_unit))
+    ops;
+  {
+    seed;
+    ops;
+    expected;
+    md_before;
+    md_states = Array.of_list (List.rev !md_states);
+    versions;
+    fsyncs;
+    syncs = !syncs;
+    final = !st;
+  }
+
+let of_ops ~seed ops_list = build ~seed ops_list
+
+(* ------------------------------------------------------------------ *)
+(* Random generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let join dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+let depth path =
+  String.fold_left (fun a c -> if c = '/' then a + 1 else a) 0 path
+
+(** Generate [ops] operations from [seed]. The generator drives its
+    choices off the live oracle state so most operations succeed, with a
+    controlled rate of deliberate error cases (ENOENT lookups,
+    ENOTEMPTY rmdirs, dangling symlinks). It avoids the few spots where
+    the implementations legitimately disagree with POSIX or each other:
+    ".." components, names over xv6's 59-byte limit, directory renames
+    into their own subtree, and rename between two links of one inode. *)
+let generate ~seed ~ops () : trace =
+  let rng = Sim.Rng.create seed in
+  let st = ref Model.empty in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let gsizes = Hashtbl.create 64 in
+  let acc = ref [] in
+  let pick l = List.nth l (Sim.Rng.int rng (List.length l)) in
+  for _ = 1 to ops do
+    let rows = Model.rows !st in
+    let files =
+      List.filter_map
+        (fun (p, id, n) ->
+          match n with Model.NFile -> Some (p, id) | _ -> None)
+        rows
+    in
+    let dirs =
+      ("/", Model.root_id, Model.SM.empty)
+      :: List.filter_map
+           (fun (p, id, n) ->
+             match n with Model.NDir e -> Some (p, id, e) | _ -> None)
+           rows
+    in
+    let symlinks =
+      List.filter_map
+        (fun (p, _, n) ->
+          match n with Model.NSymlink _ -> Some p | _ -> None)
+        rows
+    in
+    let shallow_dirs =
+      List.filter (fun (p, _, _) -> depth p < 4) dirs
+    in
+    let rand_dir () =
+      let pool = if shallow_dirs = [] then dirs else shallow_dirs in
+      pick pool
+    in
+    let gen_len () =
+      let roll = Sim.Rng.int rng 100 in
+      if roll < 50 then 1 + Sim.Rng.int rng 512
+      else if roll < 80 then 1 + Sim.Rng.int rng 4096
+      else 1 + Sim.Rng.int rng 16384
+    in
+    let mk_create () =
+      let d, _, _ = rand_dir () in
+      Model.Create (join d (fresh "f"))
+    in
+    let op =
+      let roll = Sim.Rng.int rng 100 in
+      if roll < 12 then mk_create ()
+      else if roll < 32 then (
+        (* write: append 60%, rewrite 40%; cap file size at 128 KiB *)
+        match files with
+        | [] -> mk_create ()
+        | fs ->
+            let p, id = pick fs in
+            let size =
+              match Hashtbl.find_opt gsizes id with Some s -> s | None -> 0
+            in
+            let len = gen_len () in
+            let pos =
+              if size + len > 131072 || (size > 0 && Sim.Rng.int rng 100 < 40)
+              then Sim.Rng.int rng (max 1 size)
+              else size
+            in
+            Model.Write { path = p; pos; len })
+      else if roll < 39 then (
+        match files with
+        | [] -> mk_create ()
+        | fs -> Model.Read (fst (pick fs)))
+      else if roll < 45 then
+        let d, _, _ = rand_dir () in
+        Model.Mkdir (join d (fresh "d"))
+      else if roll < 52 then (
+        match files @ List.map (fun p -> (p, -1)) symlinks with
+        | [] -> mk_create ()
+        | pool -> Model.Unlink (fst (pick pool)))
+      else if roll < 55 then (
+        match List.filter (fun (p, _, _) -> p <> "/") dirs with
+        | [] ->
+            let d, _, _ = rand_dir () in
+            Model.Mkdir (join d (fresh "d"))
+        | pool ->
+            let p, _, _ = pick pool in
+            Model.Rmdir p)
+      else if roll < 63 then (
+        (* rename *)
+        let movable = List.filter (fun (p, _, _) -> p <> "/") rows in
+        match movable with
+        | [] -> mk_create ()
+        | pool -> (
+            let sp, sid, sn = pick pool in
+            let src_is_dir =
+              match sn with Model.NDir _ -> true | _ -> false
+            in
+            let dst_dir_ok (_, did, _) =
+              (not src_is_dir) || not (Model.in_subtree !st ~anc:sid did)
+            in
+            let fresh_dst () =
+              match List.filter dst_dir_ok dirs with
+              | [] -> None
+              | ok ->
+                  let d, _, _ = pick ok in
+                  Some (join d (fresh "r"))
+            in
+            let existing_dst () =
+              if src_is_dir then
+                List.filter_map
+                  (fun (p, id, n) ->
+                    match n with
+                    | Model.NDir e
+                      when Model.SM.is_empty e && id <> sid
+                           && not (Model.in_subtree !st ~anc:sid id) -> (
+                        match Model.resolve_parent !st p with
+                        | Ok (pid, _)
+                          when not (Model.in_subtree !st ~anc:sid pid) ->
+                            Some p
+                        | _ -> None)
+                    | _ -> None)
+                  rows
+              else
+                List.filter_map
+                  (fun (p, id, n) ->
+                    match n with
+                    | (Model.NFile | Model.NSymlink _) when id <> sid ->
+                        Some p
+                    | _ -> None)
+                  rows
+            in
+            let dst =
+              if Sim.Rng.int rng 100 < 40 then
+                match existing_dst () with
+                | [] -> fresh_dst ()
+                | pool -> Some (pick pool)
+              else fresh_dst ()
+            in
+            match dst with
+            | Some d -> Model.Rename (sp, d)
+            | None -> mk_create ()))
+      else if roll < 67 then (
+        match files with
+        | [] -> mk_create ()
+        | fs ->
+            let d, _, _ = rand_dir () in
+            Model.Link (fst (pick fs), join d (fresh "l")))
+      else if roll < 72 then
+        let target =
+          if Sim.Rng.int rng 100 < 70 && rows <> [] then
+            let p, _, _ = pick rows in
+            p
+          else "/" ^ fresh "dangling"
+        in
+        let d, _, _ = rand_dir () in
+        Model.Symlink { target; link = join d (fresh "s") }
+      else if roll < 75 then (
+        match symlinks with
+        | [] -> (
+            match rows with
+            | [] -> mk_create ()
+            | _ ->
+                let p, _, _ = pick rows in
+                Model.Stat p)
+        | ss -> Model.Readlink (pick ss))
+      else if roll < 81 then (
+        match rows with
+        | [] -> Model.Stat "/"
+        | _ ->
+            let p, _, _ = pick rows in
+            Model.Stat p)
+      else if roll < 84 then
+        let d, _, _ = rand_dir () in
+        Model.Readdir d
+      else if roll < 94 then (
+        match files with
+        | [] -> Model.Sync
+        | fs -> Model.Fsync (fst (pick fs)))
+      else if roll < 97 then Model.Sync
+      else Model.Stat ("/" ^ fresh "nope")
+    in
+    (* keep the generator's view of the namespace and sizes current *)
+    let st', res = Model.apply !st op in
+    st := st';
+    (match res with
+    | Model.R_created id -> Hashtbl.replace gsizes id 0
+    | Model.R_wrote id ->
+        let pos, len =
+          match op with
+          | Model.Write { pos; len; _ } -> (pos, len)
+          | _ -> assert false
+        in
+        let size =
+          match Hashtbl.find_opt gsizes id with Some s -> s | None -> 0
+        in
+        Hashtbl.replace gsizes id (max size (pos + len))
+    | _ -> ());
+    acc := op :: !acc
+  done;
+  build ~seed (List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Durability queries used by the crash checker                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Latest successful durability barrier covering file [id] at or before
+    op [completed]: an fsync of [id] or a global sync. *)
+let barrier_for t ~id ~completed =
+  let best l =
+    List.fold_left
+      (fun acc i -> if i <= completed then max acc i else acc)
+      (-1) l
+  in
+  let f = match Hashtbl.find_opt t.fsyncs id with Some l -> best l | None -> -1 in
+  let s = best t.syncs in
+  let m = max f s in
+  if m < 0 then None else Some m
+
+(** Versions of file [id] with op index <= [upto], newest first. *)
+let versions_upto t ~id ~upto =
+  match Hashtbl.find_opt t.versions id with
+  | None -> []
+  | Some l -> List.filter (fun (i, _) -> i <= upto) l

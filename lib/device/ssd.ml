@@ -44,6 +44,8 @@ let default_config =
     cache_blocks = 4096;
   }
 
+type cmd = Cmd_read | Cmd_write | Cmd_flush
+
 type t = {
   engine : Sim.Engine.t;
   config : config;
@@ -58,6 +60,9 @@ type t = {
   read_lat : Sim.Stats.Histogram.t;  (** command service incl. queueing *)
   write_lat : Sim.Stats.Histogram.t;
   mutable failed : bool;  (** set by [crash]: all subsequent I/O fails *)
+  mutable stable_epoch : int;  (** bumped whenever stable contents change *)
+  mutable on_command : (cmd -> unit) option;
+      (** crash-point enumeration hook, fired after each completed command *)
 }
 
 exception Out_of_range of int
@@ -81,7 +86,21 @@ let create ?(config = default_config) ?tracer ~nblocks ~block_size engine =
     read_lat = Sim.Stats.histogram stats "cmd_read_lat";
     write_lat = Sim.Stats.histogram stats "cmd_write_lat";
     failed = false;
+    stable_epoch = 0;
+    on_command = None;
   }
+
+let stable_epoch t = t.stable_epoch
+let set_command_hook t hook = t.on_command <- hook
+
+let notify t cmd =
+  match t.on_command with None -> () | Some f -> f cmd
+
+(* Everything stored in [stable] is replace-only (writers always install a
+   fresh copy), so a shallow copy of the array is a faithful snapshot of
+   what an immediate power failure would leave behind. Callers must treat
+   the payloads as read-only. *)
+let crash_view t = Array.copy t.stable
 
 let block_size t = t.block_size
 let nblocks t = t.nblocks
@@ -120,7 +139,9 @@ let read_contig t ~start ~count =
     (Int64.sub (Sim.Engine.now t.engine) t0);
   Sim.Trace.span_end t.tracer ~cat:"device" "ssd:read";
   if t.failed then raise Device_failed;
-  Array.init count (fun i -> peek t (start + i))
+  let result = Array.init count (fun i -> peek t (start + i)) in
+  notify t Cmd_read;
+  result
 
 let read t block =
   match read_contig t ~start:block ~count:1 with
@@ -160,7 +181,8 @@ let drain_overflow t =
       (fun (blk, data) ->
         t.stable.(blk) <- Some data;
         Hashtbl.remove t.volatile blk)
-      victims
+      victims;
+    if victims <> [] then t.stable_epoch <- t.stable_epoch + 1
   end
 
 (** Write [count] contiguous blocks as one device command. *)
@@ -181,7 +203,8 @@ let write_contig t ~start bufs =
   Sim.Trace.span_end t.tracer ~cat:"device" "ssd:write";
   if t.failed then raise Device_failed;
   Array.iteri (fun i data -> store_volatile t (start + i) data) bufs;
-  drain_overflow t
+  drain_overflow t;
+  notify t Cmd_write
 
 let write t block data = write_contig t ~start:block [| data |]
 
@@ -203,10 +226,21 @@ let flush t =
           Sim.Stats.Histogram.record
             (Sim.Stats.histogram t.stats "cmd_flush_lat") dur;
           if t.failed then raise Device_failed;
-          Hashtbl.iter (fun blk data -> t.stable.(blk) <- Some data) t.volatile;
-          Hashtbl.reset t.volatile))
+          if Hashtbl.length t.volatile > 0 then begin
+            Hashtbl.iter
+              (fun blk data -> t.stable.(blk) <- Some data)
+              t.volatile;
+            t.stable_epoch <- t.stable_epoch + 1
+          end;
+          Hashtbl.reset t.volatile));
+  notify t Cmd_flush
 
 let dirty_blocks t = Hashtbl.length t.volatile
+
+(* Sorted for determinism; payloads are replace-only, hence safely shared. *)
+let volatile_view t =
+  Hashtbl.fold (fun blk data acc -> (blk, data) :: acc) t.volatile []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (** Simulate power loss. Unflushed writes are dropped, except that each
     volatile block independently survives with probability [survive] (the
@@ -214,16 +248,21 @@ let dirty_blocks t = Hashtbl.length t.volatile
     arbitrary write reordering for crash-recovery tests. Afterwards the
     device keeps working on the surviving state. *)
 let crash ?(survive = 0.0) ?rng t =
+  let survivors = ref 0 in
   let keep blk data =
     let lucky =
       match rng with
       | Some r -> Sim.Rng.float r < survive
       | None -> false
     in
-    if lucky then t.stable.(blk) <- Some data
+    if lucky then begin
+      t.stable.(blk) <- Some data;
+      incr survivors
+    end
   in
   Hashtbl.iter keep t.volatile;
-  Hashtbl.reset t.volatile
+  Hashtbl.reset t.volatile;
+  if !survivors > 0 then t.stable_epoch <- t.stable_epoch + 1
 
 (** Mark the device failed: every subsequent command raises
     [Device_failed]. Used for fault-injection tests. *)
@@ -239,6 +278,7 @@ module Offline = struct
     check t block;
     if Bytes.length data <> t.block_size then invalid_arg "Offline.write";
     t.stable.(block) <- Some (Bytes.copy data);
+    t.stable_epoch <- t.stable_epoch + 1;
     Hashtbl.remove t.volatile block
 
   let stable_read t block =

@@ -25,6 +25,9 @@ val default_config : config
 
 type t
 
+type cmd = Cmd_read | Cmd_write | Cmd_flush
+(** Device command classes, as reported to the {!set_command_hook}. *)
+
 exception Out_of_range of int
 exception Device_failed
 
@@ -60,6 +63,29 @@ val flush : t -> unit
     [flush_base] + dirty bytes / [flush_bw]. *)
 
 val dirty_blocks : t -> int
+
+val crash_view : t -> Bytes.t option array
+(** Snapshot of what an immediate power failure would leave behind: the
+    stable contents only ([None] = zeroes), excluding the volatile cache.
+    Shallow — treat the payload [Bytes.t] values as read-only. Stable
+    payloads are replace-only internally, so the snapshot stays faithful
+    even as the device keeps running. *)
+
+val volatile_view : t -> (int * Bytes.t) list
+(** The unflushed write cache as sorted (block, contents) pairs — the
+    blocks at stake in a crash right now. Shallow like {!crash_view}. *)
+
+val stable_epoch : t -> int
+(** Monotonic counter bumped whenever stable contents change (flush, cache
+    overflow drain, crash survivors, offline writes). Two equal epochs ⇒
+    identical {!crash_view}; the crash checker uses it to deduplicate
+    crash points. *)
+
+val set_command_hook : t -> (cmd -> unit) option -> unit
+(** Install a callback fired after every completed device command, on the
+    fiber that issued it. The crash-point enumerator uses this to snapshot
+    device state at every command boundary. The callback must not issue
+    device commands. *)
 
 val crash : ?survive:float -> ?rng:Sim.Rng.t -> t -> unit
 (** Power failure: unflushed writes are dropped, except that each block

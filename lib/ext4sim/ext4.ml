@@ -1037,12 +1037,49 @@ let mount ?dirty_limit ?background ?commit_interval machine :
                                 in
                                 match r with
                                 | Error _ as e -> finish e
-                                | Ok () ->
-                                    let out = finish (Ok ()) in
-                                    (match victim with
-                                    | Some ip -> iput fs ip
-                                    | None -> ());
-                                    out))))
+                                | Ok () -> (
+                                    (* moving a directory across parents:
+                                       rewrite its ".." and fix both
+                                       parents' link counts (divergence vs
+                                       xv6 found by the differential
+                                       checker) *)
+                                    let fixup =
+                                      let src = iget fs src_ino in
+                                      ilock fs src;
+                                      let r =
+                                        if
+                                          src.kind = L.K_dir
+                                          && dp_old.ino <> dp_new.ino
+                                        then
+                                          match dirlookup fs src ".." with
+                                          | Error _ as e -> e
+                                          | Ok None -> Ok ()
+                                          | Ok (Some (_, dd_slot)) ->
+                                              let* () =
+                                                dirunlink fs src ~slot:dd_slot
+                                              in
+                                              let* () =
+                                                dirlink fs src ~name:".."
+                                                  ~ino:dp_new.ino
+                                              in
+                                              dp_old.nlink <- dp_old.nlink - 1;
+                                              let* () = iupdate fs dp_old in
+                                              dp_new.nlink <- dp_new.nlink + 1;
+                                              iupdate fs dp_new
+                                        else Ok ()
+                                      in
+                                      iunlock src;
+                                      iput fs src;
+                                      r
+                                    in
+                                    match fixup with
+                                    | Error _ as e -> finish e
+                                    | Ok () ->
+                                        let out = finish (Ok ()) in
+                                        (match victim with
+                                        | Some ip -> iput fs ip
+                                        | None -> ());
+                                        out)))))
               in
               Sim.Sync.Mutex.unlock fs.rename_lock;
               r);

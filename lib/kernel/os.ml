@@ -315,12 +315,37 @@ let rename t oldpath newpath : unit res =
   syscall t "rename" @@ fun () ->
   let* oparent, oname = resolve_parent t oldpath in
   let* nparent, nname = resolve_parent t newpath in
+  (* A rename that replaces an existing destination unlinks the victim:
+     its vnode (cached size, page cache) must be dropped just as in
+     [unlink], or a later file reusing the inode number inherits the
+     victim's stale pages and length. *)
+  let victim =
+    match Vfs.lookup t.vfs ~dir:nparent.Vfs.st_ino nname with
+    | Ok st when st.Vfs.st_kind <> Vfs.Dir -> Some st.Vfs.st_ino
+    | _ -> None
+  in
   let* () =
     (Vfs.ops t.vfs).Vfs.rename ~olddir:oparent.Vfs.st_ino ~oldname:oname
       ~newdir:nparent.Vfs.st_ino ~newname:nname
   in
   Vfs.dcache_remove t.vfs ~dir:oparent.Vfs.st_ino oname;
   Vfs.dcache_remove t.vfs ~dir:nparent.Vfs.st_ino nname;
+  (match victim with
+  | Some vino ->
+      (* renaming one hard link of an inode onto another is a no-op that
+         leaves both names; only a truly replaced inode loses a link *)
+      let still_linked =
+        match Vfs.lookup t.vfs ~dir:nparent.Vfs.st_ino nname with
+        | Ok st -> st.Vfs.st_ino = vino
+        | Error _ -> false
+      in
+      if not still_linked then (
+        match Vfs.find_vnode t.vfs vino with
+        | Some v ->
+            v.Vfs.v_unlinked <- true;
+            if v.Vfs.v_nopen = 0 then Vfs.drop_vnode t.vfs v
+        | None -> ())
+  | None -> ());
   Ok ()
 
 let link t oldpath newpath : unit res =

@@ -4,11 +4,13 @@
     injection) derives its own stream by [split], so adding a new consumer
     never perturbs the values another consumer sees. *)
 
-type t = { mutable state : int64 }
+type t = { seed : int; mutable state : int64 }
 
 let golden = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+let create seed = { seed; state = Int64.of_int seed }
+
+let seed t = t.seed
 
 let next_int64 t =
   t.state <- Int64.add t.state golden;
@@ -17,7 +19,9 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t = { state = next_int64 t }
+let split t =
+  let s = next_int64 t in
+  { seed = Int64.to_int s land max_int; state = s }
 
 (** Uniform int in [0, bound). *)
 let int t bound =

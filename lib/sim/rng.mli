@@ -5,6 +5,12 @@
 type t
 
 val create : int -> t
+
+val seed : t -> int
+(** The seed this stream was created with (for [split] streams, a derived
+    value). Printed by failing randomized tests so any failure reproduces
+    with one command. *)
+
 val next_int64 : t -> int64
 
 val split : t -> t

@@ -1091,11 +1091,12 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
     | Ok None -> Error Kernel.Errno.ENOENT
     | Ok (Some (ino, _)) -> attr_of_inum t ino
 
-  (* Shared by create/mkdir. *)
-  let create_entry t ~dir name ftype : attr res =
+  (* Shared by create/mkdir/symlink. Runs inside the caller's log
+     operation so callers can extend the same transaction (symlink writes
+     its target atomically with the entry). *)
+  let create_entry_tx t ~dir name ftype : attr res =
     if String.length name > L.max_name then Error Kernel.Errno.ENAMETOOLONG
-    else
-      Log.with_op t.log (fun () ->
+    else begin
           let dp = iget t dir in
           ilock t dp;
           let finish r =
@@ -1146,20 +1147,27 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
                     in
                     iunlock ip;
                     iput t ip;
-                    finish out))
+                    finish out)
+    end
+
+  let create_entry t ~dir name ftype : attr res =
+    Log.with_op t.log (fun () -> create_entry_tx t ~dir name ftype)
 
   let create t ~dir name = create_entry t ~dir name L.F_file
   let mkdir t ~dir name = create_entry t ~dir name L.F_dir
 
   (** Symbolic links store their target as file content, like the xv6
-      symlink lab and many simple Unix file systems. *)
+      symlink lab and many simple Unix file systems. Entry and target are
+      written in a single log transaction: committing them separately
+      would let a crash expose a link with an empty target (found by the
+      crash checker). *)
   let symlink t ~dir name ~target : attr res =
     if String.length target > bsize then Error Kernel.Errno.ENAMETOOLONG
     else
-      let* a = create_entry t ~dir name L.F_symlink in
-      let ip = iget t a.a_ino in
-      let r =
+      let* a =
         Log.with_op t.log (fun () ->
+            let* a = create_entry_tx t ~dir name L.F_symlink in
+            let ip = iget t a.a_ino in
             ilock t ip;
             let r =
               writei_tx t ip ~off:0
@@ -1168,10 +1176,10 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
                 ~len:(String.length target)
             in
             iunlock ip;
-            r)
+            iput t ip;
+            let* () = r in
+            Ok a)
       in
-      iput t ip;
-      let* () = r in
       Ok { a with a_size = String.length target }
 
   let readlink t ~ino : string res =
@@ -1297,6 +1305,20 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
                             iupdate t dp;
                             ip.nlink <- 0;
                             iupdate t ip;
+                            (* an empty dir holds at most one data block:
+                               free it inside this same transaction, or a
+                               crash between the entry removal and the
+                               deferred iput leaks an allocated orphan *)
+                            if ip.nopen = 0 && ip.refcount = 1 then begin
+                              ignore (itrunc_round t ip ~keep:0);
+                              ip.ftype <- L.F_free;
+                              ip.size <- 0;
+                              iupdate t ip;
+                              K.Kmutex.with_lock t.alloc_lock (fun () ->
+                                  t.free_inodes <- t.free_inodes + 1;
+                                  if ip.inum < t.ialloc_rotor then
+                                    t.ialloc_rotor <- ip.inum)
+                            end;
                             iunlock ip;
                             victim := Some ip;
                             finish (Ok ()))))
@@ -1441,6 +1463,34 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
                                             end
                                             else dst.nlink <- dst.nlink - 1;
                                             iupdate t dst;
+                                            (* small unreferenced victim:
+                                               free it inside this same
+                                               transaction, as unlink does —
+                                               deferring to the post-tx iput
+                                               lets a crash leak the inode
+                                               (found by the crash checker) *)
+                                            let blocks_est =
+                                              (dst.size + bsize - 1) / bsize
+                                            in
+                                            if
+                                              dst.nlink = 0 && dst.nopen = 0
+                                              && dst.refcount = 1
+                                              && blocks_est <= 64
+                                            then begin
+                                              ignore
+                                                (itrunc_round t dst ~keep:0);
+                                              dst.ftype <- L.F_free;
+                                              dst.size <- 0;
+                                              iupdate t dst;
+                                              K.Kmutex.with_lock t.alloc_lock
+                                                (fun () ->
+                                                  t.free_inodes <-
+                                                    t.free_inodes + 1;
+                                                  if
+                                                    dst.inum < t.ialloc_rotor
+                                                  then
+                                                    t.ialloc_rotor <- dst.inum)
+                                            end;
                                             iunlock dst;
                                             Ok (Some dst))
                                   end

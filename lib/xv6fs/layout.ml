@@ -137,10 +137,11 @@ let log_max_entries = (block_size - 16) / 4
 
 type log_header = { n : int; checksum : int64; targets : int array }
 
-(** FNV-1a over a sample of each data block (8 stripes of 8 bytes). Our
-    crash model loses whole blocks, never flips bytes within one, so
-    sampling detects every torn commit while keeping recovery-path hashing
-    cheap. *)
+(** FNV-1a over every word of each data block. Sampling stripes is not
+    enough here: a torn commit can leave a *previous* transaction's copy
+    in a log slot, and that stale copy differs from the lost write in
+    only a few bytes (one dirent, one inode), which a sparse sample can
+    miss entirely — recovery would then install the stale block. *)
 let checksum_blocks (blocks : Bytes.t list) =
   let h = ref 0xcbf29ce484222325L in
   let mix v =
@@ -151,11 +152,10 @@ let checksum_blocks (blocks : Bytes.t list) =
     (fun b ->
       let len = Bytes.length b in
       mix (Int64.of_int len);
-      let stride = max 8 (len / 8) in
       let off = ref 0 in
       while !off + 8 <= len do
         mix (Bytes.get_int64_le b !off);
-        off := !off + stride
+        off := !off + 8
       done)
     blocks;
   !h

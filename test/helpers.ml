@@ -35,6 +35,24 @@ let payload ?(seed = 7) n =
   let rng = Sim.Rng.create seed in
   Bytes.init n (fun _ -> Char.chr (Sim.Rng.int rng 256))
 
+(** Seed for a randomized test: [default] unless overridden with
+    BENTO_SEED=n in the environment. *)
+let test_seed default =
+  match Sys.getenv_opt "BENTO_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+(** Run a randomized test body with its seed; on failure, print the seed
+    and how to reproduce the exact run. *)
+let with_seed ?(default = 42) f =
+  let seed = test_seed default in
+  try f seed
+  with e ->
+    Printf.eprintf
+      "[randomized test failed with seed %d: rerun with BENTO_SEED=%d]\n%!"
+      seed seed;
+    raise e
+
 let check_errno = Alcotest.testable Kernel.Errno.pp ( = )
 
 let check_res name expected = function

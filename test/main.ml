@@ -23,4 +23,5 @@ let () =
       ("fuse", Test_fuse.suite);
       ("proto", Test_proto.suite);
       ("ext4", Test_ext4.suite);
+      ("check", Test_check.suite);
     ]

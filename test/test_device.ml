@@ -47,11 +47,12 @@ let test_flush_durability_and_crash () =
       Alcotest.(check bytes) "unflushed lost" (block '\000') (Device.Ssd.read d 2))
 
 let test_crash_partial_survival () =
+  Helpers.with_seed ~default:5 @@ fun seed ->
   with_dev (fun _e d ->
       for i = 0 to 99 do
         Device.Ssd.write d i (block 'p')
       done;
-      let rng = Sim.Rng.create 5 in
+      let rng = Sim.Rng.create seed in
       Device.Ssd.crash ~survive:0.5 ~rng d;
       let survivors = ref 0 in
       for i = 0 to 99 do
@@ -61,6 +62,46 @@ let test_crash_partial_survival () =
         (Printf.sprintf "some but not all survive (%d)" !survivors)
         true
         (!survivors > 10 && !survivors < 90))
+
+(* Boundary cases of the survival probability: survive:0.0 must behave like a
+   hard power cut (only flushed data remains), survive:1.0 like a clean
+   shutdown (everything written remains), and in both cases the pre-crash
+   [crash_view] must predict exactly what a post-crash read returns for
+   survive:0.0. *)
+let test_crash_survive_bounds () =
+  Helpers.with_seed ~default:17 @@ fun seed ->
+  (* survive:0.0 — nothing unflushed persists; crash_view agrees *)
+  with_dev (fun _e d ->
+      Device.Ssd.write d 0 (block 'F');
+      Device.Ssd.write d 1 (block 'F');
+      Device.Ssd.flush d;
+      for i = 2 to 19 do
+        Device.Ssd.write d i (block 'U')
+      done;
+      let view = Device.Ssd.crash_view d in
+      Device.Ssd.crash ~survive:0.0 ~rng:(Sim.Rng.create seed) d;
+      for i = 0 to 19 do
+        let got = Device.Ssd.read d i in
+        let expect = if i < 2 then block 'F' else block '\000' in
+        Alcotest.(check bytes) (Printf.sprintf "survive=0 block %d" i) expect got;
+        let predicted =
+          match view.(i) with Some b -> b | None -> block '\000'
+        in
+        Alcotest.(check bytes)
+          (Printf.sprintf "crash_view predicts block %d" i)
+          predicted got
+      done);
+  (* survive:1.0 — every write persists even without a flush *)
+  with_dev (fun _e d ->
+      for i = 0 to 19 do
+        Device.Ssd.write d i (block 'W')
+      done;
+      Device.Ssd.crash ~survive:1.0 ~rng:(Sim.Rng.create seed) d;
+      for i = 0 to 19 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "survive=1 block %d" i)
+          (block 'W') (Device.Ssd.read d i)
+      done)
 
 let test_flush_cost_scales_with_dirty () =
   let flush_time ndirty =
@@ -122,6 +163,7 @@ let suite =
     tc "contiguous command batching" `Quick test_contig_cheaper_than_scattered;
     tc "flush durability + crash" `Quick test_flush_durability_and_crash;
     tc "partial survival crash" `Quick test_crash_partial_survival;
+    tc "crash survive bounds + crash_view" `Quick test_crash_survive_bounds;
     tc "flush cost scales" `Quick test_flush_cost_scales_with_dirty;
     tc "out of range" `Quick test_out_of_range;
     tc "failed device" `Quick test_failed_device;

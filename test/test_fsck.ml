@@ -150,6 +150,14 @@ let prop_crash_recovery =
     QCheck.(int_bound 10_000)
     (fun seed -> crash_trial seed)
 
+(* pinned rerun of a single trial: reproduce a QCheck counterexample with
+   BENTO_SEED=n without waiting for the generator to rediscover it *)
+let test_crash_trial_pinned () =
+  with_seed ~default:1 @@ fun seed ->
+  Alcotest.(check bool)
+    (Printf.sprintf "crash trial seed %d" seed)
+    true (crash_trial seed)
+
 let test_vfs_xv6_image_checks_clean () =
   in_sim (fun machine ->
       ok (Vfs_xv6.mkfs machine);
@@ -168,5 +176,6 @@ let suite =
     tc "populated fs clean" `Quick test_populated_fs_is_clean;
     tc "detects corruption" `Quick test_fsck_detects_corruption;
     tc "vfs_xv6 image clean" `Quick test_vfs_xv6_image_checks_clean;
+    tc "crash trial (BENTO_SEED pinned)" `Quick test_crash_trial_pinned;
     QCheck_alcotest.to_alcotest prop_crash_recovery;
   ]

@@ -32,9 +32,10 @@ let test_sleep_zero_is_yield () =
   Alcotest.(check (list int)) "yield interleaves" [ 3; 2; 1 ] !order
 
 let test_determinism () =
+  Helpers.with_seed ~default:11 @@ fun seed ->
   let run () =
     let e = Sim.Engine.create () in
-    let rng = Sim.Rng.create 11 in
+    let rng = Sim.Rng.create seed in
     let trace = Buffer.create 64 in
     for i = 0 to 9 do
       ignore

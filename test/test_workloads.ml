@@ -91,7 +91,8 @@ let test_create_delete_benches_run () =
         (d.Workloads.Bench_result.ops <= 50))
 
 let test_zipf_skew () =
-  let rng = Sim.Rng.create 9 in
+  Helpers.with_seed ~default:9 @@ fun seed ->
+  let rng = Sim.Rng.create seed in
   let counts = Array.make 100 0 in
   for _ = 1 to 10_000 do
     let v = Sim.Rng.zipf rng ~n:100 ~theta:0.9 in
