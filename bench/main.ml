@@ -8,6 +8,8 @@
       main.exe all --duration 2.0 --untar-files 70000
       main.exe fig2 --json out.json     — machine-readable results
       main.exe fig2 --trace out.trace.json — Chrome/Perfetto trace of the runs
+      main.exe fig2 --profile           — per-layer virtual-time attribution
+      main.exe fig2 --folded out.folded — flamegraph collapsed stacks
 
     Absolute numbers come from the calibrated cost model (EXPERIMENTS.md);
     the shapes — who wins and by how much — are the reproduction target. *)
@@ -21,6 +23,8 @@ let untar_files = ref 14_000
 let seed = ref 42
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
+let profile = ref false
+let folded_path : string option ref = ref None
 
 let dur () = Sim.Time.of_float_ns (!duration *. 1e9)
 
@@ -54,8 +58,59 @@ let record ~section ~system ~config (r : Workloads.Bench_result.t) =
           int64 (Sim.Stats.Histogram.max_ns h)
       | _ -> Null
     in
-    let counters =
-      List.map (fun (k, v) -> (k, int64 v)) (Targets.last_counters ())
+    let counters_list = Targets.last_counters () in
+    let counters = List.map (fun (k, v) -> (k, int64 v)) counters_list in
+    (* Paper-style explanatory ratios derived from the counter snapshot.
+       Counters cover the whole run (setup included), so the ratios are
+       stable explanations rather than pure steady-state figures; the
+       denominators are the timed window's ops/bytes. Null when the
+       denominator is zero. *)
+    let c name =
+      Option.value ~default:0L (List.assoc_opt name counters_list)
+    in
+    let fdiv num den = if den = 0. then Null else Float (num /. den) in
+    let crossings_per_op =
+      fdiv
+        (Int64.to_float
+           (Int64.add (c "machine.syscalls") (c "machine.fuse_crossings")))
+        (float_of_int r.ops)
+    in
+    let write_amplification =
+      fdiv
+        (Int64.to_float (c "ssd.blocks_written") *. 4096.)
+        (float_of_int r.bytes)
+    in
+    let bcache_hit_ratio =
+      let h = Int64.to_float (c "bcache.hits") in
+      let m = Int64.to_float (c "bcache.misses") in
+      fdiv h (h +. m)
+    in
+    let log_commits = c "machine.log_commits" in
+    let log_commit_mean_blocks =
+      fdiv
+        (Int64.to_float (c "machine.log_commit_blocks"))
+        (Int64.to_float log_commits)
+    in
+    let profile_json =
+      match Targets.last_profile () with
+      | None -> Null
+      | Some p ->
+          Obj
+            [
+              ("elapsed_ns", int64 (Sim.Profile.elapsed p));
+              ("attributed_ns", int64 (Sim.Profile.attributed p));
+              ( "layers",
+                Obj
+                  (List.map
+                     (fun (lt : Sim.Profile.layer_time) ->
+                       ( lt.layer,
+                         Obj
+                           [
+                             ("self_ns", int64 lt.self_ns);
+                             ("total_ns", int64 lt.total_ns);
+                           ] ))
+                     (Sim.Profile.summary p)) );
+            ]
     in
     let row =
       Obj
@@ -73,7 +128,13 @@ let record ~section ~system ~config (r : Workloads.Bench_result.t) =
           ("lat_p90_ns", pct 90.0);
           ("lat_p99_ns", pct 99.0);
           ("lat_max_ns", lat_max);
+          ("crossings_per_op", crossings_per_op);
+          ("write_amplification", write_amplification);
+          ("bcache_hit_ratio", bcache_hit_ratio);
+          ("log_commits", int64 log_commits);
+          ("log_commit_mean_blocks", log_commit_mean_blocks);
           ("counters", Obj counters);
+          ("profile", profile_json);
         ]
     in
     results := row :: !results
@@ -488,7 +549,29 @@ let all () =
   upgrade ();
   bechamel ()
 
-(* Write the accumulated result rows as {meta, results}. *)
+(* The current commit, for run provenance in the JSON metadata. Advisory
+   only — bench-diff does not gate on it (old and new legitimately come
+   from different commits). *)
+let git_describe () =
+  let tmp = Filename.temp_file "bench_git" ".txt" in
+  let cmd =
+    Printf.sprintf "git describe --always --dirty 2>/dev/null > %s"
+      (Filename.quote tmp)
+  in
+  let out =
+    if Sys.command cmd = 0 then (
+      let ic = open_in tmp in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      line)
+    else ""
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  if out = "" then "unknown" else out
+
+(* Write the accumulated result rows as {meta, results}. Everything that
+   shapes the numbers (seed, duration, scale, cost model, block size) goes
+   into meta so bench-diff can refuse incomparable runs. *)
 let write_json path sections =
   let open Util.Json in
   let doc =
@@ -502,6 +585,9 @@ let write_json path sections =
               ("duration_s", Float !duration);
               ("untar_files", Int !untar_files);
               ("seed", Int !seed);
+              ("block_size", Int 4096);
+              ("cost_model", String Kernel.Cost.model_version);
+              ("git_describe", String (git_describe ()));
             ] );
         ("results", List (List.rev !results));
       ]
@@ -534,6 +620,35 @@ let write_trace path =
   close_out oc;
   pf "wrote trace of %d runs to %s\n%!" (List.length runs) path
 
+(* One flamegraph collapsed-stack file covering all profiled runs, each
+   run's stacks prefixed with its label so flamegraph.pl draws one tower
+   per run. *)
+let write_folded path =
+  let oc = open_out path in
+  let n = ref 0 in
+  List.iter
+    (fun (o : Targets.observation) ->
+      match o.obs_profile with
+      | None -> ()
+      | Some p ->
+          incr n;
+          List.iter
+            (fun (stack, ns) ->
+              Printf.fprintf oc "%s;%s %Ld\n" o.obs_label stack ns)
+            (Sim.Profile.folded p))
+    (List.rev !Targets.observations);
+  close_out oc;
+  pf "wrote folded stacks of %d runs to %s\n%!" !n path
+
+let print_profiles () =
+  header "Per-layer virtual-time attribution";
+  List.iter
+    (fun (o : Targets.observation) ->
+      match o.obs_profile with
+      | Some p -> Targets.print_profile ~label:o.obs_label p
+      | None -> ())
+    (List.rev !Targets.observations)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let sections = ref [] in
@@ -554,13 +669,22 @@ let () =
     | "--trace" :: v :: rest ->
         trace_path := Some v;
         parse rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse rest
+    | "--folded" :: v :: rest ->
+        folded_path := Some v;
+        parse rest
     | s :: rest ->
         sections := s :: !sections;
         parse rest
   in
   parse args;
-  if !json_path <> None || !trace_path <> None then Targets.observe := true;
+  if !json_path <> None || !trace_path <> None || !profile
+     || !folded_path <> None
+  then Targets.observe := true;
   if !trace_path <> None then Targets.trace_enabled := true;
+  if !profile || !folded_path <> None then Targets.profile_enabled := true;
   let sections = List.rev !sections in
   let run_section = function
     | "table1" -> table1 ()
@@ -587,5 +711,7 @@ let () =
   | [] -> all ()
   | ss -> List.iter run_section ss);
   let ran = match sections with [] -> [ "all" ] | ss -> ss in
+  if !profile then print_profiles ();
   Option.iter (fun p -> write_json p ran) !json_path;
-  Option.iter write_trace !trace_path
+  Option.iter write_trace !trace_path;
+  Option.iter write_folded !folded_path

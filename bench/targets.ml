@@ -25,25 +25,17 @@ type observation = {
   mutable obs_label : string;
   obs_tracer : Sim.Trace.t;
   obs_counters : (string * int64) list;
+  obs_profile : Sim.Profile.t option;
 }
 
 let observe = ref false  (** record an [observation] per run *)
 
 let trace_enabled = ref false  (** additionally enable the span tracer *)
 
-let observations : observation list ref = ref []  (* newest first *)
+let profile_enabled = ref false
+(** additionally enable per-layer virtual-time attribution *)
 
-(* Counter snapshot across the registries a run touches: the machine-wide
-   one (syscalls, crossings, op_lat...) and the device's. *)
-let snapshot_counters machine =
-  let out = ref [] in
-  let add prefix stats =
-    Sim.Stats.iter_counters stats (fun name c ->
-        out := (prefix ^ name, Sim.Stats.Counter.get c) :: !out)
-  in
-  add "machine." (Kernel.Machine.stats machine);
-  add "ssd." (Device.Ssd.stats (Kernel.Machine.disk machine));
-  List.rev !out
+let observations : observation list ref = ref []  (* newest first *)
 
 (** Rename the most recent observation — called by the harness right after
     a run, once it knows the section/config the run belonged to. *)
@@ -55,12 +47,35 @@ let relabel_last label =
 let last_counters () =
   match !observations with o :: _ -> o.obs_counters | [] -> []
 
+let last_profile () =
+  match !observations with o :: _ -> o.obs_profile | [] -> None
+
+(** Per-layer attribution table of one profiled run. The last line is the
+    conservation cross-check: attributed must equal elapsed. *)
+let print_profile ~label p =
+  let elapsed = Sim.Profile.elapsed p in
+  let pct ns =
+    if elapsed = 0L then 0.
+    else Int64.to_float ns /. Int64.to_float elapsed *. 100.
+  in
+  Printf.printf "-- %s --\n" label;
+  Printf.printf "%-16s %16s %7s %16s\n" "layer" "self_ns" "self%" "total_ns";
+  List.iter
+    (fun (lt : Sim.Profile.layer_time) ->
+      Printf.printf "%-16s %16Ld %6.1f%% %16Ld\n" lt.layer lt.self_ns
+        (pct lt.self_ns) lt.total_ns)
+    (Sim.Profile.summary p);
+  Printf.printf "%-16s %16Ld         attributed %Ld%s\n%!" "elapsed" elapsed
+    (Sim.Profile.attributed p)
+    (if Sim.Profile.attributed p = elapsed then "" else "  (MISMATCH)")
+
 (** Bring up [system] on a fresh machine, run [f os], tear down, drain the
     simulation, and return [f]'s result. *)
 let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
   let machine = Kernel.Machine.create ~disk_blocks ~block_size:4096 () in
   if !trace_enabled then
     Sim.Trace.set_enabled (Kernel.Machine.tracer machine) true;
+  if !profile_enabled then Sim.Profile.enable (Kernel.Machine.profile machine);
   let result = ref None in
   Kernel.Machine.spawn ~name:"bench" machine (fun () ->
       match system with
@@ -89,6 +104,8 @@ let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
           result := Some (f machine os);
           Ext4sim.Ext4.unmount vfs h);
   Kernel.Machine.run machine;
+  if !profile_enabled then
+    Sim.Profile.disable (Kernel.Machine.profile machine);
   if !observe then begin
     let obs_label =
       match label with Some l -> l | None -> system_name system
@@ -97,7 +114,10 @@ let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
       {
         obs_label;
         obs_tracer = Kernel.Machine.tracer machine;
-        obs_counters = snapshot_counters machine;
+        obs_counters = Kernel.Machine.counter_snapshot machine;
+        obs_profile =
+          (if !profile_enabled then Some (Kernel.Machine.profile machine)
+           else None);
       }
       :: !observations
   end;

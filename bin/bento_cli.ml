@@ -259,10 +259,74 @@ let check_cmd =
           every stack, every crash point")
     Term.(const run $ seed $ ops $ points $ sample $ fs $ inject $ dump)
 
+(* ------------------------------------------------------------------ *)
+
+let benchdiff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline $(b,bench --json) document")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"New $(b,bench --json) document")
+  in
+  let tol =
+    Arg.(
+      value & opt string "5%"
+      & info [ "tolerance" ]
+          ~doc:"Allowed relative regression per gated metric, e.g. 5% or 0.05")
+  in
+  let run old_path new_path tol =
+    let read_file p =
+      let ic = open_in_bin p in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    (* exit codes: 0 no regression, 1 regression, 2 bad input/usage,
+       3 incomparable run metadata *)
+    let fail code msg =
+      prerr_endline ("bench-diff: " ^ msg);
+      exit code
+    in
+    let tolerance =
+      match Workloads.Bench_diff.parse_tolerance tol with
+      | Ok t -> t
+      | Error m -> fail 2 m
+    in
+    let load p =
+      match Workloads.Bench_diff.doc_of_string (read_file p) with
+      | Ok d -> d
+      | Error e -> fail 2 (p ^ ": " ^ Workloads.Bench_diff.error_to_string e)
+    in
+    let old_doc = load old_path in
+    let new_doc = load new_path in
+    match Workloads.Bench_diff.diff ~tolerance old_doc new_doc with
+    | Error (Workloads.Bench_diff.Incomparable _ as e) ->
+        fail 3 (Workloads.Bench_diff.error_to_string e)
+    | Error e -> fail 2 (Workloads.Bench_diff.error_to_string e)
+    | Ok report ->
+        print_string (Workloads.Bench_diff.render ~tolerance report);
+        if report.Workloads.Bench_diff.regressions > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench --json runs and fail on throughput/latency \
+          regressions beyond a tolerance")
+    Term.(const run $ old_arg $ new_arg $ tol)
+
 let () =
   let doc = "Bento: high-velocity kernel file systems (simulated reproduction)" in
   let info = Cmd.info "bento_cli" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ layout_cmd; smoke_cmd; crashtest_cmd; bugstudy_cmd; check_cmd ]))
+          [
+            layout_cmd; smoke_cmd; crashtest_cmd; bugstudy_cmd; check_cmd;
+            benchdiff_cmd;
+          ]))

@@ -30,6 +30,7 @@ let wb_batch_pages = 256
    below the VFS to the Bento dispatch layer. *)
 let with_fs h name f =
   Sim.Stats.Counter.incr h.crossings;
+  Kernel.Machine.with_layer h.machine "fs" @@ fun () ->
   Sim.Trace.span_begin h.tracer ~cat:"bento" name;
   match Sim.Sync.Rwlock.with_read h.dispatch_lock (fun () -> f h.current) with
   | r ->

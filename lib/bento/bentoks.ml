@@ -103,6 +103,18 @@ module type KSERVICES = sig
   (** Counters for fs-side statistics. *)
   val counter : string -> unit -> unit
 
+  val counter_add : string -> int -> unit
+  (** Add to a machine counter by name (e.g. journal commit block counts). *)
+
+  val profile : string -> (unit -> 'a) -> 'a
+  (** Run under a machine profiler layer frame ("log", "fs", ...); just
+      the call while profiling is disabled. Lets functor-packaged fs code
+      participate in per-layer attribution in both runtimes. *)
+
+  val trace_counter : string -> int -> unit
+  (** Sample a counter time-series on the machine tracer (e.g. log free
+      space) for Perfetto counter tracks. *)
+
   val printk : string -> unit
   (** Kernel log line (dmesg), tagged with the machine's virtual time. *)
 end
@@ -257,5 +269,15 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
     end
 
     let counter name () = Sim.Stats.Counter.incr (Sim.Stats.counter stats name)
+
+    let counter_add name n =
+      Sim.Stats.Counter.incr ~by:n (Sim.Stats.counter stats name)
+
+    let profile layer f = Kernel.Machine.with_layer machine layer f
+
+    let trace_counter name v =
+      Sim.Trace.counter (Kernel.Machine.tracer machine) ~cat:"fs" name
+        (Int64.of_int v)
+
     let printk msg = Kernel.Printk.info machine "%s" msg
   end)

@@ -103,6 +103,16 @@ let user_services (machine : Kernel.Machine.t) (ubc : Fusesim.Ubcache.t) :
     end
 
     let counter name () = Sim.Stats.Counter.incr (Sim.Stats.counter stats name)
+
+    let counter_add name n =
+      Sim.Stats.Counter.incr ~by:n (Sim.Stats.counter stats name)
+
+    let profile layer f = Kernel.Machine.with_layer machine layer f
+
+    let trace_counter name v =
+      Sim.Trace.counter (Kernel.Machine.tracer machine) ~cat:"fs" name
+        (Int64.of_int v)
+
     let printk msg = Kernel.Printk.info machine "fuse-daemon: %s" msg
   end)
 
@@ -174,6 +184,11 @@ let mount ?dirty_limit ?background ?nominal_gb (machine : Kernel.Machine.t)
     (Kernel.Vfs.t * mount_handle, Kernel.Errno.t) result =
   let ufile = Fusesim.Ufile.create ?nominal_gb machine in
   let ubc = Fusesim.Ubcache.create ufile in
+  (* The user-level buffer cache plays the bcache role on this stack, so
+     its hits/misses publish under the same prefix for the bench
+     hit-ratio metric. *)
+  Kernel.Machine.register_stats machine ~prefix:"bcache"
+    (Fusesim.Ubcache.stats ubc);
   let services = user_services machine ubc in
   let module K = (val services) in
   let module Maker = (val maker) in

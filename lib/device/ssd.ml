@@ -57,6 +57,7 @@ type t = {
   flush_lock : Sim.Sync.Mutex.t;
   stats : Sim.Stats.t;
   tracer : Sim.Trace.t;
+  profile : Sim.Profile.t;  (** owns the "device-queue"/"device-io" frames *)
   read_lat : Sim.Stats.Histogram.t;  (** command service incl. queueing *)
   write_lat : Sim.Stats.Histogram.t;
   mutable failed : bool;  (** set by [crash]: all subsequent I/O fails *)
@@ -68,7 +69,8 @@ type t = {
 exception Out_of_range of int
 exception Device_failed
 
-let create ?(config = default_config) ?tracer ~nblocks ~block_size engine =
+let create ?(config = default_config) ?tracer ?profile ~nblocks ~block_size
+    engine =
   if nblocks <= 0 || block_size <= 0 then invalid_arg "Ssd.create";
   let stats = Sim.Stats.create () in
   {
@@ -83,6 +85,8 @@ let create ?(config = default_config) ?tracer ~nblocks ~block_size engine =
     stats;
     tracer =
       (match tracer with Some tr -> tr | None -> Sim.Trace.create engine);
+    profile =
+      (match profile with Some p -> p | None -> Sim.Profile.create engine);
     read_lat = Sim.Stats.histogram stats "cmd_read_lat";
     write_lat = Sim.Stats.histogram stats "cmd_write_lat";
     failed = false;
@@ -115,6 +119,31 @@ let counter t name = Sim.Stats.counter t.stats name
 let xfer_time ~base ~bw ~bytes =
   Int64.add base (Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:bw)
 
+(* Sample the in-flight + queued command count as a Perfetto counter
+   track (no-op while tracing is disabled). *)
+let sample_inflight t =
+  Sim.Trace.counter t.tracer ~cat:"device" "ssd:inflight"
+    (Int64.of_int (Sim.Resource.in_use t.channels + Sim.Resource.queued t.channels))
+
+let sample_dirty t =
+  Sim.Trace.counter t.tracer ~cat:"device" "ssd:dirty_blocks"
+    (Int64.of_int (Hashtbl.length t.volatile))
+
+(* One command's occupancy of a device channel, split into the queueing
+   wait ("device-queue") and the transfer itself ("device-io") so the
+   profiler can attribute them separately. *)
+let channel_io t dur =
+  Sim.Profile.with_frame t.profile "device-queue" (fun () ->
+      Sim.Resource.acquire t.channels);
+  sample_inflight t;
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.Resource.release t.channels;
+      sample_inflight t)
+    (fun () ->
+      Sim.Profile.with_frame t.profile "device-io" (fun () ->
+          Sim.Resource.busy_sleep t.channels dur))
+
 (* Fetch current durable-or-volatile contents of [block] as a fresh copy. *)
 let peek t block =
   match Hashtbl.find_opt t.volatile block with
@@ -134,7 +163,7 @@ let read_contig t ~start ~count =
   let dur = xfer_time ~base:t.config.read_base ~bw:t.config.read_bw ~bytes in
   Sim.Trace.span_begin t.tracer ~cat:"device" "ssd:read";
   let t0 = Sim.Engine.now t.engine in
-  Sim.Resource.use t.channels dur;
+  channel_io t dur;
   Sim.Stats.Histogram.record t.read_lat
     (Int64.sub (Sim.Engine.now t.engine) t0);
   Sim.Trace.span_end t.tracer ~cat:"device" "ssd:read";
@@ -163,7 +192,8 @@ let drain_overflow t =
     let dur =
       Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:t.config.flush_bw
     in
-    Sim.Engine.sleep dur;
+    Sim.Profile.with_frame t.profile "device-io" (fun () ->
+        Sim.Engine.sleep dur);
     (* Oldest entries become durable; Hashtbl order is arbitrary but the
        simulation stays deterministic because hashing is deterministic. *)
     let moved = ref 0 in
@@ -197,13 +227,14 @@ let write_contig t ~start bufs =
   let dur = xfer_time ~base:t.config.write_base ~bw:t.config.write_bw ~bytes in
   Sim.Trace.span_begin t.tracer ~cat:"device" "ssd:write";
   let t0 = Sim.Engine.now t.engine in
-  Sim.Resource.use t.channels dur;
+  channel_io t dur;
   Sim.Stats.Histogram.record t.write_lat
     (Int64.sub (Sim.Engine.now t.engine) t0);
   Sim.Trace.span_end t.tracer ~cat:"device" "ssd:write";
   if t.failed then raise Device_failed;
   Array.iteri (fun i data -> store_volatile t (start + i) data) bufs;
   drain_overflow t;
+  sample_dirty t;
   notify t Cmd_write
 
 let write t block data = write_contig t ~start:block [| data |]
@@ -214,25 +245,30 @@ let write t block data = write_contig t ~start:block [| data |]
 let flush t =
   if t.failed then raise Device_failed;
   Sim.Trace.with_span t.tracer ~cat:"device" "ssd:flush" (fun () ->
-      Sim.Sync.Mutex.with_lock t.flush_lock (fun () ->
-          Sim.Stats.Counter.incr (counter t "flushes");
-          let dirty = Hashtbl.length t.volatile in
-          let bytes = dirty * t.block_size in
-          let dur =
-            Int64.add t.config.flush_base
-              (Sim.Time.of_bandwidth ~bytes ~bytes_per_sec:t.config.flush_bw)
-          in
-          Sim.Engine.sleep dur;
-          Sim.Stats.Histogram.record
-            (Sim.Stats.histogram t.stats "cmd_flush_lat") dur;
-          if t.failed then raise Device_failed;
-          if Hashtbl.length t.volatile > 0 then begin
-            Hashtbl.iter
-              (fun blk data -> t.stable.(blk) <- Some data)
-              t.volatile;
-            t.stable_epoch <- t.stable_epoch + 1
-          end;
-          Hashtbl.reset t.volatile));
+      (* Lock contention counts as queueing; the drain itself as I/O. *)
+      Sim.Profile.with_frame t.profile "device-queue" (fun () ->
+          Sim.Sync.Mutex.with_lock t.flush_lock (fun () ->
+              Sim.Stats.Counter.incr (counter t "flushes");
+              let dirty = Hashtbl.length t.volatile in
+              let bytes = dirty * t.block_size in
+              let dur =
+                Int64.add t.config.flush_base
+                  (Sim.Time.of_bandwidth ~bytes
+                     ~bytes_per_sec:t.config.flush_bw)
+              in
+              Sim.Profile.with_frame t.profile "device-io" (fun () ->
+                  Sim.Engine.sleep dur);
+              Sim.Stats.Histogram.record
+                (Sim.Stats.histogram t.stats "cmd_flush_lat") dur;
+              if t.failed then raise Device_failed;
+              if Hashtbl.length t.volatile > 0 then begin
+                Hashtbl.iter
+                  (fun blk data -> t.stable.(blk) <- Some data)
+                  t.volatile;
+                t.stable_epoch <- t.stable_epoch + 1
+              end;
+              Hashtbl.reset t.volatile;
+              sample_dirty t)));
   notify t Cmd_flush
 
 let dirty_blocks t = Hashtbl.length t.volatile

@@ -34,14 +34,17 @@ exception Device_failed
 val create :
   ?config:config ->
   ?tracer:Sim.Trace.t ->
+  ?profile:Sim.Profile.t ->
   nblocks:int ->
   block_size:int ->
   Sim.Engine.t ->
   t
 (** [tracer] (e.g. the machine's) receives per-command spans; without one
-    the device keeps a private disabled tracer. Command service latencies
-    (queueing included) land in the [cmd_read_lat] / [cmd_write_lat] /
-    [cmd_flush_lat] histograms of [stats]. *)
+    the device keeps a private disabled tracer. [profile] (e.g. the
+    machine's) receives "device-queue"/"device-io" attribution frames;
+    without one the device keeps a private disabled profiler. Command
+    service latencies (queueing included) land in the [cmd_read_lat] /
+    [cmd_write_lat] / [cmd_flush_lat] histograms of [stats]. *)
 
 val block_size : t -> int
 val nblocks : t -> int

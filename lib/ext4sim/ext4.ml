@@ -952,6 +952,7 @@ let mount ?dirty_limit ?background ?commit_interval machine :
         end
       in
       let ops : Kernel.Vfs.fs_ops =
+        Kernel.Vfs.profiled_ops machine "fs"
         {
           Kernel.Vfs.fs_name = "ext4";
           root_ino = L.root_ino;

@@ -86,14 +86,21 @@ let checkpoint_all_locked t =
     List.iter (fun tx -> List.iter (fun (tgt, data) -> Hashtbl.replace final tgt data) tx) txs;
     let targets = Hashtbl.fold (fun tgt data acc -> (tgt, data) :: acc) final [] in
     let targets = List.sort (fun (a, _) (b, _) -> compare a b) targets in
-    List.iter (fun (tgt, data) -> Kernel.Bcache.raw_write t.bc tgt data) targets;
-    Kernel.Bcache.flush t.bc;
+    Kernel.Machine.with_layer t.machine "log" (fun () ->
+        List.iter
+          (fun (tgt, data) -> Kernel.Bcache.raw_write t.bc tgt data)
+          targets;
+        Kernel.Bcache.flush t.bc);
     (* release the eviction pins, one per (transaction, block) occurrence *)
     List.iter
       (fun tx -> List.iter (fun (tgt, _) -> Kernel.Bcache.bunpin_block t.bc tgt) tx)
       txs;
     Sim.Sync.Mutex.lock t.lock;
     t.head <- 0;
+    Sim.Trace.counter
+      (Kernel.Machine.tracer t.machine)
+      ~cat:"fs" "jbd2:free_blocks"
+      (Int64.of_int (t.capacity - t.head));
     write_jsb t
   end
 
@@ -115,8 +122,15 @@ let commit_locked t =
     let seq = t.sequence in
     t.sequence <- seq + 1;
     t.head <- t.head + needed;
+    Sim.Trace.counter
+      (Kernel.Machine.tracer t.machine)
+      ~cat:"fs" "jbd2:free_blocks"
+      (Int64.of_int (t.capacity - t.head));
     t.commits <- t.commits + 1;
+    Kernel.Machine.incr t.machine "log_commits";
+    Kernel.Machine.incr ~by:n t.machine "log_commit_blocks";
     Sim.Sync.Mutex.unlock t.lock;
+    Kernel.Machine.with_layer t.machine "log" @@ fun () ->
     (* the first descriptor carries the checksum over ALL data blocks *)
     let checksum = Layout4.checksum_blocks datas in
     let bufs = ref [] in

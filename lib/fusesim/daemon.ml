@@ -81,6 +81,7 @@ let dispatch (h : handler) (req : Proto.request) : Proto.reply =
 (** The daemon main loop; run it in its own fiber. Returns when the
     connection closes or after replying to [Destroy]. *)
 let run (transport : Transport.t) (h : handler) =
+  let machine = Transport.machine transport in
   let rec loop () =
     match Transport.next transport with
     | None -> ()
@@ -88,7 +89,11 @@ let run (transport : Transport.t) (h : handler) =
         match Proto.decode_request msg with
         | exception Proto.Malformed _ -> loop ()
         | unique, req ->
-            let reply = dispatch h req in
+            (* Request processing is file-system work: the daemon runs the
+               fs functor over user-level services. *)
+            let reply =
+              Kernel.Machine.with_layer machine "fs" (fun () -> dispatch h req)
+            in
             Transport.reply transport ~unique reply;
             (* libfuse exits its session loop after DESTROY *)
             if req = Proto.Destroy then () else loop ())

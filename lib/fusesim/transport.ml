@@ -14,22 +14,30 @@ type t = {
   stats : Sim.Stats.t;
   tracer : Sim.Trace.t;
   rtt : Sim.Stats.Histogram.t;  (** kernel-side round-trip per request *)
+  crossings : Sim.Stats.Counter.t;
+      (** machine-wide user/kernel crossing count, one per direction —
+          the paper's explanatory metric for FUSE overhead *)
 }
 
 exception Connection_closed
 
 let create machine =
+  let stats = Sim.Stats.create () in
+  (* Expose requests/replies in machine-wide counter snapshots. *)
+  Kernel.Machine.register_stats machine ~prefix:"fuse" stats;
   {
     machine;
     requests = Sim.Sync.Channel.create ();
     pending = Hashtbl.create 64;
     next_unique = 1;
     closed = false;
-    stats = Sim.Stats.create ();
+    stats;
     tracer = Kernel.Machine.tracer machine;
     rtt = Kernel.Machine.histogram machine "fuse_rtt";
+    crossings = Kernel.Machine.counter machine "fuse_crossings";
   }
 
+let machine t = t.machine
 let stats t = t.stats
 let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
 
@@ -50,6 +58,10 @@ let call t (req : Proto.request) : Proto.reply =
   let unique = fresh_unique t in
   let msg = Proto.encode_request ~unique req in
   incr t "requests";
+  Sim.Stats.Counter.incr t.crossings;
+  (* The crossing charge runs under the "fuse-transport" frame; the wait
+     for the reply is attributed to whatever the daemon is doing. *)
+  Kernel.Machine.with_layer t.machine "fuse-transport" @@ fun () ->
   Sim.Trace.span_begin t.tracer ~cat:"fuse" "fuse:call";
   let t0 = Kernel.Machine.now t.machine in
   charge_crossing t (Bytes.length msg);
@@ -76,7 +88,9 @@ let next t : Bytes.t option =
 let reply t ~unique (r : Proto.reply) =
   let msg = Proto.encode_reply ~unique r in
   incr t "replies";
-  charge_crossing t (Bytes.length msg);
+  Sim.Stats.Counter.incr t.crossings;
+  Kernel.Machine.with_layer t.machine "fuse-transport" (fun () ->
+      charge_crossing t (Bytes.length msg));
   match Hashtbl.find_opt t.pending unique with
   | Some ivar -> Sim.Sync.Ivar.fill ivar msg
   | None -> () (* request was abandoned *)

@@ -9,6 +9,11 @@ type t
 exception Connection_closed
 
 val create : Kernel.Machine.t -> t
+(** Also registers the transport's stats registry with the machine (prefix
+    "fuse") and counts each direction in the machine-wide "fuse_crossings"
+    counter — the paper's crossings-per-op explanatory metric. *)
+
+val machine : t -> Kernel.Machine.t
 
 val stats : t -> Sim.Stats.t
 

@@ -33,6 +33,10 @@ type t = {
 exception No_buffers
 
 let create ?(capacity = 8192) machine =
+  let stats = Sim.Stats.create () in
+  (* Expose hits/misses/disk_reads/... in machine-wide counter snapshots
+     (the source of the bench hit-ratio metric). *)
+  Machine.register_stats machine ~prefix:"bcache" stats;
   {
     machine;
     dev = Machine.disk machine;
@@ -41,12 +45,16 @@ let create ?(capacity = 8192) machine =
     table = Hashtbl.create (capacity * 2);
     cache_lock = Sim.Sync.Mutex.create ~name:"bcache" ();
     tick = 0;
-    stats = Sim.Stats.create ();
+    stats;
   }
 
 let stats t = t.stats
 let block_size t = Device.Ssd.block_size t.dev
 let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
+
+(* All externally-called cache operations run under the "bcache" profiler
+   frame; time spent below, in the device, lands in its own frames. *)
+let layer t f = Machine.with_layer t.machine "bcache" f
 
 (* Evict one unreferenced clean buffer, oldest first. Dirty unreferenced
    buffers are written back then reused. Called with [cache_lock] held. *)
@@ -108,35 +116,38 @@ let getbuf t block =
 (** Return a locked buffer containing the current contents of [block],
     reading from the device on a miss (xv6 [bread], Linux [sb_bread]). *)
 let bread t block =
-  let b = getbuf t block in
-  Sim.Sync.Mutex.lock b.lock;
-  if not b.valid then begin
-    let data = Device.Ssd.read t.dev block in
-    Bytes.blit data 0 b.data 0 (Bytes.length data);
-    b.valid <- true;
-    incr t "disk_reads"
-  end;
-  b
+  layer t (fun () ->
+      let b = getbuf t block in
+      Sim.Sync.Mutex.lock b.lock;
+      if not b.valid then begin
+        let data = Device.Ssd.read t.dev block in
+        Bytes.blit data 0 b.data 0 (Bytes.length data);
+        b.valid <- true;
+        incr t "disk_reads"
+      end;
+      b)
 
 (** Like [bread] but without reading the device: for blocks the caller will
     fully overwrite (Linux [getblk] + wait-free path). *)
 let getblk t block =
-  let b = getbuf t block in
-  Sim.Sync.Mutex.lock b.lock;
-  if not b.valid then begin
-    Bytes.fill b.data 0 (Bytes.length b.data) '\000';
-    b.valid <- true
-  end;
-  b
+  layer t (fun () ->
+      let b = getbuf t block in
+      Sim.Sync.Mutex.lock b.lock;
+      if not b.valid then begin
+        Bytes.fill b.data 0 (Bytes.length b.data) '\000';
+        b.valid <- true
+      end;
+      b)
 
 (** Write the buffer through to the device (volatile cache). The buffer
     must be held (locked). *)
 let bwrite t b =
   if not (Sim.Sync.Mutex.locked b.lock) then
     invalid_arg "Bcache.bwrite: buffer not locked";
-  Device.Ssd.write t.dev b.block b.data;
-  b.dirty <- false;
-  incr t "disk_writes"
+  layer t (fun () ->
+      Device.Ssd.write t.dev b.block b.data;
+      b.dirty <- false;
+      incr t "disk_writes")
 
 (** Write several held buffers as one contiguous device command when their
     block numbers are consecutive; used by log installation and by the
@@ -159,12 +170,12 @@ let bwrite_contig t bufs =
           arr;
         !ok
       in
-      if contiguous then begin
-        Device.Ssd.write_contig t.dev ~start:first.block
-          (Array.map (fun b -> b.data) arr);
-        Array.iter (fun b -> b.dirty <- false) arr;
-        incr t "disk_writes"
-      end
+      if contiguous then
+        layer t (fun () ->
+            Device.Ssd.write_contig t.dev ~start:first.block
+              (Array.map (fun b -> b.data) arr);
+            Array.iter (fun b -> b.dirty <- false) arr;
+            incr t "disk_writes")
       else List.iter (fun b -> bwrite t b) bufs
 
 (** Mark dirty without writing; the owner (e.g. the log) will write later. *)
@@ -210,13 +221,15 @@ let bunpin_block t block =
     cached buffer — used by checkpointing to install a *committed* version
     while the cache may already hold newer, uncommitted contents. *)
 let raw_write t block data =
-  Device.Ssd.write t.dev block data;
-  incr t "raw_writes"
+  layer t (fun () ->
+      Device.Ssd.write t.dev block data;
+      incr t "raw_writes")
 
 (** Durability barrier on the underlying device. *)
 let flush t =
-  Device.Ssd.flush t.dev;
-  incr t "flushes"
+  layer t (fun () ->
+      Device.Ssd.flush t.dev;
+      incr t "flushes")
 
 let cached_blocks t = Hashtbl.length t.table
 

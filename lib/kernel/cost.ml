@@ -28,6 +28,11 @@ type t = {
   upgrade_quiesce : int64;  (** bento online-upgrade freeze/thaw overhead *)
 }
 
+(* Bump whenever the constants below (or the code paths that charge them)
+   change in a way that shifts absolute numbers: bench-diff refuses to
+   compare runs recorded under different model versions. *)
+let model_version = "cost-2026.08"
+
 let default =
   {
     ncores = 8;

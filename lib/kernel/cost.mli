@@ -22,6 +22,11 @@ type t = {
   upgrade_quiesce : int64;
 }
 
+val model_version : string
+(** Version tag of the calibration, embedded in [bench --json] metadata.
+    Bumped when the constants (or charging code paths) change enough to
+    shift absolute numbers, so bench-diff can refuse stale baselines. *)
+
 val default : t
 
 val copy_time : bw:float -> int -> int64

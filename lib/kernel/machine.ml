@@ -1,6 +1,6 @@
 (** The simulated machine: engine + CPU cores + the attached device + global
-    statistics + tracer. Every stack (Bento, C-VFS, FUSE, ext4) runs on one
-    of these. *)
+    statistics + tracer + profiler. Every stack (Bento, C-VFS, FUSE, ext4)
+    runs on one of these. *)
 
 type t = {
   engine : Sim.Engine.t;
@@ -9,21 +9,31 @@ type t = {
   disk : Device.Ssd.t;
   stats : Sim.Stats.t;
   tracer : Sim.Trace.t;
+  profile : Sim.Profile.t;
+  mutable registries : (string * Sim.Stats.t) list;
+      (** stats registries of attached subsystems (bcache, fuse transport,
+          ...), newest first, each under a dotted prefix — so one snapshot
+          covers the whole stack *)
 }
 
 let create ?(cost = Cost.default) ?config ~disk_blocks ~block_size () =
   let engine = Sim.Engine.create () in
   let tracer = Sim.Trace.create engine in
+  let profile = Sim.Profile.create engine in
   let disk =
-    Device.Ssd.create ?config ~tracer ~nblocks:disk_blocks ~block_size engine
+    Device.Ssd.create ?config ~tracer ~profile ~nblocks:disk_blocks
+      ~block_size engine
   in
+  let stats = Sim.Stats.create () in
   {
     engine;
     cpu = Sim.Resource.create ~name:"cpu" cost.Cost.ncores;
     cost;
     disk;
-    stats = Sim.Stats.create ();
+    stats;
     tracer;
+    profile;
+    registries = [ ("machine", stats); ("ssd", Device.Ssd.stats disk) ];
   }
 
 let engine t = t.engine
@@ -31,7 +41,31 @@ let disk t = t.disk
 let cost t = t.cost
 let stats t = t.stats
 let tracer t = t.tracer
+let profile t = t.profile
 let now t = Sim.Engine.now t.engine
+
+(** Run [f] under profiler layer frame [layer] (no-op while profiling is
+    disabled). *)
+let with_layer t layer f = Sim.Profile.with_frame t.profile layer f
+
+(** Attach a subsystem's stats registry under [prefix] so machine-wide
+    counter snapshots include it. Registering the same prefix twice (e.g.
+    mount/remount creating two bcaches) is fine: snapshots sum by name. *)
+let register_stats t ~prefix stats = t.registries <- (prefix, stats) :: t.registries
+
+(** All counters of the machine and its registered subsystems as
+    ["prefix.name"] pairs, sorted; duplicate names are summed. *)
+let counter_snapshot t =
+  let tbl : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (prefix, stats) ->
+      Sim.Stats.iter_counters stats (fun name c ->
+          let key = prefix ^ "." ^ name in
+          let prev = Option.value ~default:0L (Hashtbl.find_opt tbl key) in
+          Hashtbl.replace tbl key (Int64.add prev (Sim.Stats.Counter.get c))))
+    t.registries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (** Burn [ns] of CPU on one of the machine's cores (queueing if all cores
     are busy). This is how every simulated code path accounts for its

@@ -20,6 +20,23 @@ val tracer : t -> Sim.Trace.t
 (** The machine-wide span tracer (disabled by default); shared with the
     attached device so one trace covers syscall-to-flash. *)
 
+val profile : t -> Sim.Profile.t
+(** The machine-wide virtual-time profiler (disabled by default); shared
+    with the attached device so attribution covers syscall-to-flash. *)
+
+val with_layer : t -> string -> (unit -> 'a) -> 'a
+(** Run a function under a profiler layer frame ("vfs", "bcache", "log",
+    ...); just calls the function while profiling is disabled. *)
+
+val register_stats : t -> prefix:string -> Sim.Stats.t -> unit
+(** Attach a subsystem's stats registry (bcache, FUSE transport, ...) so
+    {!counter_snapshot} covers it, each counter as ["prefix.name"].
+    Registering one prefix twice is fine — snapshots sum by name. *)
+
+val counter_snapshot : t -> (string * int64) list
+(** All counters of the machine's own registry (prefix "machine"), the
+    device ("ssd"), and every registered subsystem, name-sorted. *)
+
 val now : t -> int64
 
 val cpu_work : t -> int64 -> unit

@@ -57,13 +57,16 @@ let syscall t name f =
   let machine = Vfs.machine t.vfs in
   let tr = Machine.tracer machine in
   Sim.Stats.Counter.incr t.sys_count;
-  Sim.Trace.span_begin tr ~cat:"syscall" name;
-  let t0 = Machine.now machine in
-  charge_syscall t;
-  let r = f () in
-  Sim.Stats.Histogram.record t.sys_lat (Int64.sub (Machine.now machine) t0);
-  Sim.Trace.span_end tr ~cat:"syscall" name;
-  r
+  (* The whole syscall body runs under the "vfs" profiler frame; deeper
+     layers (fs, bcache, device) push their own frames on top. *)
+  Machine.with_layer machine "vfs" (fun () ->
+      Sim.Trace.span_begin tr ~cat:"syscall" name;
+      let t0 = Machine.now machine in
+      charge_syscall t;
+      let r = f () in
+      Sim.Stats.Histogram.record t.sys_lat (Int64.sub (Machine.now machine) t0);
+      Sim.Trace.span_end tr ~cat:"syscall" name;
+      r)
 
 (* ------------------------------------------------------------------ *)
 (* Path resolution.                                                    *)

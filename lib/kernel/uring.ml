@@ -90,8 +90,9 @@ let submit t (entries : (int * op) list) =
   if t.closed then invalid_arg "Uring.submit: closed";
   if entries = [] then ()
   else begin
-    (* one crossing for the whole batch *)
-    Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall;
+    (* one crossing for the whole batch, charged to the VFS layer *)
+    Machine.with_layer t.machine "vfs" (fun () ->
+        Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall);
     Sim.Sync.Mutex.lock t.lock;
     List.iter
       (fun (user_data, op) ->
@@ -110,7 +111,8 @@ let submit t (entries : (int * op) list) =
 (** Reap up to [max_count] completions, blocking until at least [min_count]
     are available (io_uring_enter with min_complete). *)
 let wait t ?(min_count = 1) ?(max_count = max_int) () : completion list =
-  Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall;
+  Machine.with_layer t.machine "vfs" (fun () ->
+      Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall);
   Sim.Sync.Mutex.lock t.lock;
   let rec await () =
     if Queue.length t.cq < min_count && (t.in_flight > 0 || Queue.length t.cq > 0)

@@ -55,6 +55,40 @@ type fs_ops = {
   max_file_size : int;
 }
 
+(** Wrap every entry point of an ops table in a profiler layer frame, so
+    in-kernel file systems registered directly with the VFS (C xv6, ext4)
+    attribute their time to [layer] without sprinkling probes over every
+    operation. (BentoFS and the FUSE driver have their own dispatch
+    funnels and frame there instead.) *)
+let profiled_ops machine layer (ops : fs_ops) : fs_ops =
+  let lay f = Machine.with_layer machine layer f in
+  {
+    ops with
+    lookup = (fun ~dir name -> lay (fun () -> ops.lookup ~dir name));
+    getattr = (fun ino -> lay (fun () -> ops.getattr ino));
+    create = (fun ~dir name -> lay (fun () -> ops.create ~dir name));
+    mkdir = (fun ~dir name -> lay (fun () -> ops.mkdir ~dir name));
+    unlink = (fun ~dir name -> lay (fun () -> ops.unlink ~dir name));
+    rmdir = (fun ~dir name -> lay (fun () -> ops.rmdir ~dir name));
+    rename =
+      (fun ~olddir ~oldname ~newdir ~newname ->
+        lay (fun () -> ops.rename ~olddir ~oldname ~newdir ~newname));
+    link = (fun ~ino ~dir name -> lay (fun () -> ops.link ~ino ~dir name));
+    symlink =
+      (fun ~dir name ~target -> lay (fun () -> ops.symlink ~dir name ~target));
+    readlink = (fun ~ino -> lay (fun () -> ops.readlink ~ino));
+    readdir = (fun ino -> lay (fun () -> ops.readdir ino));
+    readpage = (fun ~ino ~index -> lay (fun () -> ops.readpage ~ino ~index));
+    write_pages =
+      (fun ~ino ~isize pages -> lay (fun () -> ops.write_pages ~ino ~isize pages));
+    truncate = (fun ~ino size -> lay (fun () -> ops.truncate ~ino size));
+    fsync = (fun ~ino -> lay (fun () -> ops.fsync ~ino));
+    sync_fs = (fun () -> lay ops.sync_fs);
+    iopen = (fun ~ino -> lay (fun () -> ops.iopen ~ino));
+    irelease = (fun ~ino -> lay (fun () -> ops.irelease ~ino));
+    statfs = (fun () -> lay ops.statfs);
+  }
+
 (* ------------------------------------------------------------------ *)
 (* In-core inode (vnode) with its page cache.                          *)
 
@@ -168,8 +202,15 @@ let runs_of_indexes ~batch indexes =
   in
   go [] [] indexes
 
+(* Sample total dirty pages as a Perfetto counter track (no-op while
+   tracing is disabled). *)
+let sample_dirty t =
+  Sim.Trace.counter (tracer t) ~cat:"vfs" "vfs:dirty_pages"
+    (Int64.of_int t.total_dirty)
+
 (** Write all dirty pages of [v] down into the file system. *)
 let writeback_vnode t v =
+  Machine.with_layer t.machine "vfs" @@ fun () ->
   Sim.Trace.with_span (tracer t) ~cat:"vfs" "vfs:writeback" (fun () ->
   Sim.Sync.Mutex.with_lock v.v_wb (fun () ->
       let dirty =
@@ -206,11 +247,13 @@ let writeback_vnode t v =
                   incr t "wb_errors"
             end)
           runs
-      end))
+      end));
+  sample_dirty t
 
 (** Balance: a writer that pushed the system over the dirty limit does
     writeback of its own file until below (Linux balance_dirty_pages). *)
 let balance_dirty t v =
+  sample_dirty t;
   if t.total_dirty > t.dirty_limit then begin
     incr t "dirty_throttles";
     writeback_vnode t v
@@ -407,6 +450,7 @@ let write t v ~pos data : int res =
     make them durable. *)
 let fsync t v : unit res =
   incr t "fsyncs";
+  Machine.with_layer t.machine "vfs" @@ fun () ->
   Sim.Trace.with_span (tracer t) ~cat:"vfs" "vfs:fsync" (fun () ->
       let t0 = Machine.now t.machine in
       writeback_vnode t v;

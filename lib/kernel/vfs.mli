@@ -56,6 +56,11 @@ type fs_ops = {
   max_file_size : int;
 }
 
+val profiled_ops : Machine.t -> string -> fs_ops -> fs_ops
+(** Wrap every entry point of an ops table in a profiler layer frame (e.g.
+    "fs") — how in-kernel file systems registered directly with the VFS
+    attribute their time without per-operation probes. *)
+
 (** In-core inode (vnode) with its page cache. Fields are exposed for the
     syscall layer, which maintains open counts and sizes. *)
 type page = { pdata : Bytes.t; mutable pdirty : bool }

@@ -18,13 +18,18 @@ type fiber = {
 
 type t = {
   mutable now : int64;
-  events : (unit -> unit) Heap.t;
+  events : (int * (unit -> unit)) Heap.t;
+      (** each event carries the fid of the fiber it will resume (-1 for
+          unowned callbacks), so a profiler can attribute the virtual time
+          that elapses up to the event *)
   mutable seq : int;
   mutable next_fid : int;
   mutable live_fibers : int;
   mutable running : fiber option;
   mutable failure : (string * exn * Printexc.raw_backtrace) option;
   mutable trace : bool;
+  mutable on_advance : (int64 -> int -> unit) option;
+      (** called with (delta, owner fid) just before [now] advances *)
 }
 
 type _ Effect.t +=
@@ -42,21 +47,32 @@ let create () =
     running = None;
     failure = None;
     trace = false;
+    on_advance = None;
   }
 
 let now t = t.now
 let set_trace t b = t.trace <- b
+let set_advance_hook t hook = t.on_advance <- hook
+
+(* Fire the advance hook for a move of the clock to [time] on behalf of
+   fiber [fid]. Zero-delta moves are skipped: only real time needs owners. *)
+let note_advance t time fid =
+  match t.on_advance with
+  | Some hook when Int64.compare time t.now > 0 ->
+      hook (Int64.sub time t.now) fid
+  | _ -> ()
 
 (** Fiber id of the currently running fiber, or -1 outside fiber context
     (used by the tracer to attribute events to threads). *)
 let current_fid t = match t.running with Some f -> f.fid | None -> -1
 
-let schedule_at t time f =
+let schedule_owned t ~fid time f =
   if Int64.compare time t.now < 0 then
     invalid_arg "Engine.schedule_at: time in the past";
   t.seq <- t.seq + 1;
-  Heap.push t.events ~time ~seq:t.seq f
+  Heap.push t.events ~time ~seq:t.seq (fid, f)
 
+let schedule_at t time f = schedule_owned t ~fid:(-1) time f
 let schedule_after t delay f = schedule_at t (Int64.add t.now delay) f
 
 (* Run [f] as a fiber body under the engine's effect handler. *)
@@ -83,7 +99,8 @@ let start_fiber t fiber f =
              | Sleep d ->
                  Some
                    (fun (k : (a, _) continuation) ->
-                     schedule_after t d (fun () ->
+                     schedule_owned t ~fid:fiber.fid (Int64.add t.now d)
+                       (fun () ->
                          let saved' = t.running in
                          t.running <- Some fiber;
                          continue k ();
@@ -96,7 +113,7 @@ let start_fiber t fiber f =
                          if !fired then
                            invalid_arg "Engine: waker invoked twice";
                          fired := true;
-                         schedule_at t t.now (fun () ->
+                         schedule_owned t ~fid:fiber.fid t.now (fun () ->
                              let saved' = t.running in
                              t.running <- Some fiber;
                              continue k ();
@@ -113,7 +130,7 @@ let spawn ?(name = "fiber") t f =
   let fiber = { fid = t.next_fid; name; dead = false } in
   t.next_fid <- t.next_fid + 1;
   t.live_fibers <- t.live_fibers + 1;
-  schedule_at t t.now (fun () -> start_fiber t fiber f);
+  schedule_owned t ~fid:fiber.fid t.now (fun () -> start_fiber t fiber f);
   fiber
 
 (* Debug support: record what each blocked fiber is waiting on so that a
@@ -134,12 +151,12 @@ let run t =
   let rec loop () =
     match Heap.pop t.events with
     | None -> ()
-    | Some { time; payload; _ } ->
+    | Some { time; payload = fid, f; _ } ->
+        note_advance t time fid;
         t.now <- time;
-        t.seq <- t.seq;
         (if t.trace && t.seq mod 1_000_000 = 0 then
            Printf.eprintf "EVT seq=%d now=%Ld\n%!" t.seq t.now);
-        payload ();
+        f ();
         check_failure t;
         loop ()
   in
@@ -165,14 +182,18 @@ let run_until t deadline =
     | Some _ ->
         (match Heap.pop t.events with
         | None -> ()
-        | Some { time; payload; _ } ->
+        | Some { time; payload = fid, f; _ } ->
+            note_advance t time fid;
             t.now <- time;
-            payload ();
+            f ();
             check_failure t;
             loop ())
   in
   loop ();
-  if Int64.compare t.now deadline < 0 then t.now <- deadline
+  if Int64.compare t.now deadline < 0 then begin
+    note_advance t deadline (-1);
+    t.now <- deadline
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Operations usable from inside a fiber.                              *)

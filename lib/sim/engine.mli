@@ -31,6 +31,15 @@ val current_fid : t -> int
 (** Id of the currently running fiber, or -1 outside fiber context. Used by
     {!Trace} to attribute events to simulated threads. *)
 
+val set_advance_hook : t -> (int64 -> int -> unit) option -> unit
+(** Install (or clear) a hook called as [hook delta fid] just before the
+    virtual clock advances by [delta] > 0 nanoseconds. [fid] is the fiber
+    whose wakeup event causes the advance, or -1 when the advance is caused
+    by an unowned callback or by {!run_until} padding the clock out to its
+    deadline. Since virtual time only moves here, a hook that charges every
+    delta somewhere accounts for the whole run exactly — the basis of
+    {!Profile}. *)
+
 val schedule_at : t -> int64 -> (unit -> unit) -> unit
 (** Run a callback at an absolute virtual time (>= [now t]). *)
 

@@ -1,0 +1,165 @@
+(** Virtual-time profiler with per-layer attribution.
+
+    The profiler keeps, for every fiber, a stack of layer frames ("vfs",
+    "bcache", "log", ...). Virtual time only moves in the engine's scheduler
+    loop, and every advance is owned by the fiber whose wakeup event causes
+    it (see {!Engine.set_advance_hook}); the profiler charges each advance
+    to that fiber's current frame stack, or to "idle" when the fiber has no
+    frames (or the advance is unowned). Because every nanosecond of a run is
+    charged to exactly one folded stack, the per-layer self times sum to the
+    elapsed virtual time with no residue — the conservation property the
+    tests assert.
+
+    Output comes in two shapes: folded stacks ("vfs;bcache;device-io 1234",
+    one line per stack, directly consumable by flamegraph.pl / speedscope)
+    and a per-layer self/total summary for attribution tables. *)
+
+type frames = {
+  mutable stack : string list;  (** innermost first *)
+  mutable key : string;  (** folded form, outermost first; "" when empty *)
+}
+
+type t = {
+  engine : Engine.t;
+  mutable enabled : bool;
+  per_fiber : (int, frames) Hashtbl.t;
+  self : (string, int64 ref) Hashtbl.t;  (** folded key -> self ns *)
+  mutable started_at : int64;
+}
+
+let idle = "idle"
+
+let create engine =
+  {
+    engine;
+    enabled = false;
+    per_fiber = Hashtbl.create 64;
+    self = Hashtbl.create 64;
+    started_at = 0L;
+  }
+
+let enabled t = t.enabled
+
+let charge t delta fid =
+  let key =
+    if fid < 0 then idle
+    else
+      match Hashtbl.find_opt t.per_fiber fid with
+      | Some f when f.key <> "" -> f.key
+      | _ -> idle
+  in
+  match Hashtbl.find_opt t.self key with
+  | Some r -> r := Int64.add !r delta
+  | None -> Hashtbl.add t.self key (ref delta)
+
+let enable t =
+  if not t.enabled then begin
+    t.enabled <- true;
+    t.started_at <- Engine.now t.engine;
+    Engine.set_advance_hook t.engine (Some (charge t))
+  end
+
+let disable t =
+  if t.enabled then begin
+    t.enabled <- false;
+    Engine.set_advance_hook t.engine None
+  end
+
+let reset t =
+  Hashtbl.reset t.per_fiber;
+  Hashtbl.reset t.self;
+  t.started_at <- Engine.now t.engine
+
+(** Run [f] under layer frame [layer] for the current fiber. Re-entering
+    the layer already on top of the stack is a no-op, so recursive or
+    layered calls within one subsystem do not produce "vfs;vfs" stacks. *)
+let with_frame t layer f =
+  if not t.enabled then f ()
+  else begin
+    let fid = Engine.current_fid t.engine in
+    let fr =
+      match Hashtbl.find_opt t.per_fiber fid with
+      | Some fr -> fr
+      | None ->
+          let fr = { stack = []; key = "" } in
+          Hashtbl.add t.per_fiber fid fr;
+          fr
+    in
+    match fr.stack with
+    | top :: _ when String.equal top layer -> f ()
+    | prev_stack ->
+        let prev_key = fr.key in
+        fr.stack <- layer :: prev_stack;
+        fr.key <- (if prev_key = "" then layer else prev_key ^ ";" ^ layer);
+        Fun.protect
+          ~finally:(fun () ->
+            fr.stack <- prev_stack;
+            fr.key <- prev_key)
+          f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reporting.                                                          *)
+
+let elapsed t = Int64.sub (Engine.now t.engine) t.started_at
+
+let attributed t =
+  Hashtbl.fold (fun _ r acc -> Int64.add acc !r) t.self 0L
+
+(** Folded stacks sorted by key: [("vfs;bcache;device-io", ns); ...]. *)
+let folded t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.self []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let leaf_of key =
+  match String.rindex_opt key ';' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+let layers_of key = String.split_on_char ';' key
+
+type layer_time = { layer : string; self_ns : int64; total_ns : int64 }
+
+(** Per-layer summary: [self_ns] is time where the layer is the innermost
+    frame, [total_ns] counts any stack the layer appears in. Layers are
+    sorted by descending self time; "idle" sorts last. *)
+let summary t =
+  let tbl : (string, int64 ref * int64 ref) Hashtbl.t = Hashtbl.create 16 in
+  let cell layer =
+    match Hashtbl.find_opt tbl layer with
+    | Some c -> c
+    | None ->
+        let c = (ref 0L, ref 0L) in
+        Hashtbl.add tbl layer c;
+        c
+  in
+  List.iter
+    (fun (key, ns) ->
+      let s, _ = cell (leaf_of key) in
+      s := Int64.add !s ns;
+      List.iter
+        (fun layer ->
+          let _, tot = cell layer in
+          tot := Int64.add !tot ns)
+        (List.sort_uniq String.compare (layers_of key)))
+    (folded t);
+  Hashtbl.fold
+    (fun layer (s, tot) acc ->
+      { layer; self_ns = !s; total_ns = !tot } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match (String.equal a.layer idle, String.equal b.layer idle) with
+         | true, false -> 1
+         | false, true -> -1
+         | _ ->
+             let c = Int64.compare b.self_ns a.self_ns in
+             if c <> 0 then c else String.compare a.layer b.layer)
+
+(** Folded output in the flamegraph collapsed-stack format, one
+    "stack space count" line per distinct stack (counts are nanoseconds). *)
+let folded_output t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (key, ns) -> Buffer.add_string buf (Printf.sprintf "%s %Ld\n" key ns))
+    (folded t);
+  Buffer.contents buf

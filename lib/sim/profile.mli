@@ -1,0 +1,56 @@
+(** Virtual-time profiler with per-layer attribution.
+
+    Maintains a per-fiber stack of layer frames and, via the engine's
+    advance hook, charges every nanosecond of virtual time to exactly one
+    folded stack — the current stack of the fiber whose wakeup caused the
+    clock to move, or "idle" when that fiber has no frames. Consequently
+    [attributed t = elapsed t] always holds while enabled (conservation).
+
+    Layer names used across the tree: "vfs", "bcache", "log", "fs",
+    "fuse-transport", "device-queue", "device-io", plus the synthetic
+    "idle". *)
+
+type t
+
+val create : Engine.t -> t
+(** A profiler bound to an engine; disabled until {!enable}. At most one
+    profiler can be enabled per engine (it owns the advance hook). *)
+
+val enabled : t -> bool
+
+val enable : t -> unit
+(** Start attributing: installs the engine advance hook and marks the
+    current virtual time as the start of the profile. *)
+
+val disable : t -> unit
+(** Stop attributing (uninstalls the hook); accumulated data remains. *)
+
+val reset : t -> unit
+(** Drop accumulated data and restart the elapsed clock at [now]. *)
+
+val with_frame : t -> string -> (unit -> 'a) -> 'a
+(** [with_frame t layer f] runs [f] with [layer] pushed on the calling
+    fiber's frame stack. Re-entering the layer already on top is a no-op
+    (no "vfs;vfs" stacks). When the profiler is disabled this is just
+    [f ()]. Exception-safe. *)
+
+val elapsed : t -> int64
+(** Virtual nanoseconds since {!enable} (or {!reset}). *)
+
+val attributed : t -> int64
+(** Sum of all charged self-times. Equals {!elapsed} while enabled. *)
+
+val folded : t -> (string * int64) list
+(** Folded stacks sorted by key, e.g. [("vfs;bcache;device-io", ns)]. The
+    empty-stack bucket appears as ["idle"]. *)
+
+val folded_output : t -> string
+(** {!folded} rendered in the flamegraph collapsed-stack format: one
+    "stack ns" line per distinct stack. *)
+
+type layer_time = { layer : string; self_ns : int64; total_ns : int64 }
+
+val summary : t -> layer_time list
+(** Per-layer attribution: self = time with the layer innermost, total =
+    time with the layer anywhere on the stack. Sorted by descending self
+    time, "idle" last. The self times sum to {!attributed}. *)

@@ -38,11 +38,17 @@ let release t =
   | Some w -> w () (* handoff: in_use unchanged *)
   | None -> t.in_use <- t.in_use - 1
 
+(** Hold an already-[acquire]d server for [dur] of virtual time, counting
+    it as busy. Lets callers split the queueing wait from the service time
+    (e.g. to attribute them to different profiler frames). *)
+let busy_sleep t dur =
+  Engine.sleep dur;
+  t.busy_ns <- Int64.add t.busy_ns dur
+
 (** Occupy one server for [dur] of virtual time. *)
 let use t dur =
   acquire t;
-  Engine.sleep dur;
-  t.busy_ns <- Int64.add t.busy_ns dur;
+  busy_sleep t dur;
   release t
 
 let in_use t = t.in_use

@@ -13,6 +13,11 @@ val release : t -> unit
 val use : t -> int64 -> unit
 (** Occupy one server for a duration of virtual time. *)
 
+val busy_sleep : t -> int64 -> unit
+(** Hold an already-acquired server for a duration, counting it busy —
+    [use] split into [acquire]; [busy_sleep]; [release] so callers can
+    attribute the queueing wait and the service time separately. *)
+
 val in_use : t -> int
 val capacity : t -> int
 val queued : t -> int

@@ -119,11 +119,17 @@ module Histogram = struct
   (** [percentile t q] for [q] in [0, 100]: the smallest recorded-bucket
       value v such that at least q% of samples are <= v. Exact below 32 ns;
       within one sub-bucket (< ~6%) above. The top bucket is clamped to the
-      recorded maximum so p100 = max. *)
+      recorded maximum so p100 = max, and q = 0 reports the recorded
+      minimum directly — the rank-1 bucket's upper bound can exceed the
+      minimum (e.g. a single sample of 32 lands in bucket [32..33], whose
+      bound is 33), which would break the p0 = min invariant the property
+      tests check. Since min <= every bucket bound, the special case also
+      keeps percentiles monotone in q. *)
   let percentile t q =
     if t.count = 0 then 0L
+    else if Float.compare q 0. <= 0 then t.min
     else begin
-      let q = if Float.compare q 0. < 0 then 0. else if Float.compare q 100. > 0 then 100. else q in
+      let q = if Float.compare q 100. > 0 then 100. else q in
       let rank =
         let r = int_of_float (ceil (q /. 100. *. float_of_int t.count)) in
         if r < 1 then 1 else if r > t.count then t.count else r

@@ -46,7 +46,8 @@ module Histogram : sig
   val max_ns : t -> int64
 
   val percentile : t -> float -> int64
-  (** [percentile t q] for [q] in [0,100]; p100 equals [max_ns]. 0 when
+  (** [percentile t q] for [q] in [0,100]; p0 equals [min_ns], p100 equals
+      [max_ns], and the result is monotone nondecreasing in [q]. 0 when
       empty. *)
 
   val iter_buckets : t -> (lo:int64 -> hi:int64 -> count:int -> unit) -> unit

@@ -11,7 +11,7 @@
     in chrome://tracing and Perfetto: spans become B/E pairs, instants
     become "i" events, fibers map to tids. *)
 
-type phase = Begin | End | Instant
+type phase = Begin | End | Instant | Counter
 
 type event = {
   ph : phase;
@@ -19,6 +19,7 @@ type event = {
   cat : string;
   ts : int64;  (** virtual nanoseconds *)
   tid : int;  (** fiber id, -1 outside fiber context *)
+  value : int64;  (** sample value for [Counter] events, 0 otherwise *)
 }
 
 type t = {
@@ -54,7 +55,7 @@ let clear t =
   t.len <- 0;
   t.dropped <- 0
 
-let emit t ph cat name =
+let emit ?(value = 0L) t ph cat name =
   let cap = Array.length t.ring in
   if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
   t.ring.(t.head) <-
@@ -65,12 +66,19 @@ let emit t ph cat name =
         cat;
         ts = Engine.now t.engine;
         tid = Engine.current_fid t.engine;
+        value;
       };
   t.head <- (t.head + 1) mod cap
 
 let span_begin t ?(cat = "") name = if t.enabled then emit t Begin cat name
 let span_end t ?(cat = "") name = if t.enabled then emit t End cat name
 let instant t ?(cat = "") name = if t.enabled then emit t Instant cat name
+
+(** Record a sample of a named counter time-series (queue depth, dirty
+    pages, ...). Exports as a Chrome "C" event, which Perfetto renders as a
+    counter track alongside the spans. *)
+let counter t ?(cat = "") name value =
+  if t.enabled then emit ~value t Counter cat name
 
 let with_span t ?cat name f =
   if not t.enabled then f ()
@@ -125,12 +133,21 @@ let add_event buf ~pid e =
   escape_into buf (if e.cat = "" then "sim" else e.cat);
   Buffer.add_string buf "\",\"ph\":\"";
   Buffer.add_string buf
-    (match e.ph with Begin -> "B" | End -> "E" | Instant -> "i");
+    (match e.ph with
+    | Begin -> "B"
+    | End -> "E"
+    | Instant -> "i"
+    | Counter -> "C");
   Buffer.add_string buf "\",\"ts\":";
   add_ts buf e.ts;
   Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid e.tid);
   (match e.ph with
   | Instant -> Buffer.add_string buf ",\"s\":\"t\"}"
+  | Counter ->
+      (* args key = series name within the track named by the event *)
+      Buffer.add_string buf ",\"args\":{\"value\":";
+      Buffer.add_string buf (Int64.to_string e.value);
+      Buffer.add_string buf "}}"
   | _ -> Buffer.add_char buf '}')
 
 (** Append this tracer's events to [buf] as comma-separated JSON objects

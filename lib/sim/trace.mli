@@ -7,7 +7,7 @@
     either state. Exports Chrome trace-event JSON for chrome://tracing /
     Perfetto, with fibers as threads. *)
 
-type phase = Begin | End | Instant
+type phase = Begin | End | Instant | Counter
 
 type event = {
   ph : phase;
@@ -15,6 +15,7 @@ type event = {
   cat : string;
   ts : int64;  (** virtual nanoseconds *)
   tid : int;  (** fiber id, -1 outside fiber context *)
+  value : int64;  (** sample value for [Counter] events, 0 otherwise *)
 }
 
 type t
@@ -28,6 +29,11 @@ val set_enabled : t -> bool -> unit
 val span_begin : t -> ?cat:string -> string -> unit
 val span_end : t -> ?cat:string -> string -> unit
 val instant : t -> ?cat:string -> string -> unit
+
+val counter : t -> ?cat:string -> string -> int64 -> unit
+(** Sample a named counter time-series (queue depth, dirty pages, log free
+    space, ...). Exported as a Chrome counter event (["ph":"C"]) so it
+    renders as a track in Perfetto alongside the spans. *)
 
 val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
 (** Run a function inside a begin/end pair (ended on exceptions too). When

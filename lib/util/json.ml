@@ -1,10 +1,8 @@
-(** Minimal JSON emitter for the bench harness's machine-readable output.
-
-    Only what the harness needs: construct a value, print it. Numbers are
-    emitted as OCaml prints them ([%g]-style floats would lose precision,
-    so floats use [Printf "%.17g"] trimmed by the reader, ints verbatim);
-    strings are escaped per RFC 8259. No parser — tests that need to check
-    well-formedness carry their own tiny reader. *)
+(** Minimal JSON emitter + parser for the bench harness's machine-readable
+    output. Numbers are emitted as OCaml prints them ([%g]-style floats
+    would lose precision, so floats use [Printf "%.17g"] trimmed by the
+    reader, ints verbatim); strings are escaped per RFC 8259. The parser
+    exists so [bench-diff] can read previous runs back. *)
 
 type t =
   | Null
@@ -75,3 +73,222 @@ let to_string v =
     virtual-ns values fit comfortably (2^53 ns ≈ 104 days), so emit as a
     plain integer literal. *)
 let int64 n = Int (Int64.to_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the full RFC 8259 grammar, enough to
+   read back the harness's own output (and hand-edited fixtures) for
+   bench-diff. Numbers parse as [Int] when they look integral. *)
+
+exception Parse_error of int * string
+
+let parse_exn (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else error ("expected " ^ word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some v -> v
+    | None -> error "bad \\u escape"
+  in
+  let utf8_of_code buf c =
+    (* encode a Unicode scalar value as UTF-8 *)
+    if c < 0x80 then Buffer.add_char buf (Char.chr c)
+    else if c < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+    else if c < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (c lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then error "unterminated escape";
+           let c = s.[!pos] in
+           advance ();
+           match c with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+               let hi = parse_hex4 () in
+               let code =
+                 if hi >= 0xD800 && hi <= 0xDBFF then begin
+                   (* surrogate pair *)
+                   if
+                     !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = parse_hex4 () in
+                     0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+                   end
+                   else error "lone surrogate"
+                 end
+                 else hi
+               in
+               utf8_of_code buf code
+           | _ -> error "bad escape");
+          go ()
+      | c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if
+      String.contains lit '.'
+      || String.contains lit 'e'
+      || String.contains lit 'E'
+    then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> error ("bad number " ^ lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          (* integer literal out of 63-bit range: keep the value *)
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> error ("bad number " ^ lit))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> error "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> error "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected '%c'" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" pos msg)
+
+(* Accessors used by readers of parsed documents. *)
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None

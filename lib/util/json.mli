@@ -1,4 +1,4 @@
-(** Minimal JSON emitter (no parser) for machine-readable bench output. *)
+(** Minimal JSON emitter and parser for machine-readable bench output. *)
 
 type t =
   | Null
@@ -15,3 +15,16 @@ val to_string : t -> string
 
 val int64 : int64 -> t
 (** Emit as a plain integer literal (virtual-ns values fit in 2^53). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (full RFC 8259 grammar; integral-looking
+    numbers become [Int], others [Float]). The error carries the byte
+    offset of the failure. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for absent fields and non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Int]/[Float] as float; [None] otherwise. *)
+
+val to_string_opt : t -> string option

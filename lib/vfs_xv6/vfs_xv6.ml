@@ -103,7 +103,10 @@ let do_commit fs =
   let order = List.rev fs.log.staged_order in
   let n = List.length order in
   if n > 0 then begin
+    Kernel.Machine.with_layer fs.machine "log" @@ fun () ->
     fs.log.commits <- fs.log.commits + 1;
+    Kernel.Machine.incr fs.machine "log_commits";
+    Kernel.Machine.incr ~by:n fs.machine "log_commit_blocks";
     let home_bufs = List.map (fun blk -> Kernel.Bcache.bread fs.bc blk) order in
     (* copy to log area, one write per block *)
     let datas = ref [] in
@@ -1383,6 +1386,7 @@ let mount ?dirty_limit ?background machine : (Kernel.Vfs.t, Kernel.Errno.t) resu
       log_recover fs;
       count_free fs;
       let ops : Kernel.Vfs.fs_ops =
+        Kernel.Vfs.profiled_ops machine "fs"
         {
           Kernel.Vfs.fs_name = "xv6-c";
           root_ino = L.root_ino;

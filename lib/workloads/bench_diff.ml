@@ -1,0 +1,264 @@
+(** Regression gate over two [bench --json] documents.
+
+    The harness writes {meta, results} documents (see bench/main.ml); this
+    module matches result rows between an old and a new document by
+    (section, system, config), computes per-metric deltas, and decides
+    whether any *gated* metric regressed beyond a tolerance. Runs whose
+    metadata differ in ways that make the numbers incomparable (seed,
+    virtual duration, workload scale, cost-model version, block size) are
+    refused outright — comparing a 0.5 s run against a 2 s run, or runs
+    from different cost models, produces deltas that mean nothing. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metric directions: which way is better, and which metrics gate.     *)
+
+type direction = Higher_better | Lower_better | Informational
+
+(* Gated metrics. Throughput up is good; latency percentiles, layer
+   crossings, and write amplification down are good. [lat_max_ns] and raw
+   counters are reported but never gate: a single outlier op or a counter
+   whose magnitude scales with throughput would make the gate flappy. *)
+let direction_of = function
+  | "ops_per_sec" | "mbps" | "bcache_hit_ratio" -> Higher_better
+  | "lat_p50_ns" | "lat_p90_ns" | "lat_p99_ns" -> Lower_better
+  | "write_amplification" | "crossings_per_op" -> Lower_better
+  | _ -> Informational
+
+(* ------------------------------------------------------------------ *)
+(* Document model.                                                     *)
+
+type row = {
+  section : string;
+  system : string;
+  config : string;
+  metrics : (string * float) list;  (* numeric top-level fields, in order *)
+}
+
+type doc = {
+  meta : (string * Util.Json.t) list;
+  rows : row list;
+}
+
+type delta = {
+  metric : string;
+  dir : direction;
+  old_v : float;
+  new_v : float;
+  change_pct : float;  (* signed (new-old)/old in percent; 0 when old=0 *)
+  regressed : bool;
+}
+
+type row_delta = {
+  key : string * string * string;  (* section, system, config *)
+  deltas : delta list;
+}
+
+type report = {
+  compared : row_delta list;
+  only_old : (string * string * string) list;
+  only_new : (string * string * string) list;
+  regressions : int;
+}
+
+type error =
+  | Bad_input of string  (** malformed JSON / not a bench document *)
+  | Incomparable of string  (** run metadata differs; refuse to compare *)
+
+let error_to_string = function
+  | Bad_input m -> "bad input: " ^ m
+  | Incomparable m -> "incomparable runs: " ^ m
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+
+let parse_tolerance s =
+  let s = String.trim s in
+  let body, scale =
+    if String.length s > 0 && s.[String.length s - 1] = '%' then
+      (String.sub s 0 (String.length s - 1), 0.01)
+    else (s, 1.0)
+  in
+  match float_of_string_opt (String.trim body) with
+  | Some v when v >= 0. -> Ok (v *. scale)
+  | Some _ -> Error (Printf.sprintf "tolerance must be >= 0: %S" s)
+  | None -> Error (Printf.sprintf "cannot parse tolerance %S (use 5%% or 0.05)" s)
+
+let row_of_json j =
+  let open Util.Json in
+  let str field =
+    match Option.bind (member field j) to_string_opt with
+    | Some s -> s
+    | None -> ""
+  in
+  let metrics =
+    match j with
+    | Obj kvs ->
+        List.filter_map
+          (fun (k, v) ->
+            match to_float_opt v with Some f -> Some (k, f) | None -> None)
+          kvs
+    | _ -> []
+  in
+  { section = str "section"; system = str "system"; config = str "config";
+    metrics }
+
+let doc_of_json (j : Util.Json.t) : (doc, error) result =
+  let open Util.Json in
+  match (member "meta" j, member "results" j) with
+  | Some (Obj meta), Some (List rows) ->
+      Ok { meta; rows = List.map row_of_json rows }
+  | _ -> Error (Bad_input "expected an object with \"meta\" and \"results\"")
+
+let doc_of_string s =
+  match Util.Json.parse s with
+  | Ok j -> doc_of_json j
+  | Error m -> Error (Bad_input m)
+
+(* ------------------------------------------------------------------ *)
+(* Metadata compatibility.                                             *)
+
+(* Fields that must match for the numbers to be comparable. git_describe
+   legitimately differs between the two runs (that is the whole point);
+   everything that shapes the workload or the cost model must not. *)
+let compat_fields =
+  [ "seed"; "duration_s"; "untar_files"; "cost_model"; "block_size" ]
+
+let meta_compatible (old_meta : (string * Util.Json.t) list) new_meta =
+  let value m f = List.assoc_opt f m in
+  let mismatches =
+    List.filter_map
+      (fun f ->
+        let o = value old_meta f and n = value new_meta f in
+        if o = n then None
+        else
+          let show = function
+            | None -> "<absent>"
+            | Some v -> Util.Json.to_string v
+          in
+          Some (Printf.sprintf "%s: %s vs %s" f (show o) (show n)))
+      compat_fields
+  in
+  match mismatches with
+  | [] -> Ok ()
+  | ms -> Error (Incomparable (String.concat "; " ms))
+
+(* ------------------------------------------------------------------ *)
+(* Comparison.                                                         *)
+
+let key r = (r.section, r.system, r.config)
+
+let delta ~tolerance metric old_v new_v =
+  let dir = direction_of metric in
+  let change_pct = if old_v = 0. then 0. else (new_v -. old_v) /. old_v *. 100. in
+  let regressed =
+    match dir with
+    | Informational -> false
+    | Higher_better -> new_v < old_v *. (1. -. tolerance)
+    | Lower_better ->
+        if old_v = 0. then new_v > 0. else new_v > old_v *. (1. +. tolerance)
+  in
+  { metric; dir; old_v; new_v; change_pct; regressed }
+
+let diff_rows ~tolerance (old_r : row) (new_r : row) : row_delta =
+  let deltas =
+    List.filter_map
+      (fun (m, ov) ->
+        match List.assoc_opt m new_r.metrics with
+        | Some nv -> Some (delta ~tolerance m ov nv)
+        | None -> None)
+      old_r.metrics
+  in
+  { key = key old_r; deltas }
+
+let diff ?(tolerance = 0.05) (old_doc : doc) (new_doc : doc) :
+    (report, error) result =
+  match meta_compatible old_doc.meta new_doc.meta with
+  | Error e -> Error e
+  | Ok () ->
+      let find d k = List.find_opt (fun r -> key r = k) d.rows in
+      let compared =
+        List.filter_map
+          (fun old_r ->
+            match find new_doc (key old_r) with
+            | Some new_r -> Some (diff_rows ~tolerance old_r new_r)
+            | None -> None)
+          old_doc.rows
+      in
+      if compared = [] then
+        Error
+          (Bad_input
+             "no rows matched between the two documents (did the runs cover \
+              the same sections?)")
+      else
+        let matched k = List.exists (fun rd -> rd.key = k) compared in
+        let only_old =
+          List.filter_map
+            (fun r -> if matched (key r) then None else Some (key r))
+            old_doc.rows
+        in
+        let only_new =
+          List.filter_map
+            (fun r -> if matched (key r) then None else Some (key r))
+            new_doc.rows
+        in
+        let regressions =
+          List.fold_left
+            (fun acc rd ->
+              acc
+              + List.length (List.filter (fun d -> d.regressed) rd.deltas))
+            0 compared
+        in
+        Ok { compared; only_old; only_new; regressions }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let pp_key ppf (s, sys, c) = Fmt.pf ppf "%s/%s/%s" s sys c
+
+let render ?(tolerance = 0.05) (r : report) : string =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let arrow d =
+    match d.dir with
+    | Informational -> " "
+    | _ when d.regressed -> "!"
+    | Higher_better when d.change_pct > 0.005 -> "+"
+    | Lower_better when d.change_pct < -0.005 -> "+"
+    | _ -> " "
+  in
+  List.iter
+    (fun rd ->
+      let interesting =
+        List.filter
+          (fun d -> d.regressed || Float.abs d.change_pct >= tolerance *. 100.)
+          rd.deltas
+      in
+      if interesting <> [] then begin
+        pf "%s\n" (Fmt.str "%a" pp_key rd.key);
+        List.iter
+          (fun d ->
+            pf "  %s %-22s %14.3f -> %14.3f  %+7.2f%%%s\n" (arrow d) d.metric
+              d.old_v d.new_v d.change_pct
+              (if d.regressed then "  REGRESSION" else ""))
+          interesting
+      end)
+    r.compared;
+  List.iter
+    (fun k -> pf "only in old run: %s\n" (Fmt.str "%a" pp_key k))
+    r.only_old;
+  List.iter
+    (fun k -> pf "only in new run: %s\n" (Fmt.str "%a" pp_key k))
+    r.only_new;
+  let gated =
+    List.fold_left
+      (fun acc rd ->
+        acc
+        + List.length
+            (List.filter (fun d -> d.dir <> Informational) rd.deltas))
+      0 r.compared
+  in
+  pf "%d rows compared, %d gated metrics checked, %d regression%s (tolerance %.1f%%)\n"
+    (List.length r.compared) gated r.regressions
+    (if r.regressions = 1 then "" else "s")
+    (tolerance *. 100.);
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Regression gate over two [bench --json] documents.
+
+    Matches result rows by (section, system, config), computes per-metric
+    deltas, and reports whether any gated metric (throughput down, latency
+    percentile / crossings-per-op / write-amplification up) moved beyond a
+    tolerance. Runs whose metadata differ on anything that shapes the
+    numbers (seed, duration, workload scale, cost-model version, block
+    size) are refused as [Incomparable]. *)
+
+type direction = Higher_better | Lower_better | Informational
+
+val direction_of : string -> direction
+(** Gate direction for a metric name; unknown metrics are
+    [Informational] (reported, never gating). *)
+
+type row = {
+  section : string;
+  system : string;
+  config : string;
+  metrics : (string * float) list;
+}
+
+type doc = {
+  meta : (string * Util.Json.t) list;
+  rows : row list;
+}
+
+type delta = {
+  metric : string;
+  dir : direction;
+  old_v : float;
+  new_v : float;
+  change_pct : float;  (** signed (new-old)/old in percent; 0 when old=0 *)
+  regressed : bool;
+}
+
+type row_delta = {
+  key : string * string * string;  (** section, system, config *)
+  deltas : delta list;
+}
+
+type report = {
+  compared : row_delta list;
+  only_old : (string * string * string) list;
+  only_new : (string * string * string) list;
+  regressions : int;  (** total regressed gated metrics across all rows *)
+}
+
+type error =
+  | Bad_input of string  (** malformed JSON or not a bench document *)
+  | Incomparable of string  (** metadata differs; numbers not comparable *)
+
+val error_to_string : error -> string
+
+val parse_tolerance : string -> (float, string) result
+(** Accepts ["5%"] (percent) or ["0.05"] (fraction). *)
+
+val doc_of_string : string -> (doc, error) result
+val doc_of_json : Util.Json.t -> (doc, error) result
+
+val diff : ?tolerance:float -> doc -> doc -> (report, error) result
+(** Compare [old] against [new]. [Error Incomparable] when metadata
+    differs, [Error Bad_input] when no rows match at all. Default
+    tolerance 5%. *)
+
+val render : ?tolerance:float -> report -> string
+(** Human-readable report: changed metrics per row (quiet rows elided),
+    unmatched rows, and a summary line. *)

@@ -97,7 +97,9 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
          end;
          K.pin b;
          Hashtbl.replace t.staged blk ();
-         t.order <- blk :: t.order
+         t.order <- blk :: t.order;
+         K.trace_counter "log:free_blocks"
+           (t.capacity - Hashtbl.length t.staged)
        end);
       K.Kmutex.unlock t.lock
 
@@ -108,7 +110,12 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
       let order = List.rev t.order in
       let n = List.length order in
       if n > 0 then begin
+        K.profile "log" @@ fun () ->
         t.commits <- t.commits + 1;
+        (* Machine-wide commit accounting, uniform across the journalled
+           stacks (mean commit size = log_commit_blocks / log_commits). *)
+        K.counter_add "log_commits" 1;
+        K.counter_add "log_commit_blocks" n;
         (* The staged home blocks are pinned, so these breads are cache
            hits; holding them across the commit keeps readers out of
            half-installed state. *)
@@ -151,7 +158,8 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
         K.brelse hdr;
         Hashtbl.reset t.staged;
         t.order <- [];
-        t.eager_dirty <- false
+        t.eager_dirty <- false;
+        K.trace_counter "log:free_blocks" t.capacity
       end
 
     (* Run a commit while holding the lock logically: sets [committing],

@@ -3,6 +3,8 @@ let () =
     [
       ("sim", Test_sim.suite);
       ("stats", Test_stats.suite);
+      ("profile", Test_profile.suite);
+      ("benchdiff", Test_benchdiff.suite);
       ("trace", Test_trace.suite);
       ("layout", Test_layout.suite);
       ("device", Test_device.suite);

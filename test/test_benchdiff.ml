@@ -1,0 +1,175 @@
+(** Tests of the bench regression gate: document parsing, row matching,
+    gate directions, tolerance, and the metadata-compatibility refusal. *)
+
+let tc = Alcotest.test_case
+
+module D = Workloads.Bench_diff
+
+let meta ?(seed = 42) ?(duration = 0.5) ?(cost = "cost-test") () =
+  let open Util.Json in
+  [
+    ("benchmark", String "bento-sim");
+    ("seed", Int seed);
+    ("duration_s", Float duration);
+    ("untar_files", Int 14000);
+    ("block_size", Int 4096);
+    ("cost_model", String cost);
+    ("git_describe", String "test");
+  ]
+
+let row ~config metrics =
+  let open Util.Json in
+  Obj
+    (("section", String "fig2")
+    :: ("system", String "Bento")
+    :: ("config", String config)
+    :: List.map (fun (k, v) -> (k, Float v)) metrics)
+
+let doc ?seed ?duration ?cost rows =
+  let open Util.Json in
+  Obj [ ("meta", Obj (meta ?seed ?duration ?cost ())); ("results", List rows) ]
+
+let parse_doc j =
+  match D.doc_of_json j with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "doc_of_json: %s" (D.error_to_string e)
+
+let base_rows ops lat =
+  [ row ~config:"read-seq-4k-1t" [ ("ops_per_sec", ops); ("lat_p99_ns", lat) ] ]
+
+let diff_exn ?tolerance old_d new_d =
+  match D.diff ?tolerance (parse_doc old_d) (parse_doc new_d) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "diff: %s" (D.error_to_string e)
+
+let test_tolerance_parse () =
+  let okv s = match D.parse_tolerance s with Ok v -> v | Error m -> Alcotest.fail m in
+  Alcotest.(check (float 1e-9)) "percent" 0.05 (okv "5%");
+  Alcotest.(check (float 1e-9)) "fraction" 0.05 (okv "0.05");
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (okv "0");
+  (match D.parse_tolerance "banana" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage tolerance accepted");
+  match D.parse_tolerance "-3%" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative tolerance accepted"
+
+let test_round_trip () =
+  (* emitter output parses back into the same rows *)
+  let d = doc (base_rows 1000.0 5000.0) in
+  let parsed =
+    match D.doc_of_string (Util.Json.to_string d) with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "round trip: %s" (D.error_to_string e)
+  in
+  Alcotest.(check int) "one row" 1 (List.length parsed.D.rows);
+  let r = List.hd parsed.D.rows in
+  Alcotest.(check string) "config" "read-seq-4k-1t" r.D.config;
+  Alcotest.(check (float 1e-9)) "ops metric" 1000.0
+    (List.assoc "ops_per_sec" r.D.metrics)
+
+let test_self_compare_clean () =
+  let d = doc (base_rows 1000.0 5000.0) in
+  let r = diff_exn d d in
+  Alcotest.(check int) "no regressions" 0 r.D.regressions;
+  Alcotest.(check int) "one row compared" 1 (List.length r.D.compared)
+
+let test_slowdown_detected () =
+  (* 10% throughput drop vs 5% tolerance must fail, in both directions of
+     the gate: ops/sec down and latency up *)
+  let old_d = doc (base_rows 1000.0 5000.0) in
+  let new_d = doc (base_rows 900.0 5600.0) in
+  let r = diff_exn old_d new_d in
+  Alcotest.(check int) "both metrics regress" 2 r.D.regressions;
+  let d = List.hd r.D.compared in
+  List.iter
+    (fun (dl : D.delta) ->
+      if not dl.D.regressed then
+        Alcotest.failf "%s should have regressed" dl.D.metric)
+    d.D.deltas
+
+let test_improvement_passes () =
+  let old_d = doc (base_rows 1000.0 5000.0) in
+  let new_d = doc (base_rows 1500.0 2000.0) in
+  let r = diff_exn old_d new_d in
+  Alcotest.(check int) "improvement is not a regression" 0 r.D.regressions
+
+let test_within_tolerance_passes () =
+  let old_d = doc (base_rows 1000.0 5000.0) in
+  let new_d = doc (base_rows 970.0 5100.0) in
+  let r = diff_exn old_d new_d in
+  Alcotest.(check int) "3%/2% within 5%" 0 r.D.regressions;
+  let r = diff_exn ~tolerance:0.01 old_d new_d in
+  Alcotest.(check int) "but not within 1%" 2 r.D.regressions
+
+let test_informational_never_gates () =
+  let old_d =
+    doc [ row ~config:"c" [ ("ops_per_sec", 100.0); ("lat_max_ns", 100.0) ] ]
+  in
+  let new_d =
+    doc [ row ~config:"c" [ ("ops_per_sec", 100.0); ("lat_max_ns", 9000.0) ] ]
+  in
+  let r = diff_exn old_d new_d in
+  Alcotest.(check int) "lat_max is informational" 0 r.D.regressions
+
+let test_incomparable_meta () =
+  let a = doc ~seed:42 (base_rows 1000.0 5000.0) in
+  let b = doc ~seed:43 (base_rows 1000.0 5000.0) in
+  (match D.diff (parse_doc a) (parse_doc b) with
+  | Error (D.Incomparable _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (D.error_to_string e)
+  | Ok _ -> Alcotest.fail "seed mismatch not refused");
+  let c = doc ~cost:"cost-other" (base_rows 1000.0 5000.0) in
+  (match D.diff (parse_doc a) (parse_doc c) with
+  | Error (D.Incomparable _) -> ()
+  | _ -> Alcotest.fail "cost-model mismatch not refused");
+  let d = doc ~duration:2.0 (base_rows 1000.0 5000.0) in
+  match D.diff (parse_doc a) (parse_doc d) with
+  | Error (D.Incomparable _) -> ()
+  | _ -> Alcotest.fail "duration mismatch not refused"
+
+let test_no_matching_rows () =
+  let a = doc [ row ~config:"a" [ ("ops_per_sec", 1.0) ] ] in
+  let b = doc [ row ~config:"b" [ ("ops_per_sec", 1.0) ] ] in
+  match D.diff (parse_doc a) (parse_doc b) with
+  | Error (D.Bad_input _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (D.error_to_string e)
+  | Ok _ -> Alcotest.fail "disjoint documents compared"
+
+let test_unmatched_rows_reported () =
+  let a =
+    doc
+      [
+        row ~config:"shared" [ ("ops_per_sec", 1.0) ];
+        row ~config:"gone" [ ("ops_per_sec", 1.0) ];
+      ]
+  in
+  let b =
+    doc
+      [
+        row ~config:"shared" [ ("ops_per_sec", 1.0) ];
+        row ~config:"fresh" [ ("ops_per_sec", 1.0) ];
+      ]
+  in
+  let r = diff_exn a b in
+  Alcotest.(check int) "one matched" 1 (List.length r.D.compared);
+  Alcotest.(check int) "one only-old" 1 (List.length r.D.only_old);
+  Alcotest.(check int) "one only-new" 1 (List.length r.D.only_new);
+  (* render must not raise and must mention the summary *)
+  let s = D.render r in
+  if not (String.length s > 0) then Alcotest.fail "empty render"
+
+let suite =
+  [
+    tc "tolerance parsing" `Quick test_tolerance_parse;
+    tc "document round trip" `Quick test_round_trip;
+    tc "self-compare is clean" `Quick test_self_compare_clean;
+    tc "10% slowdown beyond 5% tolerance fails" `Quick test_slowdown_detected;
+    tc "improvements pass" `Quick test_improvement_passes;
+    tc "tolerance boundary" `Quick test_within_tolerance_passes;
+    tc "informational metrics never gate" `Quick
+      test_informational_never_gates;
+    tc "incomparable metadata refused" `Quick test_incomparable_meta;
+    tc "disjoint documents refused" `Quick test_no_matching_rows;
+    tc "unmatched rows reported" `Quick test_unmatched_rows_reported;
+  ]

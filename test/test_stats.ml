@@ -107,9 +107,61 @@ let test_registry_iteration () =
   Alcotest.(check int) "registry reset clears histograms" 0
     (H.count (Sim.Stats.histogram s "m_hist"))
 
+(* ------------------------------------------------------------------ *)
+(* Percentile edge behaviour, property-tested: for any sample set,
+   p0 = min, p100 = max, and percentile is monotone in q. p0 = min is the
+   interesting one — the rank-1 bucket's upper bound can exceed the
+   smallest sample (e.g. a single sample of 32 lands in [32..33]), so p0
+   must clamp to the observed minimum, not report the bucket bound. *)
+
+let samples_gen =
+  QCheck.(list_of_size Gen.(int_range 1 64) (map Int64.of_int (int_bound 5_000_000)))
+
+let with_histogram samples =
+  let h = H.create "prop" in
+  List.iter (H.record h) samples;
+  h
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:300 ~name:"percentile: p0 = min, p100 = max"
+    samples_gen (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = with_histogram samples in
+      let lo = List.fold_left min (List.hd samples) samples in
+      let hi = List.fold_left max (List.hd samples) samples in
+      H.percentile h 0.0 = lo && H.percentile h 100.0 = hi)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:300 ~name:"percentile: monotone in q" samples_gen
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = with_histogram samples in
+      let qs = [ 0.0; 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let ps = List.map (H.percentile h) qs in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) ->
+            Int64.compare a b <= 0 && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing ps)
+
+let test_percentile_single_sample () =
+  (* the original defect: one sample of 32 lives in bucket [32..33], and
+     p0 used to report the bucket's upper bound 33 *)
+  let h = H.create "one" in
+  H.record h 32L;
+  Alcotest.(check int64) "p0 = the sample" 32L (H.percentile h 0.0);
+  Alcotest.(check int64) "p100 = the sample" 32L (H.percentile h 100.0);
+  Alcotest.(check int64) "empty histogram p50 = 0" 0L
+    (H.percentile (H.create "empty") 50.0)
+
 let suite =
   [
     tc "histogram: exact below 32" `Quick test_histogram_exact_small;
+    tc "histogram: single-sample percentile edges" `Quick
+      test_percentile_single_sample;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
     tc "histogram: uniform percentiles" `Quick
       test_histogram_uniform_percentiles;
     tc "histogram: point mass" `Quick test_histogram_point_mass;

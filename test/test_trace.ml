@@ -235,7 +235,7 @@ let test_chrome_json_wellformed () =
           Alcotest.(check string) "process name" "run:test"
             (str (field "name" (field "args" ev)))
       | ph ->
-          if not (List.mem ph [ "B"; "E"; "i" ]) then
+          if not (List.mem ph [ "B"; "E"; "i"; "C" ]) then
             Alcotest.failf "unknown phase %s" ph;
           Alcotest.(check bool) "pid" true (num (field "pid" ev) = 7.0);
           ignore (str (field "name" ev));
