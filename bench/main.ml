@@ -3,7 +3,7 @@
     and an online-upgrade measurement, on the simulated machine.
 
       main.exe               — run everything
-      main.exe fig2|fig3|fig4|table1..table6|ablate|upgrade
+      main.exe fig2|fig3|fig4|table1..table6|readahead|ablate|upgrade
       main.exe bechamel      — wall-clock microbenchmarks of hot structures
       main.exe all --duration 2.0 --untar-files 70000
       main.exe fig2 --json out.json     — machine-readable results
@@ -337,6 +337,50 @@ let table6 () =
   pf "(FUSE untar runs a 1/10-size tree; the reported seconds are scaled x10)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Seqread-cold + readahead ablation: the async bio/readahead path.     *)
+
+let seqread_cold_mb = 96 (* > any stack's caches, so the read is cold *)
+
+let readahead_section () =
+  header
+    (Printf.sprintf
+       "Seqread-cold: cold page cache, sequential 4KB reads of a %dMB file \
+        (MBps)"
+       seqread_cold_mb);
+  pf "%-14s" "config";
+  List.iter (fun s -> pf "%12s" (Targets.system_name s)) Targets.all_with_ext4;
+  pf "\n";
+  pf "%-14s" "seqread-cold";
+  let bento_on = ref None in
+  List.iter
+    (fun sys ->
+      let r =
+        Targets.run sys (fun _m os ->
+            Workloads.Micro.seqread_cold_bench os ~iosize:4096
+              ~file_mb:seqread_cold_mb)
+      in
+      record ~section:"readahead" ~system:sys ~config:"seqread-cold-4k" r;
+      if sys = Targets.Bento_fs then bento_on := Some r;
+      pf "%12.1f" (Workloads.Bench_result.mbps r))
+    Targets.all_with_ext4;
+  pf "\n%!";
+  header "Ablation: page-cache readahead on vs off (Bento, same workload)";
+  let off =
+    Targets.run Targets.Bento_fs (fun _m os ->
+        Kernel.Vfs.set_readahead (Kernel.Os.vfs os) false;
+        Workloads.Micro.seqread_cold_bench os ~iosize:4096
+          ~file_mb:seqread_cold_mb)
+  in
+  record ~section:"readahead" ~system:Targets.Bento_fs
+    ~config:"seqread-cold-4k-ra-off" off;
+  let on = Option.get !bento_on in
+  pf "seqread-cold on Bento: readahead %.1f MBps  no-readahead %.1f MBps  \
+      speedup %.2fx\n%!"
+    (Workloads.Bench_result.mbps on)
+    (Workloads.Bench_result.mbps off)
+    (Workloads.Bench_result.mbps on /. Workloads.Bench_result.mbps off)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                   *)
 
 let run_bento_wb_batch ~wb_batch f =
@@ -545,6 +589,7 @@ let all () =
   table4 ();
   table5 ();
   table6 ();
+  readahead_section ();
   ablate ();
   upgrade ();
   bechamel ()
@@ -696,14 +741,15 @@ let () =
     | "table4" -> table4 ()
     | "table5" -> table5 ()
     | "table6" -> table6 ()
+    | "readahead" -> readahead_section ()
     | "ablate" -> ablate ()
     | "upgrade" -> upgrade ()
     | "bechamel" -> bechamel ()
     | "all" -> all ()
     | s ->
         Printf.eprintf
-          "unknown section %S (use table1..table6, fig2..fig4, ablate, \
-           upgrade, bechamel, all)\n"
+          "unknown section %S (use table1..table6, fig2..fig4, readahead, \
+           ablate, upgrade, bechamel, all)\n"
           s;
         exit 2
   in

@@ -118,6 +118,22 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
               Bytes.blit data 0 page 0 (Bytes.length data);
               Ok page
             end));
+    readahead =
+      (fun ~ino ~start ~count ->
+        with_fs h "bento:readahead" (fun d ->
+            (* One bulk read for the whole window: the fs maps the span
+               and pulls it through the cache in channel-parallel batched
+               commands (readi's bread_multi path). *)
+            let* data =
+              d.Fs_api.d_read ~ino ~off:(start * psz) ~len:(count * psz)
+            in
+            Ok
+              (Array.init count (fun i ->
+                   let page = Bytes.make psz '\000' in
+                   let off = i * psz in
+                   let n = min psz (max 0 (Bytes.length data - off)) in
+                   if n > 0 then Bytes.blit data off page 0 n;
+                   page))));
     write_pages =
       (fun ~ino ~isize pages ->
         with_fs h "bento:write_pages" (fun d ->

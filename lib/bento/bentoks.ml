@@ -39,6 +39,12 @@ module type KSERVICES = sig
   val getblk : int -> Buffer.t
   (** Locked buffer without reading the device (will be overwritten). *)
 
+  val bread_multi : int list -> Buffer.t list
+  (** Batched [bread] of distinct blocks, returned in input order. The
+      kernel runtime merges the cache misses into contiguous device
+      commands read concurrently across channels (the bio read path);
+      the single-threaded userspace runtime reads them one at a time. *)
+
   val bwrite : Buffer.t -> unit
   (** Write through to the device's volatile cache. *)
 
@@ -51,6 +57,29 @@ module type KSERVICES = sig
       batched into single commands and distinct runs are submitted
       concurrently across the device's channels, then all completions are
       awaited (the kernel block layer's async submit path). *)
+
+  (** The block layer's plug/unplug protocol over held buffers, for
+      callers that accumulate scattered writes incrementally instead of
+      in one list. [add] stages, [unplug] dispatches what is staged
+      (merged into contiguous commands, concurrent across device
+      channels in the kernel runtime; the single-threaded userspace
+      runtime defers to [wait]), [wait] is the completion barrier. *)
+  module Bio : sig
+    type plug
+
+    val plug : unit -> plug
+
+    val add : plug -> Buffer.t -> unit
+    (** Stage a held buffer for writeback. The buffer must stay held and
+        unmutated until [wait] returns. *)
+
+    val unplug : plug -> unit
+    (** Dispatch everything staged so far without waiting. *)
+
+    val wait : plug -> unit
+    (** Implicit [unplug], then block until every staged write has
+        completed; clears the staged buffers' dirty bits. *)
+  end
 
   val brelse : Buffer.t -> unit
   (** Unlock and drop the reference. Raises [Double_release] on misuse. *)
@@ -155,33 +184,28 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
       Sim.Stats.Counter.incr ks_getblk;
       { Buffer.bh = Kernel.Bcache.getblk bc n; released = false }
 
+    let bread_multi blocks =
+      Sim.Stats.Counter.incr ~by:(List.length blocks) ks_bread;
+      List.map
+        (fun bh -> { Buffer.bh; released = false })
+        (Kernel.Bcache.bread_scatter bc blocks)
+
     let bwrite (b : Buffer.t) =
       if b.Buffer.released then
         raise (Use_after_release (Printf.sprintf "block %d" (Buffer.block b)));
       Sim.Stats.Counter.incr ks_bwrite;
       Kernel.Bcache.bwrite bc b.Buffer.bh
 
-    (* Group consecutive block runs into contiguous device commands. *)
-    let runs_of bs =
-      let sorted =
-        List.sort (fun a b -> compare (Buffer.block a) (Buffer.block b)) bs
-      in
-      let rec runs acc cur = function
-        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-        | b :: rest -> (
-            match cur with
-            | [] -> runs acc [ b ] rest
-            | last :: _ when Buffer.block b = Buffer.block last + 1 ->
-                runs acc (b :: cur) rest
-            | _ -> runs (List.rev cur :: acc) [ b ] rest)
-      in
-      runs [] [] sorted
-
     let check_live ctx bs =
       List.iter
         (fun (b : Buffer.t) ->
           if b.Buffer.released then raise (Use_after_release ctx))
         bs
+
+    (* Group consecutive block runs into contiguous device commands
+       (the bio merge step). *)
+    let runs_of bs =
+      List.map snd (Kernel.Bio.runs (List.map (fun b -> (Buffer.block b, b)) bs))
 
     let bwrite_seq bs =
       check_live "bwrite_seq" bs;
@@ -194,20 +218,32 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
     let bwrite_all bs =
       check_live "bwrite_all" bs;
       Sim.Stats.Counter.incr ks_bwrite;
-      match runs_of bs with
-      | [] -> ()
-      | [ run ] ->
-          Kernel.Bcache.bwrite_contig bc (List.map (fun b -> b.Buffer.bh) run)
-      | runs ->
-          let done_sem = Sim.Sync.Semaphore.create 0 in
-          List.iter
-            (fun run ->
-              Kernel.Machine.spawn ~name:"bio" machine (fun () ->
-                  Kernel.Bcache.bwrite_contig bc
-                    (List.map (fun b -> b.Buffer.bh) run);
-                  Sim.Sync.Semaphore.release done_sem))
-            runs;
-          List.iter (fun _ -> Sim.Sync.Semaphore.acquire done_sem) runs
+      Kernel.Bcache.bwrite_scatter bc (List.map (fun b -> b.Buffer.bh) bs)
+
+    module Bio = struct
+      type plug = { kp : Kernel.Bio.t; mutable staged : Buffer.t list }
+
+      let plug () =
+        { kp = Kernel.Bio.plug (Kernel.Machine.disk machine); staged = [] }
+
+      let add p (b : Buffer.t) =
+        if b.Buffer.released then raise (Use_after_release "Bio.add");
+        p.staged <- b :: p.staged;
+        Kernel.Bio.add p.kp ~block:(Buffer.block b)
+          b.Buffer.bh.Kernel.Bcache.data
+
+      let unplug p = Kernel.Bio.unplug p.kp
+
+      let wait p =
+        Sim.Stats.Counter.incr ks_bwrite;
+        let cmds = Kernel.Bio.wait p.kp in
+        List.iter
+          (fun (b : Buffer.t) -> b.Buffer.bh.Kernel.Bcache.dirty <- false)
+          p.staged;
+        p.staged <- [];
+        Sim.Stats.Counter.incr ~by:cmds
+          (Sim.Stats.counter (Kernel.Bcache.stats bc) "disk_writes")
+    end
 
     let brelse (b : Buffer.t) =
       if b.Buffer.released then

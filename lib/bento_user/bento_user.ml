@@ -34,6 +34,11 @@ let user_services (machine : Kernel.Machine.t) (ubc : Fusesim.Ubcache.t) :
     let bread n = { Buffer.ub = Fusesim.Ubcache.bread ubc n; released = false }
     let getblk n = { Buffer.ub = Fusesim.Ubcache.getblk ubc n; released = false }
 
+    (* One daemon thread, O_DIRECT preads: no channel parallelism to
+       exploit from userspace, so the batched read degenerates to a
+       sequential loop. *)
+    let bread_multi blocks = List.map bread blocks
+
     let bwrite (b : Buffer.t) =
       if b.Buffer.released then raise (Use_after_release "bwrite");
       Fusesim.Ubcache.bwrite ubc b.Buffer.ub
@@ -42,6 +47,29 @@ let user_services (machine : Kernel.Machine.t) (ubc : Fusesim.Ubcache.t) :
        time, sequentially — the daemon has one thread. *)
     let bwrite_seq bs = List.iter bwrite bs
     let bwrite_all = bwrite_seq
+
+    (* Same plug/unplug surface as the kernel runtime, but with one daemon
+       thread there is nothing to overlap: staged writes go out
+       sequentially at the barrier, in the kernel's canonical merged-run
+       order so both hosts touch the disk image identically. *)
+    module Bio = struct
+      type plug = { mutable staged : Buffer.t list }
+
+      let plug () = { staged = [] }
+
+      let add p (b : Buffer.t) =
+        if b.Buffer.released then raise (Use_after_release "Bio.add");
+        p.staged <- b :: p.staged
+
+      let unplug _ = ()
+
+      let wait p =
+        List.iter
+          (fun (_start, run) -> List.iter bwrite run)
+          (Kernel.Bio.runs
+             (List.map (fun b -> (Buffer.block b, b)) p.staged));
+        p.staged <- []
+    end
 
     let brelse (b : Buffer.t) =
       if b.Buffer.released then raise (Double_release "user buffer");

@@ -53,6 +53,10 @@ type t = {
   nblocks : int;
   stable : Bytes.t option array;  (** durable contents, [None] = zeroes *)
   volatile : (int, Bytes.t) Hashtbl.t;  (** written, not yet flushed *)
+  write_order : int Queue.t;
+      (** volatile-cache insertion order (oldest first). May contain stale
+          entries for blocks since flushed or evicted; consumers skip
+          anything no longer in [volatile]. *)
   channels : Sim.Resource.t;
   flush_lock : Sim.Sync.Mutex.t;
   stats : Sim.Stats.t;
@@ -80,6 +84,7 @@ let create ?(config = default_config) ?tracer ?profile ~nblocks ~block_size
     nblocks;
     stable = Array.make nblocks None;
     volatile = Hashtbl.create 1024;
+    write_order = Queue.create ();
     channels = Sim.Resource.create ~name:"ssd-channels" config.channels;
     flush_lock = Sim.Sync.Mutex.create ~name:"ssd-flush" ();
     stats;
@@ -153,8 +158,8 @@ let peek t block =
       | Some b -> Bytes.copy b
       | None -> Bytes.make t.block_size '\000')
 
-(** Read [count] contiguous blocks as one device command. *)
-let read_contig t ~start ~count =
+(* One read command covering [count] consecutive blocks (fiber-blocking). *)
+let read_cmd t ~start ~count =
   check t start;
   check t (start + count - 1);
   Sim.Stats.Counter.incr (counter t "read_cmds");
@@ -172,19 +177,19 @@ let read_contig t ~start ~count =
   notify t Cmd_read;
   result
 
-let read t block =
-  match read_contig t ~start:block ~count:1 with
-  | [| b |] -> b
-  | _ -> assert false
-
-(* Record block contents in the volatile cache (timing handled by caller). *)
+(* Record block contents in the volatile cache (timing handled by caller).
+   A block keeps its original queue position across rewrites, so eviction
+   order is strict FIFO on first insertion. *)
 let store_volatile t block data =
   if Bytes.length data <> t.block_size then
     invalid_arg "Ssd.write: bad block size";
+  if not (Hashtbl.mem t.volatile block) then Queue.push block t.write_order;
   Hashtbl.replace t.volatile block (Bytes.copy data)
 
 (* If the volatile cache overflows, the device stalls the command while it
-   drains the overflow to flash at flush bandwidth. *)
+   drains the overflow to flash at flush bandwidth. Victims leave in FIFO
+   insertion order — the oldest cached blocks become durable first, the way
+   a real device's internal writeback empties its ring. *)
 let drain_overflow t =
   let excess = Hashtbl.length t.volatile - t.config.cache_blocks in
   if excess > 0 then begin
@@ -194,31 +199,23 @@ let drain_overflow t =
     in
     Sim.Profile.with_frame t.profile "device-io" (fun () ->
         Sim.Engine.sleep dur);
-    (* Oldest entries become durable; Hashtbl order is arbitrary but the
-       simulation stays deterministic because hashing is deterministic. *)
     let moved = ref 0 in
-    let victims =
-      Hashtbl.fold
-        (fun blk data acc ->
-          if !moved < excess then begin
-            incr moved;
-            (blk, data) :: acc
-          end
-          else acc)
-        t.volatile []
-    in
-    List.iter
-      (fun (blk, data) ->
-        t.stable.(blk) <- Some data;
-        Hashtbl.remove t.volatile blk)
-      victims;
-    if victims <> [] then t.stable_epoch <- t.stable_epoch + 1
+    while !moved < excess && not (Queue.is_empty t.write_order) do
+      let blk = Queue.pop t.write_order in
+      (* Skip stale queue entries (block flushed or evicted since). *)
+      match Hashtbl.find_opt t.volatile blk with
+      | None -> ()
+      | Some data ->
+          t.stable.(blk) <- Some data;
+          Hashtbl.remove t.volatile blk;
+          incr moved
+    done;
+    if !moved > 0 then t.stable_epoch <- t.stable_epoch + 1
   end
 
-(** Write [count] contiguous blocks as one device command. *)
-let write_contig t ~start bufs =
+(* One write command covering consecutive blocks (fiber-blocking). *)
+let write_cmd t ~start bufs =
   let count = Array.length bufs in
-  if count = 0 then invalid_arg "Ssd.write_contig: empty";
   check t start;
   check t (start + count - 1);
   Sim.Stats.Counter.incr (counter t "write_cmds");
@@ -236,6 +233,56 @@ let write_contig t ~start bufs =
   drain_overflow t;
   sample_dirty t;
   notify t Cmd_write
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous submission: each submitted command runs on a short-lived
+   device fiber, so the submitter keeps going (and can keep all
+   [config.channels] busy) while commands queue, transfer and complete.
+   The completion carries either the command's result or its exception,
+   re-raised at [await] — a fire-and-forget submitter (readahead) simply
+   never observes a late failure. *)
+
+type completion = (Bytes.t array, exn) result Sim.Sync.Ivar.t
+
+let submit t ~name run =
+  let iv : completion = Sim.Sync.Ivar.create () in
+  ignore
+    (Sim.Engine.spawn ~name t.engine (fun () ->
+         let r = match run () with v -> Ok v | exception e -> Error e in
+         Sim.Sync.Ivar.fill iv r));
+  iv
+
+let submit_read t ~start ~count =
+  if count <= 0 then invalid_arg "Ssd.submit_read: empty";
+  check t start;
+  check t (start + count - 1);
+  submit t ~name:"ssd-read" (fun () -> read_cmd t ~start ~count)
+
+let submit_write t ~start bufs =
+  let count = Array.length bufs in
+  if count = 0 then invalid_arg "Ssd.write_contig: empty";
+  check t start;
+  check t (start + count - 1);
+  submit t ~name:"ssd-write" (fun () ->
+      write_cmd t ~start bufs;
+      [||])
+
+let await c =
+  match Sim.Sync.Ivar.read c with Ok v -> v | Error e -> raise e
+
+let is_complete c = Sim.Sync.Ivar.is_full c
+
+(** Read [count] contiguous blocks as one device command. *)
+let read_contig t ~start ~count = await (submit_read t ~start ~count)
+
+let read t block =
+  match read_contig t ~start:block ~count:1 with
+  | [| b |] -> b
+  | _ -> assert false
+
+(** Write [count] contiguous blocks as one device command. *)
+let write_contig t ~start bufs =
+  ignore (await (submit_write t ~start bufs))
 
 let write t block data = write_contig t ~start:block [| data |]
 
@@ -268,6 +315,7 @@ let flush t =
                 t.stable_epoch <- t.stable_epoch + 1
               end;
               Hashtbl.reset t.volatile;
+              Queue.clear t.write_order;
               sample_dirty t)));
   notify t Cmd_flush
 
@@ -298,6 +346,7 @@ let crash ?(survive = 0.0) ?rng t =
   in
   Hashtbl.iter keep t.volatile;
   Hashtbl.reset t.volatile;
+  Queue.clear t.write_order;
   if !survivors > 0 then t.stable_epoch <- t.stable_epoch + 1
 
 (** Mark the device failed: every subsequent command raises

@@ -50,14 +50,38 @@ val block_size : t -> int
 val nblocks : t -> int
 val stats : t -> Sim.Stats.t
 
+type completion
+(** Handle for an in-flight submitted command. *)
+
+val submit_read : t -> start:int -> count:int -> completion
+(** Issue one read command covering [count] consecutive blocks without
+    blocking the calling fiber: the command queues for a channel, transfers
+    and completes on its own device fiber. Range errors raise immediately
+    at submission; service-time errors ({!Device_failed}) surface at
+    {!await}. *)
+
+val submit_write : t -> start:int -> Bytes.t array -> completion
+(** Issue one write command covering consecutive blocks without blocking.
+    The payload is copied at command completion, not submission — callers
+    must not mutate the buffers until the command completes. *)
+
+val await : completion -> Bytes.t array
+(** Block until the command completes; returns the blocks read ([[||]] for
+    writes) or re-raises the command's failure. May be called any number
+    of times (idempotent once complete). *)
+
+val is_complete : completion -> bool
+
 val read_contig : t -> start:int -> count:int -> Bytes.t array
 (** One device command covering [count] consecutive blocks. Blocks the
-    calling fiber for the command's service time. *)
+    calling fiber for the command's service time (sugar for
+    {!submit_read} + {!await}). *)
 
 val read : t -> int -> Bytes.t
 
 val write_contig : t -> start:int -> Bytes.t array -> unit
-(** One command writing consecutive blocks into the volatile cache. *)
+(** One command writing consecutive blocks into the volatile cache
+    (sugar for {!submit_write} + {!await}). *)
 
 val write : t -> int -> Bytes.t -> unit
 
@@ -86,9 +110,11 @@ val stable_epoch : t -> int
 
 val set_command_hook : t -> (cmd -> unit) option -> unit
 (** Install a callback fired after every completed device command, on the
-    fiber that issued it. The crash-point enumerator uses this to snapshot
-    device state at every command boundary. The callback must not issue
-    device commands. *)
+    fiber that serviced it (the per-command device fiber for reads and
+    writes, the caller for flushes). The crash-point enumerator uses this
+    to snapshot device state at every command boundary — with concurrent
+    submissions the boundaries fall {e inside} partially-completed
+    batches. The callback must not issue device commands. *)
 
 val crash : ?survive:float -> ?rng:Sim.Rng.t -> t -> unit
 (** Power failure: unflushed writes are dropped, except that each block

@@ -1225,6 +1225,25 @@ let mount ?dirty_limit ?background ?commit_interval machine :
                     Bytes.blit data 0 page 0 (Bytes.length data);
                     Ok page
                   end);
+          readahead =
+            (fun ~ino ~start ~count ->
+              (* One readi over the whole window; blocks still come
+                 through the cache one bread at a time. *)
+              let ip = iget fs ino in
+              ilock fs ip;
+              let r = readi fs ip ~off:(start * bsize) ~len:(count * bsize) in
+              iunlock ip;
+              iput fs ip;
+              match r with
+              | Error _ as e -> e
+              | Ok data ->
+                  Ok
+                    (Array.init count (fun i ->
+                         let page = Bytes.make bsize '\000' in
+                         let off = i * bsize in
+                         let n = min bsize (max 0 (Bytes.length data - off)) in
+                         if n > 0 then Bytes.blit data off page 0 n;
+                         page)));
           write_pages =
             (fun ~ino ~isize pages ->
               match Array.length pages with

@@ -85,11 +85,10 @@ let checkpoint_all_locked t =
     let final = Hashtbl.create 256 in
     List.iter (fun tx -> List.iter (fun (tgt, data) -> Hashtbl.replace final tgt data) tx) txs;
     let targets = Hashtbl.fold (fun tgt data acc -> (tgt, data) :: acc) final [] in
-    let targets = List.sort (fun (a, _) (b, _) -> compare a b) targets in
     Kernel.Machine.with_layer t.machine "log" (fun () ->
-        List.iter
-          (fun (tgt, data) -> Kernel.Bcache.raw_write t.bc tgt data)
-          targets;
+        (* scatter-install through the bio layer: adjacent targets merge
+           into contiguous commands, distinct runs go out concurrently *)
+        Kernel.Bcache.raw_write_scatter t.bc targets;
         Kernel.Bcache.flush t.bc);
     (* release the eviction pins, one per (transaction, block) occurrence *)
     List.iter
@@ -355,13 +354,16 @@ let recover t =
         match parse_tx off seq with
         | None -> seq
         | Some (cseq, targets, datas, next_off) when cseq >= seq0 ->
-            List.iter2
-              (fun tgt data ->
-                let home = Kernel.Bcache.getblk t.bc tgt in
-                Bytes.blit data 0 home.Kernel.Bcache.data 0 bsize;
-                Kernel.Bcache.bwrite t.bc home;
-                Kernel.Bcache.brelse t.bc home)
-              targets datas;
+            let homes =
+              List.map2
+                (fun tgt data ->
+                  let home = Kernel.Bcache.getblk t.bc tgt in
+                  Bytes.blit data 0 home.Kernel.Bcache.data 0 bsize;
+                  home)
+                targets datas
+            in
+            Kernel.Bcache.bwrite_scatter t.bc homes;
+            List.iter (fun b -> Kernel.Bcache.brelse t.bc b) homes;
             scan next_off (cseq + 1)
         | Some _ -> seq
       in

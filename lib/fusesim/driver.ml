@@ -86,6 +86,30 @@ let vfs_ops (t : t) ~max_file_size : Kernel.Vfs.fs_ops =
               Ok page
             end
         | r -> Error (errno_of_reply r));
+    readahead =
+      (fun ~ino ~start ~count ->
+        (* One READ request for the whole window (bounded by max_read);
+           the daemon still reads its blocks one at a time — FUSE pays
+           the crossing once but gets no device parallelism. *)
+        let count = min count max_write_pages in
+        match
+          Transport.call t.transport
+            (Proto.Read
+               {
+                 ino;
+                 off = start * t.page_size;
+                 len = count * t.page_size;
+               })
+        with
+        | Proto.R_data d ->
+            Ok
+              (Array.init count (fun i ->
+                   let page = Bytes.make t.page_size '\000' in
+                   let off = i * t.page_size in
+                   let n = min t.page_size (max 0 (Bytes.length d - off)) in
+                   if n > 0 then Bytes.blit d off page 0 n;
+                   page))
+        | r -> Error (errno_of_reply r));
     write_pages =
       (fun ~ino ~isize pages ->
         (* ship the contiguous run in max_write-sized WRITE requests *)

@@ -7,7 +7,13 @@
     caller must [brelse] it (BentoKS turns this into a scoped wrapper so
     "buffer management has the same properties as memory management in
     Rust"). [bwrite] writes the buffer through to the device's volatile
-    cache; durability requires a separate [flush] barrier. *)
+    cache; durability requires a separate [flush] barrier.
+
+    Unreferenced buffers sit on an intrusive doubly-linked free list in
+    release order (head = least recently released), so eviction is O(1)
+    instead of a full-table scan. Dirty victims are written back with the
+    cache lock released — only the victim's own sleeplock pins it — so a
+    slow eviction write no longer stalls every unrelated lookup. *)
 
 type buf = {
   block : int;
@@ -16,7 +22,9 @@ type buf = {
   mutable valid : bool;  (** contents read from disk / written by owner *)
   mutable dirty : bool;
   mutable refcount : int;
-  mutable lru_tick : int;  (** last-release time for LRU eviction *)
+  mutable lru_prev : buf option;  (** free-list links; set only while unreferenced *)
+  mutable lru_next : buf option;
+  mutable on_lru : bool;
 }
 
 type t = {
@@ -26,7 +34,8 @@ type t = {
   capacity : int;
   table : (int, buf) Hashtbl.t;
   cache_lock : Sim.Sync.Mutex.t;
-  mutable tick : int;
+  mutable lru_head : buf option;  (** least recently released *)
+  mutable lru_tail : buf option;  (** most recently released *)
   stats : Sim.Stats.t;
 }
 
@@ -44,7 +53,8 @@ let create ?(capacity = 8192) machine =
     capacity;
     table = Hashtbl.create (capacity * 2);
     cache_lock = Sim.Sync.Mutex.create ~name:"bcache" ();
-    tick = 0;
+    lru_head = None;
+    lru_tail = None;
     stats;
   }
 
@@ -52,66 +62,125 @@ let stats t = t.stats
 let block_size t = Device.Ssd.block_size t.dev
 let incr t name = Sim.Stats.Counter.incr (Sim.Stats.counter t.stats name)
 
+let incr_by t name n =
+  Sim.Stats.Counter.incr ~by:n (Sim.Stats.counter t.stats name)
+
 (* All externally-called cache operations run under the "bcache" profiler
    frame; time spent below, in the device, lands in its own frames. *)
 let layer t f = Machine.with_layer t.machine "bcache" f
 
-(* Evict one unreferenced clean buffer, oldest first. Dirty unreferenced
-   buffers are written back then reused. Called with [cache_lock] held. *)
-let evict_one t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun _ b ->
-      if b.refcount = 0 then
-        match !victim with
-        | Some v when v.lru_tick <= b.lru_tick -> ()
-        | _ -> victim := Some b)
-    t.table;
-  match !victim with
+(* ------------------------------------------------------------------ *)
+(* Intrusive free list. All list operations run under [cache_lock]; a
+   buffer is on the list iff its refcount is zero.                     *)
+
+let lru_append t b =
+  b.on_lru <- true;
+  b.lru_prev <- t.lru_tail;
+  b.lru_next <- None;
+  (match t.lru_tail with
+  | Some tl -> tl.lru_next <- Some b
+  | None -> t.lru_head <- Some b);
+  t.lru_tail <- Some b
+
+let lru_remove t b =
+  if b.on_lru then begin
+    (match b.lru_prev with
+    | Some p -> p.lru_next <- b.lru_next
+    | None -> t.lru_head <- b.lru_next);
+    (match b.lru_next with
+    | Some n -> n.lru_prev <- b.lru_prev
+    | None -> t.lru_tail <- b.lru_prev);
+    b.lru_prev <- None;
+    b.lru_next <- None;
+    b.on_lru <- false
+  end
+
+let ref_inc t b =
+  if b.refcount = 0 then lru_remove t b;
+  b.refcount <- b.refcount + 1
+
+let ref_dec t b =
+  b.refcount <- b.refcount - 1;
+  if b.refcount = 0 then lru_append t b
+
+(* Evict one unreferenced buffer, least recently released first. Called
+   with [cache_lock] held. A clean victim unhooks in O(1); a dirty victim
+   is written back with the cache lock *released* — the victim is pinned
+   by a temporary reference and its own sleeplock meanwhile — so other
+   lookups proceed during the I/O. If someone starts using the victim
+   while it is being written back, it is left cached and another victim
+   is taken. *)
+let rec evict_one t =
+  match t.lru_head with
   | None -> raise No_buffers
   | Some b ->
-      if b.dirty then begin
-        (* Write back before reuse; still under the cache lock, which is
-           coarse but matches xv6's single bcache lock behaviour. *)
-        Device.Ssd.write t.dev b.block b.data;
-        b.dirty <- false;
-        incr t "writeback_evictions"
-      end;
-      Hashtbl.remove t.table b.block;
-      Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:evict";
-      incr t "evictions"
+      lru_remove t b;
+      if not b.dirty then begin
+        Hashtbl.remove t.table b.block;
+        Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:evict";
+        incr t "evictions"
+      end
+      else begin
+        b.refcount <- 1;
+        Sim.Sync.Mutex.unlock t.cache_lock;
+        Sim.Sync.Mutex.lock b.lock;
+        if b.dirty then begin
+          Device.Ssd.write t.dev b.block b.data;
+          b.dirty <- false;
+          incr t "writeback_evictions"
+        end;
+        Sim.Sync.Mutex.unlock b.lock;
+        Sim.Sync.Mutex.lock t.cache_lock;
+        b.refcount <- b.refcount - 1;
+        if b.refcount = 0 then begin
+          Hashtbl.remove t.table b.block;
+          Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:evict";
+          incr t "evictions"
+        end
+        else
+          (* Raced with a new user: the block is hot again. *)
+          evict_one t
+      end
 
 (* Find-or-create the buffer for [block]; returns it with refcount raised
-   but NOT locked and possibly not valid. *)
+   but NOT locked and possibly not valid. Eviction may release and
+   re-acquire [cache_lock], so the lookup restarts afterwards. *)
 let getbuf t block =
   Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
       Machine.cpu_work t.machine (Machine.cost t.machine).Cost.buffer_lookup;
-      let b =
+      let rec find () =
         match Hashtbl.find_opt t.table block with
         | Some b ->
             incr t "hits";
             Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:hit";
+            ref_inc t b;
             b
         | None ->
-            incr t "misses";
-            Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:miss";
-            if Hashtbl.length t.table >= t.capacity then evict_one t;
-            let b =
-              {
-                block;
-                data = Bytes.make (block_size t) '\000';
-                lock = Sim.Sync.Mutex.create ~name:"buf" ();
-                valid = false;
-                dirty = false;
-                refcount = 0;
-                lru_tick = 0;
-              }
-            in
-            Hashtbl.add t.table block b;
-            b
+            if Hashtbl.length t.table >= t.capacity then begin
+              evict_one t;
+              find ()
+            end
+            else begin
+              incr t "misses";
+              Sim.Trace.instant t.tracer ~cat:"bcache" "bcache:miss";
+              let b =
+                {
+                  block;
+                  data = Bytes.make (block_size t) '\000';
+                  lock = Sim.Sync.Mutex.create ~name:"buf" ();
+                  valid = false;
+                  dirty = false;
+                  refcount = 1;
+                  lru_prev = None;
+                  lru_next = None;
+                  on_lru = false;
+                }
+              in
+              Hashtbl.add t.table block b;
+              b
+            end
       in
-      b.refcount <- b.refcount + 1;
-      b)
+      find ())
 
 (** Return a locked buffer containing the current contents of [block],
     reading from the device on a miss (xv6 [bread], Linux [sb_bread]). *)
@@ -126,6 +195,52 @@ let bread t block =
         incr t "disk_reads"
       end;
       b)
+
+(** Batched [bread]: find-or-create every block's buffer, then fetch all
+    the invalid ones in one pass through the bio layer — adjacent blocks
+    merge into contiguous read commands and distinct runs go out
+    concurrently across the device's channels, instead of one serial
+    single-block read per buffer. Buffers are locked in ascending block
+    order (one global order, so concurrent batched reads cannot
+    deadlock) and returned in input order, each held exactly as by
+    [bread]. Blocks must be distinct. *)
+let bread_scatter t blocks =
+  layer t (fun () ->
+      let sorted = List.sort_uniq compare blocks in
+      if List.length sorted <> List.length blocks then
+        invalid_arg "Bcache.bread_scatter: duplicate blocks";
+      let bufs =
+        List.map
+          (fun blk ->
+            let b = getbuf t blk in
+            Sim.Sync.Mutex.lock b.lock;
+            b)
+          sorted
+      in
+      let missing = List.filter (fun b -> not b.valid) bufs in
+      (if missing <> [] then
+         match Bio.read_scatter t.dev (List.map (fun b -> b.block) missing) with
+         | pairs, cmds ->
+             List.iter2
+               (fun b (blk, data) ->
+                 assert (b.block = blk);
+                 Bytes.blit data 0 b.data 0 (Bytes.length data);
+                 b.valid <- true)
+               missing pairs;
+             incr_by t "disk_reads" cmds
+         | exception e ->
+             (* Release everything we hold before propagating. *)
+             List.iter
+               (fun b ->
+                 Sim.Sync.Mutex.unlock b.lock;
+                 Sim.Sync.Mutex.lock t.cache_lock;
+                 ref_dec t b;
+                 Sim.Sync.Mutex.unlock t.cache_lock)
+               bufs;
+             raise e);
+      let by_block = Hashtbl.create 16 in
+      List.iter (fun b -> Hashtbl.replace by_block b.block b) bufs;
+      List.map (fun blk -> Hashtbl.find by_block blk) blocks)
 
 (** Like [bread] but without reading the device: for blocks the caller will
     fully overwrite (Linux [getblk] + wait-free path). *)
@@ -149,21 +264,41 @@ let bwrite t b =
       b.dirty <- false;
       incr t "disk_writes")
 
+(** Write a set of held buffers with maximum parallelism: sort and merge
+    adjacent block numbers into contiguous commands and dispatch the
+    merged runs concurrently across the device's channels (bio
+    plug/unplug), then wait for every completion. *)
+let bwrite_scatter t bufs =
+  match bufs with
+  | [] -> ()
+  | _ ->
+      List.iter
+        (fun b ->
+          if not (Sim.Sync.Mutex.locked b.lock) then
+            invalid_arg "Bcache.bwrite_scatter: buffer not locked")
+        bufs;
+      layer t (fun () ->
+          let cmds =
+            Bio.write_scatter t.dev (List.map (fun b -> (b.block, b.data)) bufs)
+          in
+          List.iter (fun b -> b.dirty <- false) bufs;
+          incr_by t "disk_writes" cmds)
+
 (** Write several held buffers as one contiguous device command when their
-    block numbers are consecutive; used by log installation and by the
-    writepages path. Buffers must be sorted by block and locked. *)
+    block numbers are consecutive (sorted by block); otherwise fall back
+    to {!bwrite_scatter}, which splits the set into maximal contiguous
+    runs and dispatches them concurrently. *)
 let bwrite_contig t bufs =
   match bufs with
   | [] -> ()
   | first :: _ ->
-      Array.of_list bufs
-      |> fun arr ->
+      List.iter
+        (fun b ->
+          if not (Sim.Sync.Mutex.locked b.lock) then
+            invalid_arg "Bcache.bwrite_contig: buffer not locked")
+        bufs;
+      let arr = Array.of_list bufs in
       let contiguous =
-        Array.for_all
-          (fun b -> Sim.Sync.Mutex.locked b.lock)
-          arr
-        && Array.length arr > 0
-        &&
         let ok = ref true in
         Array.iteri
           (fun i b -> if b.block <> first.block + i then ok := false)
@@ -176,7 +311,7 @@ let bwrite_contig t bufs =
               (Array.map (fun b -> b.data) arr);
             Array.iter (fun b -> b.dirty <- false) arr;
             incr t "disk_writes")
-      else List.iter (fun b -> bwrite t b) bufs
+      else bwrite_scatter t bufs
 
 (** Mark dirty without writing; the owner (e.g. the log) will write later. *)
 let mark_dirty b = b.dirty <- true
@@ -191,21 +326,18 @@ let brelse t b =
     Sim.Sync.Mutex.unlock t.cache_lock;
     invalid_arg "Bcache.brelse: refcount underflow"
   end;
-  b.refcount <- b.refcount - 1;
-  t.tick <- t.tick + 1;
-  b.lru_tick <- t.tick;
+  ref_dec t b;
   Sim.Sync.Mutex.unlock t.cache_lock
 
 (** Raise the refcount of a held buffer (xv6 [bpin], used by the log to keep
     blocks in cache until the transaction commits). *)
 let bpin t b =
-  Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
-      b.refcount <- b.refcount + 1)
+  Sim.Sync.Mutex.with_lock t.cache_lock (fun () -> ref_inc t b)
 
 let bunpin t b =
   Sim.Sync.Mutex.with_lock t.cache_lock (fun () ->
       if b.refcount <= 0 then invalid_arg "Bcache.bunpin";
-      b.refcount <- b.refcount - 1)
+      ref_dec t b)
 
 (** Drop a pin reference located by block number (jbd2 checkpointing, which
     holds data copies rather than buffers). *)
@@ -214,7 +346,7 @@ let bunpin_block t block =
       match Hashtbl.find_opt t.table block with
       | Some b ->
           if b.refcount <= 0 then invalid_arg "Bcache.bunpin_block";
-          b.refcount <- b.refcount - 1
+          ref_dec t b
       | None -> invalid_arg "Bcache.bunpin_block: not cached")
 
 (** Write data for [block] straight to the device without disturbing the
@@ -224,6 +356,17 @@ let raw_write t block data =
   layer t (fun () ->
       Device.Ssd.write t.dev block data;
       incr t "raw_writes")
+
+(** Scatter version of {!raw_write}: install many committed (block, data)
+    pairs at once, merged into contiguous commands and dispatched
+    concurrently through the bio layer. *)
+let raw_write_scatter t pairs =
+  match pairs with
+  | [] -> ()
+  | _ ->
+      layer t (fun () ->
+          ignore (Bio.write_scatter t.dev pairs);
+          incr_by t "raw_writes" (List.length pairs))
 
 (** Durability barrier on the underlying device. *)
 let flush t =
@@ -238,6 +381,39 @@ let check_invariants t =
   Hashtbl.iter
     (fun block b ->
       if b.block <> block then failwith "bcache: key/block mismatch";
-      if b.refcount < 0 then failwith "bcache: negative refcount")
+      if b.refcount < 0 then failwith "bcache: negative refcount";
+      if b.refcount = 0 && not b.on_lru then
+        failwith "bcache: unreferenced buffer off the free list";
+      if b.refcount > 0 && b.on_lru then
+        failwith "bcache: referenced buffer on the free list")
     t.table;
-  if Hashtbl.length t.table > t.capacity then failwith "bcache: over capacity"
+  if Hashtbl.length t.table > t.capacity then failwith "bcache: over capacity";
+  (* Walk the free list and check link consistency both ways. *)
+  let same a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | _ -> false
+  in
+  let count = ref 0 in
+  let rec walk prev = function
+    | None ->
+        if not (same t.lru_tail prev) then failwith "bcache: lru tail mismatch"
+    | Some b ->
+        Stdlib.incr count;
+        if not b.on_lru then failwith "bcache: off-list buffer linked";
+        if b.refcount <> 0 then failwith "bcache: referenced buffer on lru";
+        (match Hashtbl.find_opt t.table b.block with
+        | Some b' when b' == b -> ()
+        | _ -> failwith "bcache: lru node not in table");
+        if not (same b.lru_prev prev) then
+          failwith "bcache: lru prev link broken";
+        if !count > Hashtbl.length t.table then
+          failwith "bcache: lru list cycle";
+        walk (Some b) b.lru_next
+  in
+  walk None t.lru_head;
+  let unref =
+    Hashtbl.fold (fun _ b n -> if b.refcount = 0 then n + 1 else n) t.table 0
+  in
+  if unref <> !count then failwith "bcache: lru length mismatch"

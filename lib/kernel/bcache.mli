@@ -14,7 +14,11 @@ type buf = {
   mutable valid : bool;
   mutable dirty : bool;
   mutable refcount : int;
-  mutable lru_tick : int;
+  mutable lru_prev : buf option;
+      (** intrusive free-list links, maintained by the cache: a buffer is
+          linked exactly while its refcount is zero *)
+  mutable lru_next : buf option;
+  mutable on_lru : bool;
 }
 
 type t
@@ -31,6 +35,12 @@ val bread : t -> int -> buf
 (** Locked buffer with the block's current contents (device read on
     miss). *)
 
+val bread_scatter : t -> int list -> buf list
+(** Batched [bread] of distinct blocks: the misses are merged into
+    contiguous read commands dispatched concurrently across the device's
+    channels (the bio read path). Buffers come back in input order, each
+    held exactly as by [bread]. *)
+
 val getblk : t -> int -> buf
 (** Locked buffer without reading the device — for full overwrites. *)
 
@@ -39,7 +49,13 @@ val bwrite : t -> buf -> unit
 
 val bwrite_contig : t -> buf list -> unit
 (** One device command when the held buffers are consecutive by block
-    number; falls back to per-buffer writes otherwise. *)
+    number (sorted); otherwise falls back to {!bwrite_scatter}. *)
+
+val bwrite_scatter : t -> buf list -> unit
+(** Write held buffers in any block order: merges adjacent blocks into
+    contiguous commands and dispatches the merged runs concurrently
+    across the device's channels, waiting for all completions (the bio
+    plug/unplug path). *)
 
 val mark_dirty : buf -> unit
 
@@ -59,6 +75,11 @@ val raw_write : t -> int -> Bytes.t -> unit
 (** Write data for a block straight to the device without touching the
     cached buffer — installing a committed version while the cache holds
     newer uncommitted contents. *)
+
+val raw_write_scatter : t -> (int * Bytes.t) list -> unit
+(** Scatter version of {!raw_write}: merge and dispatch the pairs
+    concurrently through the bio layer, then wait for all completions.
+    Duplicate blocks must not appear. *)
 
 val flush : t -> unit
 (** Device durability barrier. *)

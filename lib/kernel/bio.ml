@@ -1,0 +1,129 @@
+(** Asynchronous block-request layer — the kernel block layer's
+    plug/unplug discipline over the SSD's channel parallelism.
+
+    A caller with scattered writes "plugs" a request queue, stages block
+    writes into it, and "unplugs": the queue sorts the staged requests,
+    merges adjacent block numbers into contiguous device commands (one
+    command pays one latency floor regardless of length), and submits the
+    merged set concurrently via {!Device.Ssd.submit_write}, so distinct
+    runs occupy distinct device channels instead of serializing. [wait] is
+    the wait-for-all barrier.
+
+    This is the mechanism behind the paper's multi-channel speedups: the
+    xv6 log install phase, jbd2 checkpointing and the writepages flusher
+    all issue scattered home-location writes, and with a plugged queue the
+    device sees them as a handful of parallel commands rather than a
+    serial dribble of single-block writes. *)
+
+type t = {
+  dev : Device.Ssd.t;
+  staged : (int, Bytes.t) Hashtbl.t;
+      (** plugged, not yet submitted; keyed by block, last store wins *)
+  mutable in_flight : Device.Ssd.completion list;
+  mutable submitted : int;  (** commands dispatched since the last [wait] *)
+}
+
+let plug dev =
+  { dev; staged = Hashtbl.create 16; in_flight = []; submitted = 0 }
+
+(** Sort [(block, payload)] pairs and group maximal runs of consecutive
+    block numbers: [[(7,a); (5,b); (6,c)]] becomes [[(5, [b; c; a])]].
+    Duplicate blocks must not appear (callers dedup first). *)
+let runs pairs =
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs
+  in
+  let rec group acc cur = function
+    | [] -> List.rev (match cur with [] -> acc | _ -> List.rev cur :: acc)
+    | (blk, p) :: rest -> (
+        match cur with
+        | [] -> group acc [ (blk, p) ] rest
+        | (last, _) :: _ when blk = last + 1 -> group acc ((blk, p) :: cur) rest
+        | _ -> group (List.rev cur :: acc) [ (blk, p) ] rest)
+  in
+  List.map
+    (fun run ->
+      match run with
+      | [] -> assert false
+      | (start, _) :: _ -> (start, List.map snd run))
+    (group [] [] sorted)
+
+(** Stage a block write in the plugged queue. Nothing reaches the device
+    until {!unplug}. Staging the same block again replaces the pending
+    payload (the requests would have merged in the device queue anyway).
+    The payload is not copied until the device command completes — don't
+    mutate it before {!wait}. *)
+let add t ~block data = Hashtbl.replace t.staged block data
+
+(** Submit everything staged: sort, merge adjacent blocks into contiguous
+    commands, dispatch the merged set concurrently across the device's
+    channels. Returns without blocking; pair with {!wait}. *)
+let unplug t =
+  if Hashtbl.length t.staged > 0 then begin
+    let pairs = Hashtbl.fold (fun blk d acc -> (blk, d) :: acc) t.staged [] in
+    Hashtbl.reset t.staged;
+    List.iter
+      (fun (start, payloads) ->
+        let c =
+          Device.Ssd.submit_write t.dev ~start (Array.of_list payloads)
+        in
+        t.submitted <- t.submitted + 1;
+        t.in_flight <- c :: t.in_flight)
+      (runs pairs)
+  end
+
+let in_flight t = List.length t.in_flight
+
+(** Wait-for-all barrier: implicitly {!unplug}s any stragglers, then
+    blocks until every submitted command completes. Returns the number of
+    device commands the batch needed (after merging); if any command
+    failed, the first failure is re-raised once all have settled. *)
+let wait t =
+  unplug t;
+  let cs = t.in_flight in
+  t.in_flight <- [];
+  let n = t.submitted in
+  t.submitted <- 0;
+  let err = ref None in
+  List.iter
+    (fun c ->
+      match Device.Ssd.await c with
+      | _ -> ()
+      | exception e -> ( match !err with None -> err := Some e | Some _ -> ()))
+    cs;
+  match !err with Some e -> raise e | None -> n
+
+(** Plug, stage every [(block, data)] pair, submit merged and wait — the
+    whole scatter-write protocol in one call. Returns the command count. *)
+let write_scatter dev pairs =
+  let t = plug dev in
+  List.iter (fun (block, data) -> add t ~block data) pairs;
+  wait t
+
+(** Read-side merge: fetch the given (distinct) blocks, merging adjacent
+    block numbers into contiguous read commands dispatched concurrently
+    across the device's channels. Returns the [(block, data)] pairs in
+    ascending block order plus the command count. If a command failed, the
+    first failure is re-raised once all have settled. *)
+let read_scatter dev blocks =
+  let subs =
+    List.map
+      (fun (start, units) ->
+        let count = List.length units in
+        (start, count, Device.Ssd.submit_read dev ~start ~count))
+      (runs (List.map (fun b -> (b, ())) blocks))
+  in
+  let err = ref None in
+  let results =
+    List.map
+      (fun (start, count, c) ->
+        match Device.Ssd.await c with
+        | arr -> List.init count (fun i -> (start + i, arr.(i)))
+        | exception e ->
+            (match !err with None -> err := Some e | Some _ -> ());
+            [])
+      subs
+  in
+  match !err with
+  | Some e -> raise e
+  | None -> (List.concat results, List.length subs)

@@ -1,0 +1,54 @@
+(** Asynchronous block-request layer: plug/unplug batching over the SSD's
+    channel parallelism.
+
+    Stage scattered block writes into a plugged queue; [unplug] sorts
+    them, merges adjacent block numbers into contiguous device commands
+    and dispatches the merged set concurrently (each command on its own
+    device channel); [wait] is the wait-for-all barrier. Used by the log
+    install phase, jbd2 checkpointing, buffer-cache scatter writeback and
+    the writepages flusher — the scattered hot paths that otherwise
+    serialize on one in-flight command. *)
+
+type t
+(** A plugged request queue bound to one device. Not thread-safe: one
+    fiber plugs, stages and waits. *)
+
+val plug : Device.Ssd.t -> t
+
+val add : t -> block:int -> Bytes.t -> unit
+(** Stage one block write. Nothing reaches the device until {!unplug}.
+    Staging the same block twice keeps only the latest payload. The
+    payload is copied when the device command completes, not at staging —
+    do not mutate it before {!wait} returns. *)
+
+val unplug : t -> unit
+(** Sort + merge staged requests into maximal contiguous commands and
+    submit them all without blocking. May be called repeatedly; each call
+    dispatches what accumulated since the last. *)
+
+val in_flight : t -> int
+(** Commands submitted and not yet reaped by {!wait}. *)
+
+val wait : t -> int
+(** Implicit {!unplug}, then block until every submitted command
+    completes. Returns how many device commands the batch took after
+    merging. If any command failed, re-raises the first failure after all
+    have settled. *)
+
+val write_scatter : Device.Ssd.t -> (int * Bytes.t) list -> int
+(** One-shot scatter write: plug, stage every pair, {!wait}. Duplicate
+    blocks keep the latest payload. Returns the merged command count. *)
+
+val read_scatter : Device.Ssd.t -> int list -> (int * Bytes.t) list * int
+(** One-shot scatter read: merge the (distinct) block numbers into
+    maximal contiguous read commands, dispatch them concurrently across
+    the device's channels and wait for all. Returns the [(block, data)]
+    pairs in ascending block order and the merged command count;
+    re-raises the first command failure after all have settled. *)
+
+val runs : (int * 'a) list -> (int * 'a list) list
+(** The merge step by itself: sort [(block, payload)] pairs by block and
+    group maximal runs of consecutive numbers into
+    [(start_block, payloads_in_block_order)]. Input must not contain
+    duplicate block numbers. Exposed for callers that batch through
+    other write paths (buffer-cache runs, writepages run splitting). *)

@@ -109,19 +109,20 @@ let submit t (entries : (int * op) list) =
   end
 
 (** Reap up to [max_count] completions, blocking until at least [min_count]
-    are available (io_uring_enter with min_complete). *)
+    are available (io_uring_enter with min_complete). If nothing is in
+    flight, whatever the completion ring already holds is returned — even
+    below [min_count] — since blocking could never be satisfied. *)
 let wait t ?(min_count = 1) ?(max_count = max_int) () : completion list =
   Machine.with_layer t.machine "vfs" (fun () ->
       Machine.cpu_work t.machine (Machine.cost t.machine).Cost.syscall);
   Sim.Sync.Mutex.lock t.lock;
   let rec await () =
-    if Queue.length t.cq < min_count && (t.in_flight > 0 || Queue.length t.cq > 0)
-    then begin
+    if Queue.length t.cq < min_count && t.in_flight > 0 then begin
       Sim.Sync.Condvar.wait t.cq_wait t.lock;
       await ()
     end
   in
-  if Queue.length t.cq < min_count && t.in_flight > 0 then await ();
+  await ();
   let out = ref [] in
   let n = ref 0 in
   while !n < max_count && not (Queue.is_empty t.cq) do

@@ -44,6 +44,10 @@ type fs_ops = {
   readlink : ino:int -> string res;
   readdir : int -> dirent list res;
   readpage : ino:int -> index:int -> Bytes.t res;
+  readahead : ino:int -> start:int -> count:int -> Bytes.t array res;
+      (** Bulk read of [count] consecutive pages starting at page [start],
+          used by the page-cache readahead machinery. Pages beyond EOF
+          come back zero-filled. *)
   write_pages : ino:int -> isize:int -> (int * Bytes.t) array -> unit res;
   truncate : ino:int -> int -> unit res;
   fsync : ino:int -> unit res;
@@ -79,6 +83,8 @@ let profiled_ops machine layer (ops : fs_ops) : fs_ops =
     readlink = (fun ~ino -> lay (fun () -> ops.readlink ~ino));
     readdir = (fun ino -> lay (fun () -> ops.readdir ino));
     readpage = (fun ~ino ~index -> lay (fun () -> ops.readpage ~ino ~index));
+    readahead =
+      (fun ~ino ~start ~count -> lay (fun () -> ops.readahead ~ino ~start ~count));
     write_pages =
       (fun ~ino ~isize pages -> lay (fun () -> ops.write_pages ~ino ~isize pages));
     truncate = (fun ~ino size -> lay (fun () -> ops.truncate ~ino size));
@@ -92,7 +98,11 @@ let profiled_ops machine layer (ops : fs_ops) : fs_ops =
 (* ------------------------------------------------------------------ *)
 (* In-core inode (vnode) with its page cache.                          *)
 
-type page = { pdata : Bytes.t; mutable pdirty : bool }
+type page = {
+  pdata : Bytes.t;
+  mutable pdirty : bool;
+  mutable pra : bool;  (** brought in by readahead, not yet consumed *)
+}
 
 type vnode = {
   v_ino : int;
@@ -104,6 +114,13 @@ type vnode = {
   v_wb : Sim.Sync.Mutex.t;  (** serialises writeback of this file *)
   mutable v_nopen : int;
   mutable v_unlinked : bool;
+  mutable v_ra_next : int;
+      (** readahead state: page index one past the last sequential read *)
+  mutable v_ra_window : int;  (** current readahead window (pages); 0 = off *)
+  mutable v_ra_issued_to : int;
+      (** end of the prefetch-issued region; the next chunk starts here *)
+  v_ra_inflight : (int, unit) Hashtbl.t;
+      (** page indexes an async prefetch is currently fetching *)
 }
 
 type t = {
@@ -120,6 +137,10 @@ type t = {
   mutable flusher_running : bool;
   mutable active : bool;
   stats : Sim.Stats.t;
+  mutable ra_pending : int;  (** outstanding async readahead fibers *)
+  mutable ra_enabled : bool;  (** ablation switch; on by default *)
+  ra_issued : Sim.Stats.Counter.t;  (** pages prefetched (machine-wide) *)
+  ra_hit : Sim.Stats.Counter.t;  (** page hits satisfied by readahead *)
 }
 
 let page_size t = t.page_size
@@ -147,6 +168,10 @@ let vnode_of t ino ~kind ~size =
           v_wb = Sim.Sync.Mutex.create ~name:"wb" ();
           v_nopen = 0;
           v_unlinked = false;
+          v_ra_next = 0;
+          v_ra_window = 0;
+          v_ra_issued_to = 0;
+          v_ra_inflight = Hashtbl.create 8;
         }
       in
       Hashtbl.add t.vnodes ino v;
@@ -208,7 +233,14 @@ let sample_dirty t =
   Sim.Trace.counter (tracer t) ~cat:"vfs" "vfs:dirty_pages"
     (Int64.of_int t.total_dirty)
 
-(** Write all dirty pages of [v] down into the file system. *)
+let wb_max_inflight = 8
+(** Cap on concurrently dispatched [write_pages] calls per file — the
+    flusher's queue depth, matching the device's channel count. *)
+
+(** Write all dirty pages of [v] down into the file system. Each
+    contiguous run becomes one [write_pages] call; distinct runs are
+    dispatched concurrently (the block layer's async submit path) and all
+    are awaited before returning. *)
 let writeback_vnode t v =
   Machine.with_layer t.machine "vfs" @@ fun () ->
   Sim.Trace.with_span (tracer t) ~cat:"vfs" "vfs:writeback" (fun () ->
@@ -219,34 +251,60 @@ let writeback_vnode t v =
       in
       if dirty <> [] then begin
         let runs = runs_of_indexes ~batch:t.ops.wb_batch dirty in
-        List.iter
-          (fun run ->
-            (* Snapshot the pages of this run; clear dirty bits first so
-               concurrent writes re-dirty and are not lost. *)
-            let pages =
-              List.filter_map
-                (fun i ->
-                  match Hashtbl.find_opt v.v_pages i with
-                  | Some p when p.pdirty ->
-                      p.pdirty <- false;
-                      v.v_dirty_pages <- v.v_dirty_pages - 1;
-                      t.total_dirty <- t.total_dirty - 1;
-                      Some (i, p.pdata)
-                  | _ -> None)
-                run
-              |> Array.of_list
-            in
-            if Array.length pages > 0 then begin
-              incr t "wb_calls";
-              incr ~by:(Array.length pages) t "wb_pages";
-              match t.ops.write_pages ~ino:v.v_ino ~isize:v.v_size pages with
-              | Ok () -> ()
-              | Error _ ->
-                  (* Keep going; the error is recorded like Linux does
-                     with AS_EIO. *)
-                  incr t "wb_errors"
-            end)
-          runs
+        (* Snapshot every run up front, clearing dirty bits, so writes
+           racing with the I/O re-dirty pages instead of being lost. *)
+        let batches =
+          List.filter_map
+            (fun run ->
+              let pages =
+                List.filter_map
+                  (fun i ->
+                    match Hashtbl.find_opt v.v_pages i with
+                    | Some p when p.pdirty ->
+                        p.pdirty <- false;
+                        v.v_dirty_pages <- v.v_dirty_pages - 1;
+                        t.total_dirty <- t.total_dirty - 1;
+                        Some (i, p.pdata)
+                    | _ -> None)
+                  run
+                |> Array.of_list
+              in
+              if Array.length pages = 0 then None else Some pages)
+            runs
+        in
+        let issue pages =
+          incr t "wb_calls";
+          incr ~by:(Array.length pages) t "wb_pages";
+          match t.ops.write_pages ~ino:v.v_ino ~isize:v.v_size pages with
+          | Ok () -> ()
+          | Error _ ->
+              (* Keep going; the error is recorded like Linux does with
+                 AS_EIO. *)
+              incr t "wb_errors"
+        in
+        match batches with
+        | [] -> ()
+        | [ pages ] -> issue pages
+        | batches ->
+            let n = List.length batches in
+            let window = Sim.Sync.Semaphore.create wb_max_inflight in
+            let done_sem = Sim.Sync.Semaphore.create 0 in
+            let first_exn = ref None in
+            List.iter
+              (fun pages ->
+                Sim.Sync.Semaphore.acquire window;
+                Machine.spawn ~name:"wb" t.machine (fun () ->
+                    Machine.with_layer t.machine "vfs" (fun () ->
+                        (try issue pages
+                         with e ->
+                           if !first_exn = None then first_exn := Some e);
+                        Sim.Sync.Semaphore.release window;
+                        Sim.Sync.Semaphore.release done_sem)))
+              batches;
+            for _ = 1 to n do
+              Sim.Sync.Semaphore.acquire done_sem
+            done;
+            (match !first_exn with Some e -> raise e | None -> ())
       end));
   sample_dirty t
 
@@ -301,6 +359,10 @@ let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
       flusher_running = false;
       active = true;
       stats = Sim.Stats.create ();
+      ra_pending = 0;
+      ra_enabled = true;
+      ra_issued = Machine.counter machine "readahead_issued";
+      ra_hit = Machine.counter machine "readahead_hit";
     }
   in
   if background then start_flusher t;
@@ -311,9 +373,14 @@ let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
 (** Flush everything and deactivate. Safe to call from a fiber. *)
 let unmount t =
   Printk.info t.machine "vfs: unmounting %s" t.ops.fs_name;
+  (* Stop new prefetches and wait out in-flight ones, so no readahead
+     fiber dispatches into the fs after it is destroyed. *)
+  t.active <- false;
+  while t.ra_pending > 0 do
+    Sim.Engine.sleep (Sim.Time.us 50)
+  done;
   writeback_all t;
   (match t.ops.sync_fs () with Ok () -> () | Error _ -> incr t "wb_errors");
-  t.active <- false;
   Hashtbl.reset t.dcache
 
 (* ------------------------------------------------------------------ *)
@@ -351,18 +418,32 @@ let lookup t ~dir name : stat res =
 (* ------------------------------------------------------------------ *)
 (* Generic file read / write through the page cache.                   *)
 
-let page_of t v index : (page, Errno.t) result =
+let rec page_of t v index : (page, Errno.t) result =
   cpu t (cost t).Cost.page_lookup;
   match Hashtbl.find_opt v.v_pages index with
   | Some p ->
       incr t "page_hits";
+      if p.pra then begin
+        p.pra <- false;
+        Sim.Stats.Counter.incr t.ra_hit
+      end;
       Ok p
+  | None when Hashtbl.mem v.v_ra_inflight index ->
+      (* An async prefetch already has this page on the wire: wait for it
+         (the page-lock wait in Linux) rather than issue a duplicate
+         device read. If the prefetch fails it clears the in-flight mark
+         without inserting, and the retry faults the page in itself. *)
+      incr t "page_waits";
+      while Hashtbl.mem v.v_ra_inflight index do
+        Sim.Engine.sleep (Sim.Time.us 5)
+      done;
+      page_of t v index
   | None -> (
       incr t "page_misses";
       Sim.Trace.instant (tracer t) ~cat:"vfs" "vfs:page_miss";
       match t.ops.readpage ~ino:v.v_ino ~index with
       | Ok data ->
-          let p = { pdata = data; pdirty = false } in
+          let p = { pdata = data; pdirty = false; pra = false } in
           insert_page t v index p;
           Ok p
       | Error _ as e -> e)
@@ -376,11 +457,89 @@ let page_for_write t v index =
   | None ->
       let beyond = index * t.page_size >= v.v_size in
       if beyond then begin
-        let p = { pdata = Bytes.make t.page_size '\000'; pdirty = false } in
+        let p = { pdata = Bytes.make t.page_size '\000'; pdirty = false; pra = false } in
         insert_page t v index p;
         Ok p
       end
       else page_of t v index
+
+(* ------------------------------------------------------------------ *)
+(* Page-cache readahead (the ondemand algorithm, radically simplified):
+   per-file sequential-access detection with a window that ramps up on
+   every sequential read and collapses on a seek. The window is fetched
+   asynchronously — prefetch fibers call the fs's bulk [readahead] op and
+   insert pages behind the reader's back — so cold sequential reads
+   overlap device time with the foreground's misses. *)
+
+let ra_init_window = 4
+let ra_max_window = 32 (* 128 KB, the kernel's default readahead cap *)
+
+let set_readahead t on = t.ra_enabled <- on
+
+let maybe_readahead t v ~first ~last =
+  if t.active && t.ra_enabled && v.v_kind = Reg then begin
+    if first <= v.v_ra_next && v.v_ra_next <= last + 1 then begin
+      v.v_ra_next <- last + 1;
+      (* Issue a whole window-sized chunk, not the sliding tail: a new
+         chunk goes out only when the reader is within half a window of
+         the end of the issued region (the PG_readahead marker), so
+         prefetch I/O stays in window-sized contiguous runs the block
+         layer can merge into single device commands. *)
+      if last + 1 + (v.v_ra_window / 2) >= v.v_ra_issued_to then begin
+        v.v_ra_window <-
+          (if v.v_ra_window = 0 then ra_init_window
+           else min ra_max_window (2 * v.v_ra_window));
+        let limit = (v.v_size + t.page_size - 1) / t.page_size in
+        let lo = max (last + 1) v.v_ra_issued_to in
+        let hi = min limit (lo + v.v_ra_window) in
+        v.v_ra_issued_to <- max v.v_ra_issued_to hi;
+        let missing = ref [] in
+        for i = hi - 1 downto lo do
+          if
+            (not (Hashtbl.mem v.v_pages i))
+            && not (Hashtbl.mem v.v_ra_inflight i)
+          then missing := i :: !missing
+        done;
+        List.iter
+          (fun run ->
+            let start = List.hd run and count = List.length run in
+            List.iter (fun i -> Hashtbl.replace v.v_ra_inflight i ()) run;
+            Sim.Stats.Counter.incr ~by:count t.ra_issued;
+            incr ~by:count t "readahead_pages";
+            t.ra_pending <- t.ra_pending + 1;
+            Machine.spawn ~name:"readahead" t.machine (fun () ->
+                Fun.protect
+                  ~finally:(fun () ->
+                    List.iter (fun i -> Hashtbl.remove v.v_ra_inflight i) run;
+                    t.ra_pending <- t.ra_pending - 1)
+                  (fun () ->
+                    (* Best effort: readahead failures are invisible, as in
+                       Linux — the foreground read will fault the page in
+                       itself and surface any real error. *)
+                    match t.ops.readahead ~ino:v.v_ino ~start ~count with
+                    | Error _ | (exception _) -> ()
+                    | Ok pages ->
+                        Array.iteri
+                          (fun i data ->
+                            let idx = start + i in
+                            if
+                              t.active
+                              && (not (Hashtbl.mem v.v_pages idx))
+                              && idx * t.page_size < v.v_size
+                            then
+                              insert_page t v idx
+                                { pdata = data; pdirty = false; pra = true })
+                          pages)))
+          (runs_of_indexes ~batch:max_int !missing)
+      end
+    end
+    else begin
+      (* Seek: collapse the window; a new stream restarts the ramp. *)
+      v.v_ra_window <- 0;
+      v.v_ra_next <- last + 1;
+      v.v_ra_issued_to <- last + 1
+    end
+  end
 
 (** Read [len] bytes at [pos]; short reads at EOF. *)
 let read t v ~pos ~len : Bytes.t res =
@@ -390,6 +549,8 @@ let read t v ~pos ~len : Bytes.t res =
         let len = max 0 (min len (v.v_size - pos)) in
         if len = 0 then Ok Bytes.empty
         else begin
+          maybe_readahead t v ~first:(pos / t.page_size)
+            ~last:((pos + len - 1) / t.page_size);
           let out = Bytes.create len in
           let rec go off =
             if off >= len then Ok out
@@ -516,3 +677,23 @@ let drop_vnode t v =
 let sync t : unit res =
   writeback_all t;
   t.ops.sync_fs ()
+
+(** Flush everything, then drop every cached page and reset the per-file
+    readahead state — `echo 3 > /proc/sys/vm/drop_caches`. Gives cold-read
+    benchmarks a cold page cache without a remount. In-flight prefetches
+    are waited out first so none re-populates the cache afterwards. *)
+let drop_caches t : unit res =
+  while t.ra_pending > 0 do
+    Sim.Engine.sleep (Sim.Time.us 50)
+  done;
+  match sync t with
+  | Error _ as e -> e
+  | Ok () ->
+      Hashtbl.iter
+        (fun _ v ->
+          invalidate_pages t v;
+          v.v_ra_next <- 0;
+          v.v_ra_window <- 0;
+          v.v_ra_issued_to <- 0)
+        t.vnodes;
+      Ok ()

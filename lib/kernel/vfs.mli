@@ -45,6 +45,10 @@ type fs_ops = {
   readlink : ino:int -> string res;
   readdir : int -> dirent list res;
   readpage : ino:int -> index:int -> Bytes.t res;
+  readahead : ino:int -> start:int -> count:int -> Bytes.t array res;
+      (** Bulk read of [count] consecutive pages from page [start], used by
+          the page-cache readahead machinery; pages beyond EOF come back
+          zero-filled. *)
   write_pages : ino:int -> isize:int -> (int * Bytes.t) array -> unit res;
   truncate : ino:int -> int -> unit res;
   fsync : ino:int -> unit res;
@@ -63,7 +67,11 @@ val profiled_ops : Machine.t -> string -> fs_ops -> fs_ops
 
 (** In-core inode (vnode) with its page cache. Fields are exposed for the
     syscall layer, which maintains open counts and sizes. *)
-type page = { pdata : Bytes.t; mutable pdirty : bool }
+type page = {
+  pdata : Bytes.t;
+  mutable pdirty : bool;
+  mutable pra : bool;  (** inserted by readahead and not yet consumed *)
+}
 
 type vnode = {
   v_ino : int;
@@ -75,6 +83,13 @@ type vnode = {
   v_wb : Sim.Sync.Mutex.t;
   mutable v_nopen : int;
   mutable v_unlinked : bool;
+  mutable v_ra_next : int;
+      (** readahead: page index one past the last sequential read *)
+  mutable v_ra_window : int;  (** current readahead window (pages); 0 = off *)
+  mutable v_ra_issued_to : int;
+      (** end of the prefetch-issued region; the next chunk starts here *)
+  v_ra_inflight : (int, unit) Hashtbl.t;
+      (** page indexes currently being prefetched *)
 }
 
 type t
@@ -119,7 +134,10 @@ val lookup : t -> dir:int -> string -> stat res
 (** {1 Generic file I/O through the page cache} *)
 
 val read : t -> vnode -> pos:int -> len:int -> Bytes.t res
-(** Short reads at EOF; holes read as zeroes. *)
+(** Short reads at EOF; holes read as zeroes. Sequential access ramps a
+    per-file readahead window ({!fs_ops.readahead} prefetches it
+    asynchronously); a seek collapses the window. The machine counters
+    [readahead_issued]/[readahead_hit] expose the policy's behaviour. *)
 
 val write : t -> vnode -> pos:int -> Bytes.t -> int res
 (** Copy into the page cache, extend the size, dirty pages; may throttle
@@ -130,10 +148,21 @@ val fsync : t -> vnode -> unit res
 
 val writeback_vnode : t -> vnode -> unit
 (** Push this file's dirty pages into the file system in [wb_batch]-sized
-    contiguous runs. *)
+    contiguous runs. Distinct runs are dispatched as concurrent
+    [write_pages] calls (bounded queue depth) and all are awaited before
+    returning. *)
 
 val writeback_all : t -> unit
 val sync : t -> unit res
+
+val drop_caches : t -> unit res
+(** Flush everything, then drop every cached page and reset per-file
+    readahead state (`echo 3 > drop_caches`) — cold page cache without a
+    remount. *)
+
+val set_readahead : t -> bool -> unit
+(** Enable/disable asynchronous readahead (on by default) — the ablation
+    switch for the seqread-cold benchmark. *)
 
 (** {1 Exposed for tests} *)
 

@@ -1457,6 +1457,33 @@ let mount ?dirty_limit ?background machine : (Kernel.Vfs.t, Kernel.Errno.t) resu
                     Bytes.blit data 0 page 0 (Bytes.length data);
                     Ok page
                   end);
+          readahead =
+            (fun ~ino ~start ~count ->
+              (* The C baseline has no bulk read hook, so the readahead
+                 window is filled with per-page serial reads — the read
+                 side of its writepage-vs-writepages handicap. *)
+              let ip = iget fs ino in
+              ilock fs ip;
+              let rec go i acc =
+                if i >= count then Ok (Array.of_list (List.rev acc))
+                else
+                  match readi fs ip ~off:((start + i) * bsize) ~len:bsize with
+                  | Error _ as e -> e
+                  | Ok data ->
+                      let page =
+                        if Bytes.length data = bsize then data
+                        else begin
+                          let p = Bytes.make bsize '\000' in
+                          Bytes.blit data 0 p 0 (Bytes.length data);
+                          p
+                        end
+                      in
+                      go (i + 1) (page :: acc)
+              in
+              let r = go 0 [] in
+              iunlock ip;
+              iput fs ip;
+              r);
           write_pages =
             (fun ~ino ~isize pages ->
               (* wb_batch = 1: called one page at a time (writepage) *)

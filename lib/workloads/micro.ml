@@ -118,6 +118,46 @@ let read_bench os ~iosize ~pattern ~nthreads ~duration ~file_mb ~seed :
     lat = Some (op_lat machine);
   }
 
+(** Cold-cache sequential read: write [file_mb] MB, sync, drop the page
+    cache, then stream the whole file once in [iosize] reads. Fixed work
+    rather than a timed window — elapsed time is the figure of merit (the
+    readahead/bulk-read ablations change it directly); MBps derives from
+    it. *)
+let seqread_cold_bench os ~iosize ~file_mb : Bench_result.t =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let file_size = file_mb * 1024 * 1024 in
+  let path = "/coldfile" in
+  if not (Kernel.Os.exists os path) then begin
+    let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat wronly)) in
+    let chunk = Bytes.make (1024 * 1024) 's' in
+    for i = 0 to file_mb - 1 do
+      ignore (ok (Kernel.Os.pwrite os fd ~pos:(i * 1024 * 1024) chunk))
+    done;
+    ok (Kernel.Os.fsync os fd);
+    ok (Kernel.Os.close os fd)
+  end;
+  ok (Kernel.Vfs.drop_caches (Kernel.Os.vfs os));
+  let fd = ok (Kernel.Os.open_ os path Kernel.Os.rdonly) in
+  let lat = op_lat machine in
+  let t0 = Kernel.Machine.now machine in
+  let pos = ref 0 in
+  while !pos < file_size do
+    let s0 = Kernel.Machine.now machine in
+    Kernel.Machine.cpu_work machine readwrite_overhead;
+    ignore (ok (Kernel.Os.pread os fd ~pos:!pos ~len:iosize));
+    Sim.Stats.Histogram.record lat (Int64.sub (Kernel.Machine.now machine) s0);
+    pos := !pos + iosize
+  done;
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  ok (Kernel.Os.close os fd);
+  {
+    Bench_result.label = Printf.sprintf "seqread-cold-%dk" (iosize / 1024);
+    ops = file_size / iosize;
+    bytes = file_size;
+    elapsed_ns = elapsed;
+    lat = Some lat;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Write benchmark.                                                    *)
 

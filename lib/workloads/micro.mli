@@ -38,6 +38,12 @@ val read_bench :
     Sequential readers share a file offset; random readers pread at
     uniform aligned offsets. *)
 
+val seqread_cold_bench :
+  Kernel.Os.t -> iosize:int -> file_mb:int -> Bench_result.t
+(** Cold-cache sequential read: create the file, sync, [Vfs.drop_caches],
+    then stream it once in [iosize] reads. Fixed work — elapsed time is
+    the figure of merit; the readahead ablation compares it directly. *)
+
 val write_bench :
   Kernel.Os.t ->
   iosize:int ->

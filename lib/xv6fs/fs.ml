@@ -142,8 +142,14 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
         K.bwrite hdr;
         K.brelse hdr;
         if t.flush_on_commit then K.flush ();
-        (* 3. install: the pinned home buffers already hold the data *)
-        K.bwrite_all home_bufs;
+        (* 3. install: the pinned home buffers already hold the data. The
+           home locations are scattered, so stage them in a plugged bio
+           queue — unplug merges adjacent blocks and dispatches the runs
+           concurrently across the device's channels. *)
+        let bp = K.Bio.plug () in
+        List.iter (fun b -> K.Bio.add bp b) home_bufs;
+        K.Bio.unplug bp;
+        K.Bio.wait bp;
         List.iter
           (fun b ->
             K.unpin b;
@@ -261,14 +267,20 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
         if Int64.equal checksum h.L.checksum then begin
           K.printk
             (Printf.sprintf "xv6fs: recovering %d block(s) from the log" h.L.n);
-          (* install each logged block to its home *)
-          List.iteri
-            (fun i lb ->
-              let home = K.getblk h.L.targets.(i) in
-              Bytes.blit (K.Buffer.data lb) 0 (K.Buffer.data home) 0 bsize;
-              K.bwrite home;
-              K.brelse home)
-            log_bufs;
+          (* install the logged blocks to their scattered homes in one
+             plugged bio batch *)
+          let bp = K.Bio.plug () in
+          let homes =
+            List.mapi
+              (fun i lb ->
+                let home = K.getblk h.L.targets.(i) in
+                Bytes.blit (K.Buffer.data lb) 0 (K.Buffer.data home) 0 bsize;
+                K.Bio.add bp home;
+                home)
+              log_bufs
+          in
+          K.Bio.wait bp;
+          List.iter K.brelse homes;
           K.flush ()
         end;
         (if not (Int64.equal checksum h.L.checksum) then
@@ -560,22 +572,49 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
       if len = 0 then Ok Bytes.empty
       else begin
         let out = Bytes.create len in
-        let rec go done_ =
-          if done_ >= len then Ok out
-          else begin
-            let abs = off + done_ in
-            let bn = abs / bsize in
-            let boff = abs mod bsize in
-            let n = min (bsize - boff) (len - done_) in
-            let* blk = bmap t ip bn ~alloc:false in
-            (if blk = 0 then Bytes.fill out done_ n '\000' (* hole *)
-             else
-               K.with_bread blk (fun b ->
-                   Bytes.blit (K.Buffer.data b) boff out done_ n));
-            go (done_ + n)
-          end
-        in
-        go 0
+        let first_bn = off / bsize and last_bn = (off + len - 1) / bsize in
+        if first_bn = last_bn then begin
+          (* Single-block read: the classic xv6 path. *)
+          let boff = off mod bsize in
+          let* blk = bmap t ip first_bn ~alloc:false in
+          (if blk = 0 then Bytes.fill out 0 len '\000' (* hole *)
+           else
+             K.with_bread blk (fun b ->
+                 Bytes.blit (K.Buffer.data b) boff out 0 len));
+          Ok out
+        end
+        else begin
+          (* Multi-block span: map every file block up front, then pull
+             the non-hole blocks through the cache in one batched pass —
+             adjacent disk blocks merge into single device commands and
+             distinct runs read concurrently across channels, instead of
+             one serial bread per block. *)
+          let rec map_blocks acc bn =
+            if bn > last_bn then Ok (List.rev acc)
+            else
+              let* blk = bmap t ip bn ~alloc:false in
+              map_blocks ((bn, blk) :: acc) (bn + 1)
+          in
+          let* mapped = map_blocks [] first_bn in
+          let wanted = List.filter (fun (_, blk) -> blk <> 0) mapped in
+          let bufs = ref (K.bread_multi (List.map snd wanted)) in
+          List.iter
+            (fun (bn, blk) ->
+              let lo = max off (bn * bsize)
+              and hi = min (off + len) ((bn + 1) * bsize) in
+              let n = hi - lo in
+              if blk = 0 then Bytes.fill out (lo - off) n '\000' (* hole *)
+              else
+                match !bufs with
+                | b :: rest ->
+                    bufs := rest;
+                    Bytes.blit (K.Buffer.data b) (lo - (bn * bsize)) out
+                      (lo - off) n;
+                    K.brelse b
+                | [] -> assert false)
+            mapped;
+          Ok out
+        end
       end
     end
 

@@ -8,6 +8,7 @@ let () =
       ("trace", Test_trace.suite);
       ("layout", Test_layout.suite);
       ("device", Test_device.suite);
+      ("bio", Test_bio.suite);
       ("bcache", Test_bcache.suite);
       ("bentoks", Test_bentoks.suite);
       ("xv6fs", Test_xv6fs.suite);

@@ -1,0 +1,198 @@
+(** Tests of the bio request layer: merge correctness, data equivalence of
+    the async scatter paths against the synchronous ones, and the batched
+    buffer-cache read. *)
+
+let tc = Alcotest.test_case
+
+let with_dev ?config f =
+  let e = Sim.Engine.create () in
+  let d = Device.Ssd.create ?config ~nblocks:4096 ~block_size:4096 e in
+  ignore (Sim.Engine.spawn e (fun () -> f e d));
+  Sim.Engine.run e
+
+let block c = Bytes.make 4096 c
+
+let test_runs_merge () =
+  let a = block 'a' and b = block 'b' and c = block 'c' in
+  Alcotest.(check (list (pair int int)))
+    "adjacent blocks merge, gaps split"
+    [ (5, 2); (9, 1) ]
+    (List.map
+       (fun (start, ps) -> (start, List.length ps))
+       (Kernel.Bio.runs [ (9, c); (5, a); (6, b) ]));
+  (* payloads come back in block order within a run *)
+  (match Kernel.Bio.runs [ (7, a); (5, b); (6, c) ] with
+  | [ (5, [ p0; p1; p2 ]) ] ->
+      Alcotest.(check bool) "run order" true (p0 == b && p1 == c && p2 == a)
+  | _ -> Alcotest.fail "expected one merged run of three");
+  Alcotest.(check (list (pair int int))) "empty" []
+    (List.map (fun (s, ps) -> (s, List.length ps)) (Kernel.Bio.runs []))
+
+(* Count the maximal contiguous runs of a sorted distinct block list. *)
+let count_runs blocks =
+  match List.sort_uniq compare blocks with
+  | [] -> 0
+  | first :: rest ->
+      let n, _ =
+        List.fold_left
+          (fun (n, prev) b -> if b = prev + 1 then (n, b) else (n + 1, b))
+          (1, first) rest
+      in
+      n
+
+(* Random distinct block set in a small range (so runs actually form),
+   with a distinct payload byte per block. *)
+let blockset_gen =
+  QCheck.Gen.(
+    map
+      (fun picks -> List.sort_uniq compare picks)
+      (list_size (int_range 1 40) (int_range 0 63)))
+
+let blockset = QCheck.make ~print:QCheck.Print.(list int) blockset_gen
+
+let payload_for blk = Bytes.make 4096 (Char.chr (Char.code 'a' + (blk mod 26)))
+
+(* The async scatter write must leave the device byte-identical to the
+   synchronous per-block path, and must use exactly one command per
+   maximal contiguous run. *)
+let prop_write_scatter_equiv =
+  QCheck.Test.make ~count:60 ~name:"bio write_scatter == sync writes" blockset
+    (fun blocks ->
+      let ok = ref false in
+      with_dev (fun _e d ->
+          let pairs = List.map (fun b -> (b, payload_for b)) blocks in
+          let cmds = Kernel.Bio.write_scatter d pairs in
+          if cmds <> count_runs blocks then
+            QCheck.Test.fail_reportf "merged to %d commands, expected %d runs"
+              cmds (count_runs blocks);
+          List.iter
+            (fun (b, data) ->
+              if not (Bytes.equal (Device.Ssd.read d b) data) then
+                QCheck.Test.fail_reportf "block %d content mismatch" b)
+            pairs;
+          (* untouched neighbours stay zero *)
+          let untouched =
+            List.filter (fun b -> not (List.mem b blocks)) [ 0; 13; 64; 100 ]
+          in
+          List.iter
+            (fun b ->
+              if not (Bytes.equal (Device.Ssd.read d b) (block '\000')) then
+                QCheck.Test.fail_reportf "block %d dirtied" b)
+            untouched;
+          ok := true);
+      !ok)
+
+(* Same equivalence for the read side: read_scatter must return exactly
+   what per-block reads see, in ascending block order, merged into one
+   command per contiguous run. *)
+let prop_read_scatter_equiv =
+  QCheck.Test.make ~count:60 ~name:"bio read_scatter == sync reads" blockset
+    (fun blocks ->
+      let ok = ref false in
+      with_dev (fun _e d ->
+          List.iter (fun b -> Device.Ssd.write d b (payload_for b)) blocks;
+          let pairs, cmds = Kernel.Bio.read_scatter d blocks in
+          if cmds <> count_runs blocks then
+            QCheck.Test.fail_reportf "merged to %d commands, expected %d runs"
+              cmds (count_runs blocks);
+          if List.map fst pairs <> blocks then
+            QCheck.Test.fail_reportf "blocks came back out of order";
+          List.iter
+            (fun (b, data) ->
+              if not (Bytes.equal data (payload_for b)) then
+                QCheck.Test.fail_reportf "block %d content mismatch" b)
+            pairs;
+          ok := true);
+      !ok)
+
+let test_plug_unplug_incremental () =
+  with_dev (fun _e d ->
+      let p = Kernel.Bio.plug d in
+      Kernel.Bio.add p ~block:10 (block 'x');
+      Kernel.Bio.add p ~block:11 (block 'y');
+      Kernel.Bio.unplug p;
+      (* stage more after the first dispatch; wait reaps everything *)
+      Kernel.Bio.add p ~block:20 (block 'z');
+      (* re-staging a block keeps the latest payload *)
+      Kernel.Bio.add p ~block:40 (block '!');
+      Kernel.Bio.add p ~block:40 (block 'w');
+      let cmds = Kernel.Bio.wait p in
+      Alcotest.(check int) "two dispatches, three commands" 3 cmds;
+      Alcotest.(check int) "nothing in flight after wait" 0
+        (Kernel.Bio.in_flight p);
+      Alcotest.(check bytes) "first batch" (block 'x') (Device.Ssd.read d 10);
+      Alcotest.(check bytes) "second batch" (block 'z') (Device.Ssd.read d 20);
+      Alcotest.(check bytes) "last staging wins" (block 'w')
+        (Device.Ssd.read d 40))
+
+let test_scatter_overlaps_channels () =
+  (* 8 disjoint runs submitted through the bio layer must take well under
+     8x one run's service time — the channel-parallelism win the log
+     install and writepages conversions rely on. *)
+  let time_of f =
+    let e = Sim.Engine.create () in
+    let d = Device.Ssd.create ~nblocks:4096 ~block_size:4096 e in
+    ignore (Sim.Engine.spawn e (fun () -> f d));
+    Sim.Engine.run e;
+    Sim.Engine.now e
+  in
+  let pairs =
+    List.concat_map
+      (fun run -> List.init 4 (fun i -> (run * 100, i), block 'p'))
+      (List.init 8 Fun.id)
+    |> List.map (fun ((base, i), data) -> (base + i, data))
+  in
+  let serial =
+    time_of (fun d ->
+        List.iter (fun (b, data) -> Device.Ssd.write d b data) pairs)
+  in
+  let scatter = time_of (fun d -> ignore (Kernel.Bio.write_scatter d pairs)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "scatter (%Ldns) < serial/2 (%Ldns)" scatter serial)
+    true
+    (Int64.compare (Int64.mul scatter 2L) serial < 0)
+
+let test_bread_scatter_through_cache () =
+  Helpers.in_sim (fun machine ->
+      let d = Kernel.Machine.disk machine in
+      let bc = Kernel.Bcache.create ~capacity:64 machine in
+      List.iter
+        (fun b -> Device.Ssd.write d b (payload_for b))
+        [ 3; 4; 5; 30; 31; 77 ];
+      (* warm one block so the batch mixes hits and misses *)
+      let warm = Kernel.Bcache.bread bc 4 in
+      Kernel.Bcache.brelse bc warm;
+      let bufs = Kernel.Bcache.bread_scatter bc [ 77; 3; 4; 5; 30; 31 ] in
+      Alcotest.(check (list int))
+        "input order preserved" [ 77; 3; 4; 5; 30; 31 ]
+        (List.map (fun b -> b.Kernel.Bcache.block) bufs);
+      List.iter
+        (fun b ->
+          Alcotest.(check bytes)
+            (Printf.sprintf "block %d" b.Kernel.Bcache.block)
+            (payload_for b.Kernel.Bcache.block)
+            b.Kernel.Bcache.data)
+        bufs;
+      List.iter (fun b -> Kernel.Bcache.brelse bc b) bufs;
+      Kernel.Bcache.check_invariants bc;
+      (* a second batched read is all cache hits: no further disk reads *)
+      let reads_counter =
+        Sim.Stats.counter (Kernel.Bcache.stats bc) "disk_reads"
+      in
+      let reads_before = Sim.Stats.Counter.get_int reads_counter in
+      let bufs = Kernel.Bcache.bread_scatter bc [ 3; 4; 5 ] in
+      List.iter (fun b -> Kernel.Bcache.brelse bc b) bufs;
+      let reads_after = Sim.Stats.Counter.get_int reads_counter in
+      Alcotest.(check int) "warm batch reads nothing" 0
+        (reads_after - reads_before);
+      Kernel.Bcache.check_invariants bc)
+
+let suite =
+  [
+    tc "runs: sort + merge adjacent" `Quick test_runs_merge;
+    QCheck_alcotest.to_alcotest prop_write_scatter_equiv;
+    QCheck_alcotest.to_alcotest prop_read_scatter_equiv;
+    tc "plug/unplug incremental staging" `Quick test_plug_unplug_incremental;
+    tc "scatter overlaps device channels" `Quick test_scatter_overlaps_channels;
+    tc "bread_scatter through the cache" `Quick test_bread_scatter_through_cache;
+  ]

@@ -132,6 +132,33 @@ let test_symlink_crash_behaviour () =
       Readdir "/";
     ]
 
+let test_scatter_batch_crash () =
+  (* The log install and writepages paths now dispatch scattered home
+     writes as one merged batch of concurrent device commands. Command
+     hooks fire per command, so crash points fall *inside* a partially
+     completed batch — some runs durable, some not. Interleaving writes
+     to two files keeps their home blocks non-contiguous, guaranteeing
+     multi-command batches; fsync/sync must still replay to a state the
+     oracle accepts at every such point. *)
+  let open Check.Model in
+  check_handcrafted "mid-batch scatter crash"
+    [
+      Create "/a";
+      Create "/b";
+      Write { path = "/a"; pos = 0; len = 20000 };
+      Write { path = "/b"; pos = 0; len = 20000 };
+      Write { path = "/a"; pos = 20000; len = 20000 };
+      Write { path = "/b"; pos = 20000; len = 20000 };
+      Fsync "/a" (* commit: scatter install of interleaved blocks *);
+      Fsync "/b";
+      Write { path = "/a"; pos = 8192; len = 12000 } (* overwrite mid-file *);
+      Write { path = "/b"; pos = 0; len = 4096 };
+      Sync (* writepages flusher: concurrent multi-run dispatch *);
+      Stat "/a";
+      Stat "/b";
+      Readdir "/";
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Self-test: an injected ordering bug must produce a counterexample   *)
 (* ------------------------------------------------------------------ *)
@@ -167,5 +194,6 @@ let suite =
     tc "crash smoke ext4" `Quick (crash_smoke Check.Stack.Ext4);
     tc "rename crash atomicity" `Quick test_rename_crash_atomicity;
     tc "symlink crash behaviour" `Quick test_symlink_crash_behaviour;
+    tc "mid-batch scatter crash" `Quick test_scatter_batch_crash;
     tc "injected bug is caught" `Quick test_inject_bug_is_caught;
   ]

@@ -157,9 +157,49 @@ let test_channels_parallelism () =
     true
     (Int64.compare (Sim.Engine.now e) one < 0)
 
+let test_drain_overflow_fifo () =
+  (* A tiny volatile cache forces the drain path: victims must become
+     durable in FIFO *insertion* order, and rewriting a cached block must
+     keep its original queue position (not refresh it). *)
+  let config = { Device.Ssd.default_config with cache_blocks = 4 } in
+  with_dev ~config (fun _e d ->
+      Device.Ssd.write d 10 (block 'a');
+      Device.Ssd.write d 20 (block 'b');
+      Device.Ssd.write d 30 (block 'c');
+      Device.Ssd.write d 40 (block 'd');
+      (* rewrite the oldest entry; it stays at the head of the queue *)
+      Device.Ssd.write d 10 (block 'A');
+      Alcotest.(check int) "cache at capacity" 4 (Device.Ssd.dirty_blocks d);
+      let stable blk =
+        match (Device.Ssd.crash_view d).(blk) with
+        | Some data -> Some (Bytes.get data 0)
+        | None -> None
+      in
+      Alcotest.(check (option char)) "nothing durable yet" None (stable 10);
+      (* one more block overflows by one: the oldest insertion drains *)
+      Device.Ssd.write d 50 (block 'e');
+      Alcotest.(check int) "still at capacity" 4 (Device.Ssd.dirty_blocks d);
+      Alcotest.(check (option char)) "oldest drained, rewritten payload"
+        (Some 'A') (stable 10);
+      Alcotest.(check (option char)) "second-oldest still volatile" None
+        (stable 20);
+      (* two more: 20 then 30 drain, in insertion order *)
+      Device.Ssd.write d 60 (block 'f');
+      Device.Ssd.write d 70 (block 'g');
+      Alcotest.(check (option char)) "then the second" (Some 'b') (stable 20);
+      Alcotest.(check (option char)) "then the third" (Some 'c') (stable 30);
+      Alcotest.(check (option char)) "newer stays volatile" None (stable 40);
+      (* a crash keeps exactly the drained prefix *)
+      Device.Ssd.crash d;
+      Alcotest.(check bytes) "drained survives" (block 'A')
+        (Device.Ssd.read d 10);
+      Alcotest.(check bytes) "undrained lost" (block '\000')
+        (Device.Ssd.read d 40))
+
 let suite =
   [
     tc "write/read roundtrip" `Quick test_write_read_roundtrip;
+    tc "overflow drain is FIFO" `Quick test_drain_overflow_fifo;
     tc "contiguous command batching" `Quick test_contig_cheaper_than_scattered;
     tc "flush durability + crash" `Quick test_flush_durability_and_crash;
     tc "partial survival crash" `Quick test_crash_partial_survival;

@@ -92,9 +92,33 @@ let test_batching_amortises_crossings () =
         (Int64.compare ring_cost sync_cost < 0);
       ok (Kernel.Os.close os fd))
 
+let test_wait_min_count_above_completions () =
+  (* regression: wait with min_count above what can ever complete used to
+     sleep forever on the completion condvar once the workers drained
+     (cq non-empty, below min_count, nothing in flight); it must return
+     the available completions instead *)
+  with_xv6 (fun _m os _ _ ->
+      let ring = Kernel.Uring.create os in
+      let fd = ok (Kernel.Os.open_ os "/minwait" Kernel.Os.(creat rdwr)) in
+      Kernel.Uring.submit ring
+        [
+          (1, Kernel.Uring.Write { fd; pos = 0; data = payload 4096 });
+          (2, Kernel.Uring.Write { fd; pos = 4096; data = payload 4096 });
+        ];
+      let cs = Kernel.Uring.wait ring ~min_count:5 () in
+      Alcotest.(check int) "returns the two that completed" 2 (List.length cs);
+      Alcotest.(check int) "nothing left in flight" 0
+        (Kernel.Uring.in_flight ring);
+      (* and on a fully idle ring it returns immediately with nothing *)
+      Alcotest.(check int) "idle ring returns empty" 0
+        (List.length (Kernel.Uring.wait ring ~min_count:3 ()));
+      ok (Kernel.Os.close os fd))
+
 let suite =
   [
     tc "batch roundtrip + correlation" `Quick test_batch_roundtrip;
+    tc "wait min_count above completions" `Quick
+      test_wait_min_count_above_completions;
     tc "per-op error reporting" `Quick test_errors_reported_per_op;
     tc "batching amortises crossings" `Quick test_batching_amortises_crossings;
   ]
