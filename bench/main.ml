@@ -3,7 +3,8 @@
     and an online-upgrade measurement, on the simulated machine.
 
       main.exe               — run everything
-      main.exe fig2|fig3|fig4|table1..table6|readahead|ablate|upgrade
+      main.exe fig2|fig3|fig4|table1..table6|readahead|scaling|ablate|upgrade
+      main.exe scaling --scaling-fibers 1,8,32 — throughput vs fiber count
       main.exe bechamel      — wall-clock microbenchmarks of hot structures
       main.exe all --duration 2.0 --untar-files 70000
       main.exe fig2 --json out.json     — machine-readable results
@@ -110,6 +111,13 @@ let record ~section ~system ~config (r : Workloads.Bench_result.t) =
                              ("total_ns", int64 lt.total_ns);
                            ] ))
                      (Sim.Profile.summary p)) );
+              (* time fibers spent blocked per "<layer>/<lock>"; overlaps
+                 the self times above, so it is reported separately *)
+              ( "lock_waits",
+                Obj
+                  (List.map
+                     (fun (k, ns) -> (k, int64 ns))
+                     (Sim.Profile.lock_waits p)) );
             ]
     in
     let row =
@@ -381,6 +389,131 @@ let readahead_section () =
     (Workloads.Bench_result.mbps on /. Workloads.Bench_result.mbps off)
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: aggregate throughput vs workload fibers, plus lock-wait
+   attribution — the many-core scaling probe for the sharded caches and
+   group-commit logs.                                                   *)
+
+let scaling_fibers = ref [ 1; 4; 8; 32; 128 ]
+
+(* A synthetic result row carrying one derived metric (the
+   scaling-efficiency ratio), so bench-diff gates on it like any measured
+   metric. *)
+let record_scalar ~section ~system ~config ~metric v =
+  if !Targets.observe then
+    let open Util.Json in
+    results :=
+      Obj
+        [
+          ("section", String section);
+          ("system", String (Targets.system_name system));
+          ("config", String config);
+          (metric, Float v);
+        ]
+      :: !results
+
+let scaling () =
+  (* lock-wait attribution is the point of this section: profiling (and
+     row capture) is forced on for its runs even without --profile *)
+  let saved_observe = !Targets.observe in
+  let saved_profile = !Targets.profile_enabled in
+  Targets.observe := true;
+  Targets.profile_enabled := true;
+  let fibers = List.sort_uniq compare !scaling_fibers in
+  let nmax = List.fold_left max 1 fibers in
+  (* profiles of the largest-fiber-count runs, for the lock-wait tables *)
+  let hot : (string * Sim.Profile.t) list ref = ref [] in
+  let note_hot ~config sys n =
+    if n = nmax then
+      match Targets.last_profile () with
+      | Some p ->
+          hot :=
+            (Printf.sprintf "scaling:%s:%s" config (Targets.system_name sys), p)
+            :: !hot
+      | None -> ()
+  in
+  header "Scaling: aggregate throughput vs workload fibers (8-core machine)";
+  (* per-fiber private-file read micros: no shared fileset entry, so the
+     stack's own locks are the only serialisation *)
+  List.iter
+    (fun (pname, pattern) ->
+      pf "-- scale-read-%s-4k: private warm file per fiber, ops/sec (x1000) --\n"
+        pname;
+      pf "%-10s" "fibers";
+      List.iter (fun s -> pf "%12s" (Targets.system_name s)) Targets.all_xv6;
+      pf "\n";
+      let base = Hashtbl.create 8 in
+      List.iter
+        (fun n ->
+          pf "%-10d" n;
+          List.iter
+            (fun sys ->
+              let r =
+                Targets.run sys (fun _m os ->
+                    Workloads.Micro.scaling_read_bench os ~iosize:4096 ~pattern
+                      ~nthreads:n ~duration:(dur ()) ~file_mb:2 ~seed:!seed)
+              in
+              let config = Printf.sprintf "scale-read-%s-4k-%dt" pname n in
+              record ~section:"scaling" ~system:sys ~config r;
+              note_hot ~config sys n;
+              let tput = Workloads.Bench_result.ops_per_sec r in
+              (match Hashtbl.find_opt base sys with
+              | None -> Hashtbl.add base sys tput
+              | Some b ->
+                  if b > 0. then
+                    record_scalar ~section:"scaling" ~system:sys
+                      ~config:
+                        (Printf.sprintf "scale-read-%s-4k-eff%dt" pname n)
+                      ~metric:"scaling_efficiency" (tput /. b));
+              pf "%12.1f" (tput /. 1000.))
+            Targets.all_xv6;
+          pf "\n%!")
+        fibers)
+    [ ("seq", Workloads.Micro.Seq); ("rnd", Workloads.Micro.Rnd) ];
+  (* varmail with N threads on the journalled stacks: fsync-heavy, so the
+     log's group commit is what scales (or does not) *)
+  let vm_systems = [ Targets.Bento_fs; Targets.C_kernel; Targets.Ext4 ] in
+  pf "-- varmail with N threads, ops/sec --\n";
+  pf "%-10s" "fibers";
+  List.iter (fun s -> pf "%12s" (Targets.system_name s)) vm_systems;
+  pf "\n";
+  let vbase = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      pf "%-10d" n;
+      List.iter
+        (fun sys ->
+          let vc =
+            { Workloads.Macro.varmail_default with Workloads.Macro.vm_nthreads = n }
+          in
+          let r =
+            Targets.run sys (fun _m os ->
+                Workloads.Macro.varmail os ~duration:(dur ()) ~config:vc
+                  ~seed:!seed ())
+          in
+          let config = Printf.sprintf "varmail-%dt" n in
+          record ~section:"scaling" ~system:sys ~config r;
+          note_hot ~config sys n;
+          let tput = Workloads.Bench_result.ops_per_sec r in
+          (match Hashtbl.find_opt vbase sys with
+          | None -> Hashtbl.add vbase sys tput
+          | Some b ->
+              if b > 0. then
+                record_scalar ~section:"scaling" ~system:sys
+                  ~config:(Printf.sprintf "varmail-eff%dt" n)
+                  ~metric:"scaling_efficiency" (tput /. b));
+          pf "%12.0f" tput)
+        vm_systems;
+      pf "\n%!")
+    fibers;
+  header
+    (Printf.sprintf "Scaling: lock-wait attribution at %d fibers" nmax);
+  List.iter
+    (fun (label, p) -> Targets.print_lock_waits ~label p)
+    (List.rev !hot);
+  Targets.observe := saved_observe;
+  Targets.profile_enabled := saved_profile
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                   *)
 
 let run_bento_wb_batch ~wb_batch f =
@@ -590,6 +723,7 @@ let all () =
   table5 ();
   table6 ();
   readahead_section ();
+  scaling ();
   ablate ();
   upgrade ();
   bechamel ()
@@ -708,6 +842,10 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | "--scaling-fibers" :: v :: rest ->
+        scaling_fibers :=
+          List.map int_of_string (String.split_on_char ',' v);
+        parse rest
     | "--json" :: v :: rest ->
         json_path := Some v;
         parse rest
@@ -742,6 +880,7 @@ let () =
     | "table5" -> table5 ()
     | "table6" -> table6 ()
     | "readahead" -> readahead_section ()
+    | "scaling" -> scaling ()
     | "ablate" -> ablate ()
     | "upgrade" -> upgrade ()
     | "bechamel" -> bechamel ()
@@ -749,7 +888,7 @@ let () =
     | s ->
         Printf.eprintf
           "unknown section %S (use table1..table6, fig2..fig4, readahead, \
-           ablate, upgrade, bechamel, all)\n"
+           scaling, ablate, upgrade, bechamel, all)\n"
           s;
         exit 2
   in

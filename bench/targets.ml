@@ -69,6 +69,22 @@ let print_profile ~label p =
     (Sim.Profile.attributed p)
     (if Sim.Profile.attributed p = elapsed then "" else "  (MISMATCH)")
 
+(** Lock-wait attribution table of one profiled run: the virtual time
+    fibers spent blocked on each named lock, keyed "<layer>/<lock>" by the
+    layer that was innermost when they blocked. Kept apart from the
+    self-time tables (blocked time overlaps other fibers' running time). *)
+let print_lock_waits ?(top = 8) ~label p =
+  match Sim.Profile.lock_waits p with
+  | [] -> Printf.printf "-- %s: no lock waits --\n%!" label
+  | waits ->
+      Printf.printf "-- %s --\n" label;
+      Printf.printf "%-28s %16s\n" "layer/lock" "wait_ns";
+      List.iteri
+        (fun i (k, ns) ->
+          if i < top then Printf.printf "%-28s %16Ld\n" k ns)
+        waits;
+      Printf.printf "%!"
+
 (** Bring up [system] on a fresh machine, run [f os], tear down, drain the
     simulation, and return [f]'s result. *)
 let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =

@@ -84,6 +84,15 @@ module type KSERVICES = sig
   val brelse : Buffer.t -> unit
   (** Unlock and drop the reference. Raises [Double_release] on misuse. *)
 
+  val raw_write_scatter : (int * Bytes.t) list -> unit
+  (** Install committed (block, data) images straight to the device,
+      bypassing the cached buffers — which may already hold newer,
+      uncommitted contents that must not be overwritten or flushed home
+      early. The kernel runtime merges adjacent blocks into contiguous
+      commands dispatched concurrently across the device's channels; the
+      userspace runtime writes them one pwrite(2) at a time. Duplicate
+      blocks must not appear. *)
+
   val pin : Buffer.t -> unit
   (** Raise the underlying cache reference so the block cannot be evicted
       (xv6 [bpin]; the log pins modified blocks until they are installed). *)
@@ -250,6 +259,8 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
         raise (Double_release (Printf.sprintf "block %d" (Buffer.block b)));
       b.Buffer.released <- true;
       Kernel.Bcache.brelse bc b.Buffer.bh
+
+    let raw_write_scatter pairs = Kernel.Bcache.raw_write_scatter bc pairs
 
     let pin (b : Buffer.t) =
       if b.Buffer.released then raise (Use_after_release "pin");

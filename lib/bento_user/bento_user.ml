@@ -76,6 +76,13 @@ let user_services (machine : Kernel.Machine.t) (ubc : Fusesim.Ubcache.t) :
       b.Buffer.released <- true;
       Fusesim.Ubcache.brelse ubc b.Buffer.ub
 
+    (* Cache-bypassing installs are just O_DIRECT pwrites, one at a time,
+       sorted so both hosts touch the disk image in the same order. *)
+    let raw_write_scatter pairs =
+      List.iter
+        (fun (blk, data) -> Fusesim.Ubcache.raw_write ubc blk data)
+        (List.sort (fun (a, _) (b, _) -> compare a b) pairs)
+
     let pin (b : Buffer.t) =
       if b.Buffer.released then raise (Use_after_release "pin");
       Fusesim.Ubcache.pin b.Buffer.ub

@@ -23,10 +23,15 @@ type t = {
   capacity : int;  (** journal data blocks *)
   lock : Sim.Sync.Mutex.t;
   cond : Sim.Sync.Condvar.t;
-  mutable sequence : int;
+  mutable sequence : int;  (** id of the running (accumulating) transaction *)
+  mutable seq_done : int;  (** highest transaction made durable *)
   mutable head : int;  (** next free offset within the area *)
   mutable handles : int;
   mutable committing : bool;
+  mutable force_waiters : int;
+      (** forcers draining running handles to cut a commit; while nonzero
+          (and no commit is running) new handles wait so the drain
+          terminates under load *)
   running : (int, Bytes.t) Hashtbl.t;  (** target block -> data copy *)
   mutable running_order : int list;  (** reverse order *)
   mutable checkpoint_queue : (int * Bytes.t) list list;  (** oldest first *)
@@ -50,9 +55,11 @@ let create ?(commit_interval = Sim.Time.sec 5) machine bc ~jstart ~jlen =
     lock = Sim.Sync.Mutex.create ~name:"jbd2" ();
     cond = Sim.Sync.Condvar.create ();
     sequence = 1;
+    seq_done = 0;
     head = 0;
     handles = 0;
     committing = false;
+    force_waiters = 0;
     running = Hashtbl.create 256;
     running_order = [];
     checkpoint_queue = [];
@@ -105,21 +112,29 @@ let checkpoint_all_locked t =
 
 (* Commit the running transaction: descriptor + data + commit record,
    sequentially into the journal area, then one flush. Lock held on entry
-   and exit; dropped during I/O. *)
+   and exit; dropped during I/O. Group commit: the running transaction is
+   snapshotted and reset *before* the lock is dropped, so new handles
+   join a fresh running transaction during the commit I/O instead of
+   convoying on the journal lock. *)
 let commit_locked t =
   if t.running_order <> [] then begin
     t.committing <- true;
     let order = List.rev t.running_order in
     let datas = List.map (Hashtbl.find t.running) order in
+    Hashtbl.reset t.running;
+    t.running_order <- [];
     let n = List.length order in
     (* a transaction larger than one descriptor's target list spans
        several descriptor blocks (as in real jbd2) *)
     let ndesc = (n + Layout4.desc_max_targets - 1) / Layout4.desc_max_targets in
     let needed = n + ndesc + 1 in
-    if t.head + needed > t.capacity then checkpoint_all_locked t;
-    let base = t.area_start + t.head in
+    (* allocate the sequence number before [checkpoint_all_locked] can
+       drop the lock, so a forcer arriving mid-checkpoint sees this
+       transaction as the one in flight *)
     let seq = t.sequence in
     t.sequence <- seq + 1;
+    if t.head + needed > t.capacity then checkpoint_all_locked t;
+    let base = t.area_start + t.head in
     t.head <- t.head + needed;
     Sim.Trace.counter
       (Kernel.Machine.tracer t.machine)
@@ -128,6 +143,8 @@ let commit_locked t =
     t.commits <- t.commits + 1;
     Kernel.Machine.incr t.machine "log_commits";
     Kernel.Machine.incr ~by:n t.machine "log_commit_blocks";
+    (* waiters may now open handles against the fresh running tx *)
+    Sim.Sync.Condvar.broadcast t.cond;
     Sim.Sync.Mutex.unlock t.lock;
     Kernel.Machine.with_layer t.machine "log" @@ fun () ->
     (* the first descriptor carries the checksum over ALL data blocks *)
@@ -179,17 +196,20 @@ let commit_locked t =
     Sim.Sync.Mutex.lock t.lock;
     t.checkpoint_queue <- t.checkpoint_queue @ [ List.combine order datas ];
     t.cp_blocks <- t.cp_blocks + n;
-    Hashtbl.reset t.running;
-    t.running_order <- [];
+    t.seq_done <- seq;
     t.committing <- false;
     Sim.Sync.Condvar.broadcast t.cond
   end
 
-(** Open a handle (journal_start): reserves space in the running tx. *)
+(** Open a handle (journal_start): reserves space in the running tx. A
+    commit in flight does not block new handles — they join the fresh
+    running transaction (group commit). *)
 let handle_start t =
   Sim.Sync.Mutex.lock t.lock;
   let rec wait () =
-    if t.committing then begin
+    if t.force_waiters > 0 && not t.committing then begin
+      (* an fsync is draining running handles to cut a commit; joining
+         now would push the drain out indefinitely under load *)
       Sim.Sync.Condvar.wait t.cond t.lock;
       wait ()
     end
@@ -197,7 +217,7 @@ let handle_start t =
       Hashtbl.length t.running + ((t.handles + 1) * handle_max_blocks)
       > t.capacity - 64 (* margin for descriptor blocks + commit record *)
     then
-      if t.handles = 0 then begin
+      if t.handles = 0 && not t.committing then begin
         commit_locked t;
         wait ()
       end
@@ -248,23 +268,43 @@ let journal_write t (buf : Kernel.Bcache.buf) =
   Hashtbl.replace t.running blk (Bytes.copy buf.Kernel.Bcache.data);
   Sim.Sync.Mutex.unlock t.lock
 
-(** Commit the running transaction and make it durable (fsync path). *)
+(** Commit the running transaction and make it durable (fsync path) — the
+    group-commit path. The forcer computes the youngest transaction that
+    can hold its data; once that transaction is durable it returns,
+    whether it drove the commit itself, rode on one already in flight, or
+    found a concurrent forcer had covered it (then it never touches the
+    device: jbd2 commits always flush). *)
 let force_commit t =
   Sim.Sync.Mutex.lock t.lock;
-  let rec wait () =
-    if t.committing || t.handles > 0 then begin
-      Sim.Sync.Condvar.wait t.cond t.lock;
-      wait ()
-    end
+  let target =
+    if t.running_order <> [] then t.sequence
+    else if t.committing then t.sequence - 1
+    else t.seq_done
   in
-  wait ();
-  if t.running_order <> [] then commit_locked t
-  else begin
+  if t.seq_done >= target then begin
     Sim.Sync.Mutex.unlock t.lock;
-    Kernel.Bcache.flush t.bc;
-    Sim.Sync.Mutex.lock t.lock
-  end;
-  Sim.Sync.Mutex.unlock t.lock
+    (* Nothing running and nothing in flight: barrier for stray volatile
+       writes (e.g. the journal superblock). *)
+    Kernel.Bcache.flush t.bc
+  end
+  else begin
+    t.force_waiters <- t.force_waiters + 1;
+    let rec drive () =
+      if t.seq_done < target then
+        if t.committing || t.handles > 0 then begin
+          Sim.Sync.Condvar.wait t.cond t.lock;
+          drive ()
+        end
+        else begin
+          commit_locked t;
+          drive ()
+        end
+    in
+    drive ();
+    t.force_waiters <- t.force_waiters - 1;
+    if t.force_waiters = 0 then Sim.Sync.Condvar.broadcast t.cond;
+    Sim.Sync.Mutex.unlock t.lock
+  end
 
 (** Flush everything including checkpoints (unmount). *)
 let shutdown t =
@@ -372,6 +412,8 @@ let recover t =
         Kernel.Printk.info t.machine "jbd2: replayed %d transaction(s)"
           (final_seq - seq0);
       t.sequence <- max t.sequence final_seq;
+      (* everything before the running transaction is on disk *)
+      t.seq_done <- t.sequence - 1;
       Kernel.Bcache.flush t.bc);
   t.head <- 0;
   Sim.Sync.Mutex.lock t.lock;

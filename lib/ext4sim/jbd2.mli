@@ -16,9 +16,11 @@ type t = {
   lock : Sim.Sync.Mutex.t;
   cond : Sim.Sync.Condvar.t;
   mutable sequence : int;
+  mutable seq_done : int;
   mutable head : int;
   mutable handles : int;
   mutable committing : bool;
+  mutable force_waiters : int;
   running : (int, Bytes.t) Hashtbl.t;
   mutable running_order : int list;
   mutable checkpoint_queue : (int * Bytes.t) list list;

@@ -86,6 +86,10 @@ let getblk t block =
 (** Write-through: pwrite(2) with O_DIRECT (volatile until [flush]). *)
 let bwrite t b = Ufile.pwrite_block t.ufile b.block b.data
 
+(* Install a committed image straight to the disk file without touching
+   the cached buffer — it may hold newer, uncommitted contents. *)
+let raw_write t block data = Ufile.pwrite_block t.ufile block data
+
 let brelse t b =
   if b.refcount <= 0 then invalid_arg "Ubcache.brelse";
   b.refcount <- b.refcount - 1;

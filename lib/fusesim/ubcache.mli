@@ -26,6 +26,11 @@ val getblk : t -> int -> buf
 val bwrite : t -> buf -> unit
 (** Write-through: pwrite(2) with O_DIRECT (volatile until {!flush}). *)
 
+val raw_write : t -> int -> Bytes.t -> unit
+(** Write data for a block straight to the disk file without touching the
+    cached buffer — installing a committed version while the cache may
+    hold newer uncommitted contents. *)
+
 val brelse : t -> buf -> unit
 val pin : buf -> unit
 val unpin : buf -> unit

@@ -24,11 +24,18 @@ type buf = {
 type t
 
 exception No_buffers
-(** Eviction found no unreferenced, unpinned buffer. *)
+(** Eviction found no unreferenced, unpinned buffer in the block's shard. *)
 
-val create : ?capacity:int -> Machine.t -> t
+val create : ?capacity:int -> ?shards:int -> Machine.t -> t
+(** The cache is sharded by block number (per-shard hash + LRU + lock +
+    counters) so concurrent lookups of different blocks do not serialise.
+    [shards] defaults to a count derived from [capacity] that collapses to
+    1 for small caches, preserving exact whole-cache LRU order there; it
+    is clamped to [1, capacity]. *)
 
 val stats : t -> Sim.Stats.t
+(** Whole-cache statistics: the per-shard counters merged by name,
+    refreshed on every call. *)
 val block_size : t -> int
 
 val bread : t -> int -> buf

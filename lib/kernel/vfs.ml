@@ -96,6 +96,30 @@ let profiled_ops machine layer (ops : fs_ops) : fs_ops =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Per-CPU-style distributed counters (Linux percpu_counter): updates go
+   to the updating fiber's cell, so the hot write/read paths of different
+   workload fibers do not all bump one shared counter; reads sum the
+   cells. In the simulation this is about structure rather than cache
+   lines, but it keeps the dirty/cached accounting off every fiber's
+   critical path the same way the kernel does.                          *)
+
+module Pcpu = struct
+  let cells = 16
+
+  type t = int array
+
+  let create () = Array.make cells 0
+
+  let add (c : t) n =
+    let eng = Sim.Engine.self_engine () in
+    let fid = Sim.Engine.current_fid eng in
+    let i = if fid < 0 then 0 else fid land (cells - 1) in
+    c.(i) <- c.(i) + n
+
+  let read (c : t) = Array.fold_left ( + ) 0 c
+end
+
+(* ------------------------------------------------------------------ *)
 (* In-core inode (vnode) with its page cache.                          *)
 
 type page = {
@@ -129,8 +153,8 @@ type t = {
   page_size : int;
   vnodes : (int, vnode) Hashtbl.t;
   dcache : (int * string, int) Hashtbl.t;  (** (dir, name) -> ino *)
-  mutable total_dirty : int;  (** dirty pages across all files *)
-  mutable total_pages : int;  (** all cached pages (memory pressure) *)
+  total_dirty : Pcpu.t;  (** dirty pages across all files *)
+  total_pages : Pcpu.t;  (** all cached pages (memory pressure) *)
   page_cap : int;  (** reclaim threshold, in pages *)
   dirty_limit : int;  (** balance_dirty_pages threshold *)
   dirty_bg : int;  (** background writeback threshold *)
@@ -164,7 +188,7 @@ let vnode_of t ino ~kind ~size =
           v_size = size;
           v_pages = Hashtbl.create 16;
           v_dirty_pages = 0;
-          v_rw = Sim.Sync.Rwlock.create ();
+          v_rw = Sim.Sync.Rwlock.create ~name:"inode" ();
           v_wb = Sim.Sync.Mutex.create ~name:"wb" ();
           v_nopen = 0;
           v_unlinked = false;
@@ -182,12 +206,12 @@ let find_vnode t ino = Hashtbl.find_opt t.vnodes ino
 (* Memory pressure: drop clean pages of unopened files until comfortably
    below the cap (the kernel's page reclaim, radically simplified). *)
 let reclaim_pages t =
-  if t.total_pages > t.page_cap then begin
+  if Pcpu.read t.total_pages > t.page_cap then begin
     incr t "page_reclaims";
     let target = t.page_cap * 7 / 8 in
     Hashtbl.iter
       (fun _ v ->
-        if t.total_pages > target && v.v_nopen = 0 then begin
+        if Pcpu.read t.total_pages > target && v.v_nopen = 0 then begin
           let clean =
             Hashtbl.fold
               (fun i p acc -> if p.pdirty then acc else i :: acc)
@@ -195,19 +219,61 @@ let reclaim_pages t =
           in
           List.iter
             (fun i ->
-              if t.total_pages > target then begin
+              if Pcpu.read t.total_pages > target then begin
                 Hashtbl.remove v.v_pages i;
-                t.total_pages <- t.total_pages - 1
+                Pcpu.add t.total_pages (-1)
               end)
             clean
         end)
       t.vnodes
   end
 
+(* Insert [p] at [index], keeping the cached/dirty totals exact even when
+   it replaces an existing page (two readers faulting the same index
+   concurrently): the displaced page's accounting must not leak, or the
+   totals drift up and the dirty throttle misfires. *)
 let insert_page t v index p =
+  (match Hashtbl.find_opt v.v_pages index with
+  | Some old ->
+      if old.pdirty then begin
+        v.v_dirty_pages <- v.v_dirty_pages - 1;
+        Pcpu.add t.total_dirty (-1)
+      end
+  | None -> Pcpu.add t.total_pages 1);
   Hashtbl.replace v.v_pages index p;
-  t.total_pages <- t.total_pages + 1;
   reclaim_pages t
+
+(* Debug-build accounting oracle: recompute the dirty/cached totals from
+   the page tables and fail loudly on any drift. Enabled by tests; too
+   expensive (O(cached pages)) for normal runs. *)
+let debug_accounting = ref false
+let set_debug_accounting b = debug_accounting := b
+
+let check_accounting t =
+  let dirty = ref 0 and pages = ref 0 in
+  Hashtbl.iter
+    (fun _ v ->
+      let vd =
+        Hashtbl.fold (fun _ p n -> if p.pdirty then n + 1 else n) v.v_pages 0
+      in
+      if vd <> v.v_dirty_pages then
+        failwith
+          (Printf.sprintf "vfs: ino %d dirty counter %d <> actual %d" v.v_ino
+             v.v_dirty_pages vd);
+      dirty := !dirty + vd;
+      pages := !pages + Hashtbl.length v.v_pages)
+    t.vnodes;
+  if !dirty <> Pcpu.read t.total_dirty then
+    failwith
+      (Printf.sprintf "vfs: total_dirty %d <> actual %d"
+         (Pcpu.read t.total_dirty) !dirty);
+  if !pages <> Pcpu.read t.total_pages then
+    failwith
+      (Printf.sprintf "vfs: total_pages %d <> actual %d"
+         (Pcpu.read t.total_pages) !pages)
+
+let cached_pages t = Pcpu.read t.total_pages
+let dirty_pages t = Pcpu.read t.total_dirty
 
 (* ------------------------------------------------------------------ *)
 (* Writeback.                                                          *)
@@ -231,7 +297,7 @@ let runs_of_indexes ~batch indexes =
    tracing is disabled). *)
 let sample_dirty t =
   Sim.Trace.counter (tracer t) ~cat:"vfs" "vfs:dirty_pages"
-    (Int64.of_int t.total_dirty)
+    (Int64.of_int (Pcpu.read t.total_dirty))
 
 let wb_max_inflight = 8
 (** Cap on concurrently dispatched [write_pages] calls per file — the
@@ -263,7 +329,7 @@ let writeback_vnode t v =
                     | Some p when p.pdirty ->
                         p.pdirty <- false;
                         v.v_dirty_pages <- v.v_dirty_pages - 1;
-                        t.total_dirty <- t.total_dirty - 1;
+                        Pcpu.add t.total_dirty (-1);
                         Some (i, p.pdata)
                     | _ -> None)
                   run
@@ -306,21 +372,50 @@ let writeback_vnode t v =
             done;
             (match !first_exn with Some e -> raise e | None -> ())
       end));
+  if !debug_accounting then check_accounting t;
   sample_dirty t
 
 (** Balance: a writer that pushed the system over the dirty limit does
     writeback of its own file until below (Linux balance_dirty_pages). *)
 let balance_dirty t v =
   sample_dirty t;
-  if t.total_dirty > t.dirty_limit then begin
+  if !debug_accounting then check_accounting t;
+  if Pcpu.read t.total_dirty > t.dirty_limit then begin
     incr t "dirty_throttles";
     writeback_vnode t v
   end
 
+let wb_all_fanout = 4
+(** Files written back concurrently by [writeback_all] — the flusher's
+    per-file parallelism. Per-file order within {!writeback_vnode} is
+    still serialised by each vnode's [v_wb] lock. *)
+
 let writeback_all t =
   let vs = Hashtbl.fold (fun _ v acc -> v :: acc) t.vnodes [] in
   let vs = List.sort (fun a b -> compare a.v_ino b.v_ino) vs in
-  List.iter (fun v -> if v.v_dirty_pages > 0 then writeback_vnode t v) vs
+  match List.filter (fun v -> v.v_dirty_pages > 0) vs with
+  | [] -> ()
+  | [ v ] -> writeback_vnode t v
+  | dirty ->
+      (* Dirty files flush concurrently under a bounded window, so one
+         slow file's I/O does not serialise the whole sync pass. *)
+      let n = List.length dirty in
+      let window = Sim.Sync.Semaphore.create wb_all_fanout in
+      let done_sem = Sim.Sync.Semaphore.create 0 in
+      let first_exn = ref None in
+      List.iter
+        (fun v ->
+          Sim.Sync.Semaphore.acquire window;
+          Machine.spawn ~name:"wb-all" t.machine (fun () ->
+              (try writeback_vnode t v
+               with e -> if !first_exn = None then first_exn := Some e);
+              Sim.Sync.Semaphore.release window;
+              Sim.Sync.Semaphore.release done_sem))
+        dirty;
+      for _ = 1 to n do
+        Sim.Sync.Semaphore.acquire done_sem
+      done;
+      (match !first_exn with Some e -> raise e | None -> ())
 
 (* Background flusher fiber: periodic writeback above the bg threshold,
    mirroring the kernel's dirty_writeback_centisecs behaviour. *)
@@ -331,7 +426,8 @@ let start_flusher t =
         let rec loop () =
           if t.active then begin
             Sim.Engine.sleep (Sim.Time.ms 500);
-            if t.active && t.total_dirty > t.dirty_bg then writeback_all t;
+            if t.active && Pcpu.read t.total_dirty > t.dirty_bg then
+              writeback_all t;
             loop ()
           end
         in
@@ -351,8 +447,8 @@ let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
       page_size = Device.Ssd.block_size (Machine.disk machine);
       vnodes = Hashtbl.create 1024;
       dcache = Hashtbl.create 4096;
-      total_dirty = 0;
-      total_pages = 0;
+      total_dirty = Pcpu.create ();
+      total_pages = Pcpu.create ();
       page_cap;
       dirty_limit;
       dirty_bg = dirty_limit / 2;
@@ -442,10 +538,17 @@ let rec page_of t v index : (page, Errno.t) result =
       incr t "page_misses";
       Sim.Trace.instant (tracer t) ~cat:"vfs" "vfs:page_miss";
       match t.ops.readpage ~ino:v.v_ino ~index with
-      | Ok data ->
-          let p = { pdata = data; pdirty = false; pra = false } in
-          insert_page t v index p;
-          Ok p
+      | Ok data -> (
+          (* readpage blocked for device I/O: a concurrent reader may have
+             instantiated this page meanwhile. Adopt the cached page
+             rather than replacing it — replacing would discard dirty
+             bits a racing writer set and double-count the cached total. *)
+          match Hashtbl.find_opt v.v_pages index with
+          | Some p -> Ok p
+          | None ->
+              let p = { pdata = data; pdirty = false; pra = false } in
+              insert_page t v index p;
+              Ok p)
       | Error _ as e -> e)
 
 (* A page being created entirely beyond the current data does not need a
@@ -593,7 +696,7 @@ let write t v ~pos data : int res =
                   if not p.pdirty then begin
                     p.pdirty <- true;
                     v.v_dirty_pages <- v.v_dirty_pages + 1;
-                    t.total_dirty <- t.total_dirty + 1
+                    Pcpu.add t.total_dirty 1
                   end;
                   go (off + n)
             end
@@ -638,10 +741,10 @@ let truncate t v size : unit res =
           (fun (i, p) ->
             if p.pdirty then begin
               v.v_dirty_pages <- v.v_dirty_pages - 1;
-              t.total_dirty <- t.total_dirty - 1
+              Pcpu.add t.total_dirty (-1)
             end;
             Hashtbl.remove v.v_pages i;
-            t.total_pages <- t.total_pages - 1)
+            Pcpu.add t.total_pages (-1))
           dead;
         if size mod t.page_size <> 0 then begin
           let last = size / t.page_size in
@@ -663,10 +766,10 @@ let invalidate_pages t v =
     (fun _ p ->
       if p.pdirty then begin
         v.v_dirty_pages <- v.v_dirty_pages - 1;
-        t.total_dirty <- t.total_dirty - 1
+        Pcpu.add t.total_dirty (-1)
       end)
     v.v_pages;
-  t.total_pages <- t.total_pages - Hashtbl.length v.v_pages;
+  Pcpu.add t.total_pages (-(Hashtbl.length v.v_pages));
   Hashtbl.reset v.v_pages
 
 let drop_vnode t v =

@@ -168,3 +168,18 @@ val set_readahead : t -> bool -> unit
 
 val runs_of_indexes : batch:int -> int list -> int list list
 (** Split sorted page indexes into contiguous runs capped at [batch]. *)
+
+val cached_pages : t -> int
+(** Total pages cached across all files (the memory-pressure counter). *)
+
+val dirty_pages : t -> int
+(** Total dirty pages across all files (the writeback-throttle counter). *)
+
+val set_debug_accounting : bool -> unit
+(** Debug builds: make writeback and the dirty throttle recompute the
+    dirty/cached totals from the page tables and fail on any drift.
+    Global; off by default (the check is O(cached pages)). *)
+
+val check_accounting : t -> unit
+(** One-shot version of the debug oracle: raises if any per-inode or
+    global counter disagrees with the actual page tables. *)

@@ -30,6 +30,9 @@ type t = {
   mutable trace : bool;
   mutable on_advance : (int64 -> int -> unit) option;
       (** called with (delta, owner fid) just before [now] advances *)
+  mutable on_lock_wait : (string -> int64 -> unit) option;
+      (** called as [hook lock_name wait_ns] when a fiber resumes after
+          blocking on a named synchronisation primitive *)
 }
 
 type _ Effect.t +=
@@ -48,11 +51,13 @@ let create () =
     failure = None;
     trace = false;
     on_advance = None;
+    on_lock_wait = None;
   }
 
 let now t = t.now
 let set_trace t b = t.trace <- b
 let set_advance_hook t hook = t.on_advance <- hook
+let set_lock_wait_hook t hook = t.on_lock_wait <- hook
 
 (* Fire the advance hook for a move of the clock to [time] on behalf of
    fiber [fid]. Zero-delta moves are skipped: only real time needs owners. *)
@@ -226,5 +231,14 @@ let clear_blocked () =
   | None -> ()
 
 let now_here () = (self_engine ()).now
+
+(** Report a measured lock wait to the engine's hook (a no-op when none is
+    installed). Called by the [Sync] primitives from the waiting fiber,
+    right after it resumes, so the hook can see the fiber's context. *)
+let note_lock_wait name wait_ns =
+  let t = self_engine () in
+  match t.on_lock_wait with
+  | Some hook when Int64.compare wait_ns 0L > 0 -> hook name wait_ns
+  | _ -> ()
 
 

@@ -40,6 +40,14 @@ val set_advance_hook : t -> (int64 -> int -> unit) option -> unit
     delta somewhere accounts for the whole run exactly — the basis of
     {!Profile}. *)
 
+val set_lock_wait_hook : t -> (string -> int64 -> unit) option -> unit
+(** Install (or clear) a hook called as [hook lock_name wait_ns] from a
+    fiber that just resumed after blocking for [wait_ns] > 0 virtual
+    nanoseconds on a named synchronisation primitive. Blocked time is
+    invisible to the advance hook (advances are charged to the fiber that
+    causes them, never to waiters), so contention profiling needs this
+    separate channel — see {!Profile}. *)
+
 val schedule_at : t -> int64 -> (unit -> unit) -> unit
 (** Run a callback at an absolute virtual time (>= [now t]). *)
 
@@ -83,3 +91,8 @@ val note_blocked : string -> unit
     {!Deadlock}). Called by the [Sync] primitives around suspension. *)
 
 val clear_blocked : unit -> unit
+
+val note_lock_wait : string -> int64 -> unit
+(** Report a measured lock wait to the calling fiber's engine hook (no-op
+    when no hook is installed or the wait was zero). Called by the [Sync]
+    primitives. *)

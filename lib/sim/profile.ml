@@ -24,6 +24,10 @@ type t = {
   mutable enabled : bool;
   per_fiber : (int, frames) Hashtbl.t;
   self : (string, int64 ref) Hashtbl.t;  (** folded key -> self ns *)
+  waits : (string, int64 ref) Hashtbl.t;
+      (** "layer/lock" -> ns a fiber in [layer] spent blocked on [lock].
+          Kept apart from [self]: blocked time overlaps other fibers'
+          running time, so folding it into self would break conservation. *)
   mutable started_at : int64;
 }
 
@@ -35,6 +39,7 @@ let create engine =
     enabled = false;
     per_fiber = Hashtbl.create 64;
     self = Hashtbl.create 64;
+    waits = Hashtbl.create 64;
     started_at = 0L;
   }
 
@@ -52,22 +57,42 @@ let charge t delta fid =
   | Some r -> r := Int64.add !r delta
   | None -> Hashtbl.add t.self key (ref delta)
 
+(* Charge a lock wait to "<layer>/<lock>", where <layer> is the waiting
+   fiber's innermost frame at resume time ("idle" when it has none). The
+   hook runs inside the resumed fiber, so [current_fid] is the waiter. *)
+let charge_wait t lock ns =
+  let fid = Engine.current_fid t.engine in
+  let layer =
+    if fid < 0 then idle
+    else
+      match Hashtbl.find_opt t.per_fiber fid with
+      | Some { stack = top :: _; _ } -> top
+      | _ -> idle
+  in
+  let key = layer ^ "/" ^ lock in
+  match Hashtbl.find_opt t.waits key with
+  | Some r -> r := Int64.add !r ns
+  | None -> Hashtbl.add t.waits key (ref ns)
+
 let enable t =
   if not t.enabled then begin
     t.enabled <- true;
     t.started_at <- Engine.now t.engine;
-    Engine.set_advance_hook t.engine (Some (charge t))
+    Engine.set_advance_hook t.engine (Some (charge t));
+    Engine.set_lock_wait_hook t.engine (Some (charge_wait t))
   end
 
 let disable t =
   if t.enabled then begin
     t.enabled <- false;
-    Engine.set_advance_hook t.engine None
+    Engine.set_advance_hook t.engine None;
+    Engine.set_lock_wait_hook t.engine None
   end
 
 let reset t =
   Hashtbl.reset t.per_fiber;
   Hashtbl.reset t.self;
+  Hashtbl.reset t.waits;
   t.started_at <- Engine.now t.engine
 
 (** Run [f] under layer frame [layer] for the current fiber. Re-entering
@@ -110,6 +135,17 @@ let attributed t =
 let folded t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.self []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Lock-wait attribution sorted by descending wait time:
+    [("bcache/bcache-shard", ns); ("log/log", ns); ...] — each entry is
+    the blocked time fibers whose innermost frame was <layer> accumulated
+    on lock <name>. Waits overlap runtime of other fibers, so these do NOT
+    sum into {!attributed}. *)
+let lock_waits t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.waits []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         let c = Int64.compare b a in
+         if c <> 0 then c else String.compare ka kb)
 
 let leaf_of key =
   match String.rindex_opt key ';' with

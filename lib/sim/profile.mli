@@ -48,6 +48,14 @@ val folded_output : t -> string
 (** {!folded} rendered in the flamegraph collapsed-stack format: one
     "stack ns" line per distinct stack. *)
 
+val lock_waits : t -> (string * int64) list
+(** Lock-wait attribution, sorted by descending wait: each entry is
+    ("<layer>/<lock>", ns) — the virtual time fibers whose innermost frame
+    was <layer> spent blocked on the named mutex or rwlock. Blocked time
+    overlaps other fibers' running time, so these are kept apart from the
+    self-time tables and do not count toward {!attributed} (conservation
+    is unaffected). *)
+
 type layer_time = { layer : string; self_ns : int64; total_ns : int64 }
 
 val summary : t -> layer_time list

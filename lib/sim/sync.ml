@@ -12,10 +12,20 @@ module Mutex = struct
     waiters : (unit -> unit) Queue.t;
     mutable contended : int; (* stat: how many lock() calls had to wait *)
     mutable acquisitions : int;
+    mutable wait_ns : int64; (* total virtual time lock() calls spent blocked *)
+    mutable max_wait_ns : int64; (* longest single blocked wait *)
   }
 
   let create ?(name = "mutex") () =
-    { name; locked = false; waiters = Queue.create (); contended = 0; acquisitions = 0 }
+    {
+      name;
+      locked = false;
+      waiters = Queue.create ();
+      contended = 0;
+      acquisitions = 0;
+      wait_ns = 0L;
+      max_wait_ns = 0L;
+    }
 
   let lock m =
     m.acquisitions <- m.acquisitions + 1;
@@ -23,9 +33,14 @@ module Mutex = struct
     else begin
       m.contended <- m.contended + 1;
       Engine.note_blocked ("mutex " ^ m.name);
+      let t0 = Engine.now_here () in
       Engine.suspend (fun waker -> Queue.push waker m.waiters);
-      Engine.clear_blocked ()
+      Engine.clear_blocked ();
       (* Ownership is handed to us directly by [unlock]; [locked] stays true. *)
+      let dt = Int64.sub (Engine.now_here ()) t0 in
+      m.wait_ns <- Int64.add m.wait_ns dt;
+      if Int64.compare dt m.max_wait_ns > 0 then m.max_wait_ns <- dt;
+      Engine.note_lock_wait m.name dt
     end
 
   let try_lock m =
@@ -45,6 +60,8 @@ module Mutex = struct
   let locked m = m.locked
   let contended m = m.contended
   let acquisitions m = m.acquisitions
+  let wait_ns m = m.wait_ns
+  let max_wait_ns m = m.max_wait_ns
 
   let with_lock m f =
     lock m;
@@ -121,12 +138,14 @@ module Rwlock = struct
   type waiter = Reader of (unit -> unit) | Writer of (unit -> unit)
 
   type t = {
+    name : string;
     mutable readers : int;
     mutable writer : bool;
     waiters : waiter Queue.t;
   }
 
-  let create () = { readers = 0; writer = false; waiters = Queue.create () }
+  let create ?(name = "rwlock") () =
+    { name; readers = 0; writer = false; waiters = Queue.create () }
 
   (* Wake as many queued waiters as can now run: either one writer, or a
      maximal prefix of readers. FIFO prevents writer starvation. *)
@@ -147,9 +166,11 @@ module Rwlock = struct
     if (not t.writer) && Queue.is_empty t.waiters then
       t.readers <- t.readers + 1
     else begin
-      Engine.note_blocked "rwlock(r)";
+      Engine.note_blocked ("rwlock(r) " ^ t.name);
+      let t0 = Engine.now_here () in
       Engine.suspend (fun waker -> Queue.push (Reader waker) t.waiters);
-      Engine.clear_blocked ()
+      Engine.clear_blocked ();
+      Engine.note_lock_wait t.name (Int64.sub (Engine.now_here ()) t0)
     end
 
   let read_unlock t =
@@ -161,9 +182,11 @@ module Rwlock = struct
     if t.readers = 0 && (not t.writer) && Queue.is_empty t.waiters then
       t.writer <- true
     else begin
-      Engine.note_blocked "rwlock(w)";
+      Engine.note_blocked ("rwlock(w) " ^ t.name);
+      let t0 = Engine.now_here () in
       Engine.suspend (fun waker -> Queue.push (Writer waker) t.waiters);
-      Engine.clear_blocked ()
+      Engine.clear_blocked ();
+      Engine.note_lock_wait t.name (Int64.sub (Engine.now_here ()) t0)
     end
 
   let write_unlock t =

@@ -25,6 +25,13 @@ module Mutex : sig
 
   val acquisitions : t -> int
 
+  val wait_ns : t -> int64
+  (** Total virtual time [lock] calls spent blocked on this mutex. *)
+
+  val max_wait_ns : t -> int64
+  (** Longest single blocked wait — with FIFO handoff this is bounded by
+      (number of waiters ahead) × (their hold times), never unbounded. *)
+
   val with_lock : t -> (unit -> 'a) -> 'a
   (** Lock, run, unlock — also on exceptions. *)
 end
@@ -55,7 +62,8 @@ end
 module Rwlock : sig
   type t
 
-  val create : unit -> t
+  val create : ?name:string -> unit -> t
+  (** [name] appears in deadlock diagnostics and lock-wait profiles. *)
 
   val read_lock : t -> unit
   (** Shared access; parallel with other readers. FIFO with writers, so

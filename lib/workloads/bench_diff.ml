@@ -20,6 +20,10 @@ type direction = Higher_better | Lower_better | Informational
    whose magnitude scales with throughput would make the gate flappy. *)
 let direction_of = function
   | "ops_per_sec" | "mbps" | "bcache_hit_ratio" -> Higher_better
+  | "scaling_efficiency" -> Higher_better
+      (* synthetic rows from the scaling section: throughput at N fibers
+         over throughput at 1 fiber — a drop means a scalability loss even
+         if absolute single-fiber throughput held steady *)
   | "lat_p50_ns" | "lat_p90_ns" | "lat_p99_ns" -> Lower_better
   | "write_amplification" | "crossings_per_op" -> Lower_better
   | _ -> Informational

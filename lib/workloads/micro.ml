@@ -159,6 +159,80 @@ let seqread_cold_bench os ~iosize ~file_mb : Bench_result.t =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Scaling benchmark: per-thread private files, no fileset lock.       *)
+
+(** Timed reads where every thread owns a private [file_mb] file, fd, rng,
+    and position — no shared fileset entry and no fileset lock, unlike
+    {!read_bench}, whose filebench-style fileset lock serialises the
+    threads by design. Files are pre-created and warmed, so the timed
+    window exercises the contention path of the stack itself (page-cache
+    and buffer-cache locks, per-core accounting) rather than the device:
+    aggregate ops at N threads over ops at 1 thread is the many-core
+    scaling factor. *)
+let scaling_read_bench os ~iosize ~pattern ~nthreads ~duration ~file_mb ~seed :
+    Bench_result.t =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let file_size = file_mb * 1024 * 1024 in
+  let prefix = "/scale" in
+  if not (Kernel.Os.exists os prefix) then ok (Kernel.Os.mkdir os prefix);
+  let path i = Printf.sprintf "%s/f%03d" prefix i in
+  let chunk = Bytes.make (1024 * 1024) 'p' in
+  for i = 0 to nthreads - 1 do
+    if not (Kernel.Os.exists os (path i)) then begin
+      let fd = ok (Kernel.Os.open_ os (path i) Kernel.Os.(creat wronly)) in
+      for m = 0 to file_mb - 1 do
+        ignore (ok (Kernel.Os.pwrite os fd ~pos:(m * 1024 * 1024) chunk))
+      done;
+      ok (Kernel.Os.close os fd)
+    end
+  done;
+  ok (Kernel.Os.sync os);
+  (* warm each file so the timed window measures the contention path, not
+     first-touch misses *)
+  for i = 0 to nthreads - 1 do
+    let fd = ok (Kernel.Os.open_ os (path i) Kernel.Os.rdonly) in
+    let pos = ref 0 in
+    while !pos < file_size do
+      ignore (ok (Kernel.Os.pread os fd ~pos:!pos ~len:(1024 * 1024)));
+      pos := !pos + (1024 * 1024)
+    done;
+    ok (Kernel.Os.close os fd)
+  done;
+  let fds =
+    Array.init nthreads (fun i ->
+        ok (Kernel.Os.open_ os (path i) Kernel.Os.rdonly))
+  in
+  let rng = Sim.Rng.create seed in
+  let rngs = Array.init nthreads (fun _ -> Sim.Rng.split rng) in
+  let positions = Array.make nthreads 0 in
+  let t0 = Kernel.Machine.now machine in
+  let deadline = Int64.add t0 duration in
+  let body i =
+    Kernel.Machine.cpu_work machine readwrite_overhead;
+    match pattern with
+    | Seq ->
+        let pos = positions.(i) in
+        positions.(i) <- (pos + iosize) mod file_size;
+        ignore (ok (Kernel.Os.pread os fds.(i) ~pos ~len:iosize))
+    | Rnd ->
+        let slots = file_size / iosize in
+        let pos = Sim.Rng.int rngs.(i) slots * iosize in
+        ignore (ok (Kernel.Os.pread os fds.(i) ~pos ~len:iosize))
+  in
+  let ops = run_threads machine ~nthreads ~deadline body in
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  Array.iter (fun fd -> ok (Kernel.Os.close os fd)) fds;
+  {
+    Bench_result.label =
+      Printf.sprintf "scale-read-%s-%dk-%dt" (pattern_name pattern)
+        (iosize / 1024) nthreads;
+    ops;
+    bytes = ops * iosize;
+    elapsed_ns = elapsed;
+    lat = Some (op_lat machine);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Write benchmark.                                                    *)
 
 (** Timed writes of [iosize] bytes over a [file_mb] file (rewrite in

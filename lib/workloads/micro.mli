@@ -38,6 +38,20 @@ val read_bench :
     Sequential readers share a file offset; random readers pread at
     uniform aligned offsets. *)
 
+val scaling_read_bench :
+  Kernel.Os.t ->
+  iosize:int ->
+  pattern:pattern ->
+  nthreads:int ->
+  duration:int64 ->
+  file_mb:int ->
+  seed:int ->
+  Bench_result.t
+(** Timed reads where every thread owns a private pre-warmed [file_mb]
+    file, fd, rng, and position — no shared fileset entry or lock — so
+    aggregate throughput is limited only by the stack's own locks and the
+    machine's cores. The many-core scaling probe (bench [scaling]). *)
+
 val seqread_cold_bench :
   Kernel.Os.t -> iosize:int -> file_mb:int -> Bench_result.t
 (** Cold-cache sequential read: create the file, sync, [Vfs.drop_caches],

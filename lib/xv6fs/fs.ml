@@ -10,13 +10,21 @@
     FUSE (§4.9) — the "same code in both environments" goal.
 
     Log discipline (per transaction):
-    1. copy pinned modified blocks into the contiguous log area (batched,
-       async across device channels),
+    1. snapshot the pinned modified blocks under the log lock and copy the
+       images into the contiguous log area (batched, async across device
+       channels),
     2. write the checksummed log header and FLUSH — the commit point,
-    3. install the blocks to their home locations and FLUSH,
+    3. install the snapshot images to their home locations with
+       cache-bypassing writes and FLUSH,
     4. clear the header (made durable by the next commit or unmount).
     Recovery validates the header checksum, so a torn commit is discarded
-    rather than replayed. *)
+    rather than replayed.
+
+    Commit is a *group commit*: the open transaction is cut (snapshotted)
+    under the lock and the I/O runs with the lock released, so new
+    operations join the next open transaction instead of convoying on the
+    commit — and an fsync whose data was already covered by a concurrent
+    commit returns without touching the device. *)
 
 module L = Layout
 
@@ -55,6 +63,12 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
       staged : (int, unit) Hashtbl.t;  (** home blocks pinned in cache *)
       mutable eager_dirty : bool;
           (** a metadata operation staged blocks since the last commit *)
+      mutable seq_open : int;  (** id of the open (accumulating) transaction *)
+      mutable seq_done : int;  (** highest transaction made durable *)
+      mutable force_waiters : int;
+          (** forcers draining in-flight operations to cut a commit; while
+              nonzero (and no commit is running) new operations wait so the
+              drain terminates under load *)
       mutable commits : int;
       mutable absorptions : int;
       mutable flush_on_commit : bool;
@@ -73,6 +87,9 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
         order = [];
         staged = Hashtbl.create 64;
         eager_dirty = false;
+        seq_open = 1;
+        seq_done = 0;
+        force_waiters = 0;
         commits = 0;
         absorptions = 0;
         flush_on_commit = true;
@@ -103,12 +120,14 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
        end);
       K.Kmutex.unlock t.lock
 
-    (* Write staged blocks to the log area, commit, install. Runs with
-       [committing = true] so no new operation can start; the lock itself is
-       dropped during I/O. *)
-    let do_commit t =
-      let order = List.rev t.order in
-      let n = List.length order in
+    (* Write a snapshotted batch of (home block, image) pairs to the log
+       area, commit, install. Runs with [committing = true] but *without*
+       the log lock: operations may join the next open transaction during
+       the I/O (group commit). The images are installed with
+       cache-bypassing writes because the cached home buffers may already
+       carry newer, uncommitted contents from those operations. *)
+    let do_commit t batch =
+      let n = List.length batch in
       if n > 0 then begin
         K.profile "log" @@ fun () ->
         t.commits <- t.commits + 1;
@@ -116,19 +135,15 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
            stacks (mean commit size = log_commit_blocks / log_commits). *)
         K.counter_add "log_commits" 1;
         K.counter_add "log_commit_blocks" n;
-        (* The staged home blocks are pinned, so these breads are cache
-           hits; holding them across the commit keeps readers out of
-           half-installed state. *)
-        let home_bufs = List.map (fun blk -> K.bread blk) order in
         (* 1. log data blocks, contiguous from t.start *)
         let log_bufs =
           List.mapi
-            (fun i src ->
+            (fun i (_, image) ->
               let dst = K.getblk (t.start + i) in
               K.cpu K.costs.Kernel.Cost.log_copy_per_block;
-              Bytes.blit (K.Buffer.data src) 0 (K.Buffer.data dst) 0 bsize;
+              Bytes.blit image 0 (K.Buffer.data dst) 0 bsize;
               dst)
-            home_bufs
+            batch
         in
         K.bwrite_all log_bufs;
         let checksum =
@@ -138,45 +153,63 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
         (* 2. checksummed header; FLUSH = commit point *)
         let hdr = K.getblk t.header_block in
         L.put_log_header (K.Buffer.data hdr)
-          { L.n; checksum; targets = Array.of_list order };
+          { L.n; checksum; targets = Array.of_list (List.map fst batch) };
         K.bwrite hdr;
         K.brelse hdr;
         if t.flush_on_commit then K.flush ();
-        (* 3. install: the pinned home buffers already hold the data. The
-           home locations are scattered, so stage them in a plugged bio
-           queue — unplug merges adjacent blocks and dispatches the runs
-           concurrently across the device's channels. *)
-        let bp = K.Bio.plug () in
-        List.iter (fun b -> K.Bio.add bp b) home_bufs;
-        K.Bio.unplug bp;
-        K.Bio.wait bp;
-        List.iter
-          (fun b ->
-            K.unpin b;
-            K.brelse b)
-          home_bufs;
+        (* 3. install the snapshot images to their scattered homes,
+           bypassing the cache (merged into contiguous commands,
+           concurrent across device channels) *)
+        K.raw_write_scatter batch;
+        (* the images are on the device: drop the stage pins taken by
+           log_write *)
+        List.iter (fun (blk, _) -> K.with_bread blk K.unpin) batch;
         if t.flush_on_commit then K.flush ();
         (* 4. clear the header; durable by the next commit's flush *)
         let hdr = K.getblk t.header_block in
         L.put_log_header (K.Buffer.data hdr)
           { L.n = 0; checksum = 0L; targets = [||] };
         K.bwrite hdr;
-        K.brelse hdr;
-        Hashtbl.reset t.staged;
-        t.order <- [];
-        t.eager_dirty <- false;
-        K.trace_counter "log:free_blocks" t.capacity
+        K.brelse hdr
       end
 
-    (* Run a commit while holding the lock logically: sets [committing],
-       drops the lock for the I/O, reacquires, wakes waiters. *)
+    (* Cut the open transaction: snapshot its images under the lock, mark
+       it committing, and release the lock for the I/O. New operations
+       join the next open transaction meanwhile; their modifications
+       cannot leak into this commit because the images were copied before
+       any of them could start. Requires [outstanding = 0] (so nobody is
+       mid-modification) and no commit in flight. Lock held on entry and
+       exit. *)
     let commit_locked t =
-      t.committing <- true;
-      K.Kmutex.unlock t.lock;
-      do_commit t;
-      K.Kmutex.lock t.lock;
-      t.committing <- false;
-      K.Kcondvar.broadcast t.cond
+      assert ((not t.committing) && t.outstanding = 0);
+      if t.order <> [] then begin
+        let seq = t.seq_open in
+        t.seq_open <- seq + 1;
+        let order = List.rev t.order in
+        (* The staged blocks are pinned, so these breads are cache hits;
+           nobody holds their sleeplocks across a lock acquisition while
+           outstanding = 0, so this cannot deadlock. *)
+        let batch =
+          List.map
+            (fun blk ->
+              K.cpu K.costs.Kernel.Cost.log_copy_per_block;
+              K.with_bread blk (fun b -> (blk, Bytes.copy (K.Buffer.data b))))
+            order
+        in
+        t.order <- [];
+        Hashtbl.reset t.staged;
+        t.eager_dirty <- false;
+        t.committing <- true;
+        K.trace_counter "log:free_blocks" t.capacity;
+        (* waiters may now start operations in the fresh open transaction *)
+        K.Kcondvar.broadcast t.cond;
+        K.Kmutex.unlock t.lock;
+        do_commit t batch;
+        K.Kmutex.lock t.lock;
+        t.seq_done <- seq;
+        t.committing <- false;
+        K.Kcondvar.broadcast t.cond
+      end
 
     let space_for t nops =
       Hashtbl.length t.staged + ((t.outstanding + nops) * max_op_blocks)
@@ -191,12 +224,16 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
       ignore eager;
       K.Kmutex.lock t.lock;
       let rec wait () =
-        if t.committing then begin
+        if t.force_waiters > 0 && not t.committing then begin
+          (* an fsync is draining the open transaction to cut a commit;
+             joining now would push the drain out indefinitely under load.
+             Once the cut happens ([committing] set) we join the fresh
+             open transaction — the group-commit fast path. *)
           K.Kcondvar.wait t.cond t.lock;
           wait ()
         end
         else if not (space_for t 1) then
-          if t.outstanding = 0 then begin
+          if t.outstanding = 0 && not t.committing then begin
             (* log pressure with no one else to commit: do it ourselves *)
             commit_locked t;
             wait ()
@@ -214,8 +251,13 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
       K.Kmutex.lock t.lock;
       t.outstanding <- t.outstanding - 1;
       if eager && t.order <> [] then t.eager_dirty <- true;
-      if t.outstanding = 0 && t.eager_dirty && t.order <> [] then
-        commit_locked t;
+      (* xv6's quiesce-point commit. If a commit is already in flight, the
+         open transaction simply keeps accumulating and commits at the
+         next quiesce, force, or pressure point. *)
+      if
+        t.outstanding = 0 && t.eager_dirty && t.order <> []
+        && not t.committing
+      then commit_locked t;
       K.Kcondvar.broadcast t.cond;
       K.Kmutex.unlock t.lock
 
@@ -229,27 +271,42 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
           end_op ~eager t;
           raise exn
 
-    (** Make everything committed so far durable (fsync / sync / upgrade).
-        Waits out in-flight operations, commits any residue, and issues a
-        barrier. *)
+    (** Make everything staged before this call durable (fsync / sync /
+        upgrade) — the group-commit path. The forcer computes the youngest
+        transaction that can hold its data; once that transaction is
+        durable it returns, whether it drove the commit itself, rode on
+        one already in flight, or found a concurrent forcer had covered it
+        (then it never touches the device). *)
     let force t =
       K.Kmutex.lock t.lock;
-      let rec wait () =
-        if t.committing || t.outstanding > 0 then begin
-          K.Kcondvar.wait t.cond t.lock;
-          wait ()
-        end
+      let target =
+        if t.order <> [] then t.seq_open
+        else if t.committing then t.seq_open - 1
+        else t.seq_done
       in
-      wait ();
-      if t.order <> [] then begin
-        commit_locked t;
-        K.Kmutex.unlock t.lock
+      if t.seq_done >= target then begin
+        K.Kmutex.unlock t.lock;
+        (* Nothing staged and nothing in flight: barrier for stray
+           volatile writes (e.g. the cleared header). *)
+        K.flush ()
       end
       else begin
-        K.Kmutex.unlock t.lock;
-        (* Nothing staged: barrier for stray volatile writes (e.g. the
-           cleared header). *)
-        K.flush ()
+        t.force_waiters <- t.force_waiters + 1;
+        let rec drive () =
+          if t.seq_done < target then
+            if t.committing || t.outstanding > 0 then begin
+              K.Kcondvar.wait t.cond t.lock;
+              drive ()
+            end
+            else begin
+              commit_locked t;
+              drive ()
+            end
+        in
+        drive ();
+        t.force_waiters <- t.force_waiters - 1;
+        if t.force_waiters = 0 then K.Kcondvar.broadcast t.cond;
+        K.Kmutex.unlock t.lock
       end
 
     (** Replay a committed-but-not-installed transaction after a crash. *)

@@ -201,6 +201,156 @@ let test_invariants_under_churn () =
       done;
       Kernel.Bcache.check_invariants bc)
 
+let test_concurrent_churn () =
+  (* Many fibers hammering a small sharded cache: getbuf must pin its
+     victim before sleeping on the sleeplock, so a buffer recycled by a
+     concurrent eviction is never returned for the wrong block. Regression
+     test for the hand-over-hand race: every bread is checked against the
+     block it asked for, and stamps written under one fiber must never
+     leak into another block. *)
+  Helpers.with_seed ~default:23 @@ fun seed ->
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create ~capacity:32 ~shards:4 machine in
+      let nfibers = 16 in
+      let done_ = Sim.Sync.Semaphore.create 0 in
+      let stamp blk = Char.chr (Char.code 'a' + (blk mod 26)) in
+      let checked_bread blk =
+        match Kernel.Bcache.bread bc blk with
+        | b ->
+            if b.Kernel.Bcache.block <> blk then
+              Alcotest.failf "bread %d returned recycled buffer for block %d"
+                blk b.Kernel.Bcache.block;
+            Some b
+        | exception Kernel.Bcache.No_buffers -> None
+      in
+      for i = 0 to nfibers - 1 do
+        Kernel.Machine.spawn machine (fun () ->
+            let rng = Sim.Rng.create (seed + (7919 * i)) in
+            for _step = 1 to 200 do
+              let blk = Sim.Rng.int rng 128 in
+              match Sim.Rng.int rng 3 with
+              | 0 -> (
+                  (* dirty write: stamp so cross-block leaks are visible *)
+                  match checked_bread blk with
+                  | Some b ->
+                      Bytes.fill b.Kernel.Bcache.data 0 4096 (stamp blk);
+                      Kernel.Bcache.mark_dirty b;
+                      Kernel.Bcache.brelse bc b
+                  | None -> ())
+              | 1 -> (
+                  (* hold across a sleep so evictions race live holders *)
+                  match checked_bread blk with
+                  | Some b ->
+                      Sim.Engine.sleep
+                        (Sim.Time.ns (1 + Sim.Rng.int rng 2000));
+                      Kernel.Bcache.brelse bc b
+                  | None -> ())
+              | _ -> (
+                  match checked_bread blk with
+                  | Some b ->
+                      let c = Bytes.get b.Kernel.Bcache.data 0 in
+                      if c <> '\000' && c <> stamp blk then
+                        Alcotest.failf "block %d holds foreign stamp %C" blk c;
+                      Kernel.Bcache.brelse bc b
+                  | None -> ())
+            done;
+            Sim.Sync.Semaphore.release done_)
+      done;
+      for _ = 1 to nfibers do
+        Sim.Sync.Semaphore.acquire done_
+      done;
+      Kernel.Bcache.check_invariants bc)
+
+(* ------------------------------------------------------------------ *)
+(* Property: the sharded cache is observationally equivalent to the
+   single-lock cache. Blocks are partitioned among fibers (fiber i owns
+   blk when blk mod nfibers = i), so each block's final content is its
+   owner's last write — deterministic regardless of interleaving — and
+   must agree between shards:1, shards:8 and a pure replay model. The
+   capacity leaves each shard at least as many buffers as fibers, so the
+   op scripts never hit No_buffers and replay identically. *)
+
+let equiv_nfibers = 8
+let equiv_nblocks = 256
+let equiv_steps = 150
+let equiv_stamp blk step = Char.chr (33 + (((blk * 7) + step) mod 90))
+
+(* One fiber's op script: the rng draws happen in fiber-sequential code,
+   so the script is a pure function of the seed — the concurrent runs and
+   the sequential model replay the same draws. *)
+let equiv_script ~seed i act =
+  let rng = Sim.Rng.create (seed + (31 * i)) in
+  for step = 1 to equiv_steps do
+    let blk = Sim.Rng.int rng equiv_nblocks in
+    let op = Sim.Rng.int rng 3 in
+    let hold = if op = 2 then 1 + Sim.Rng.int rng 500 else 0 in
+    act ~step ~blk ~op ~hold
+  done
+
+let equiv_model ~seed =
+  let expected = Array.make equiv_nblocks None in
+  for i = 0 to equiv_nfibers - 1 do
+    equiv_script ~seed i (fun ~step ~blk ~op ~hold:_ ->
+        if op = 0 && blk mod equiv_nfibers = i then
+          expected.(blk) <- Some (equiv_stamp blk step))
+  done;
+  expected
+
+let equiv_run ~seed ~shards =
+  let final = Array.make equiv_nblocks '\000' in
+  in_sim (fun machine ->
+      let bc = Kernel.Bcache.create ~capacity:64 ~shards machine in
+      let done_ = Sim.Sync.Semaphore.create 0 in
+      for i = 0 to equiv_nfibers - 1 do
+        Kernel.Machine.spawn machine (fun () ->
+            equiv_script ~seed i (fun ~step ~blk ~op ~hold ->
+                let b = Kernel.Bcache.bread bc blk in
+                if b.Kernel.Bcache.block <> blk then
+                  QCheck.Test.fail_reportf "bread %d returned block %d" blk
+                    b.Kernel.Bcache.block;
+                (if op = 0 && blk mod equiv_nfibers = i then begin
+                   Bytes.fill b.Kernel.Bcache.data 0 4096
+                     (equiv_stamp blk step);
+                   Kernel.Bcache.mark_dirty b
+                 end
+                 else if op = 2 then Sim.Engine.sleep (Sim.Time.ns hold));
+                Kernel.Bcache.brelse bc b);
+            Sim.Sync.Semaphore.release done_)
+      done;
+      for _ = 1 to equiv_nfibers do
+        Sim.Sync.Semaphore.acquire done_
+      done;
+      Kernel.Bcache.check_invariants bc;
+      for blk = 0 to equiv_nblocks - 1 do
+        let b = Kernel.Bcache.bread bc blk in
+        final.(blk) <- Bytes.get b.Kernel.Bcache.data 0;
+        Kernel.Bcache.brelse bc b
+      done);
+  final
+
+let prop_shard_equivalence =
+  QCheck.Test.make ~count:10
+    ~name:"sharded bcache == single-lock bcache under concurrent workloads"
+    QCheck.(int_bound 1_000_000)
+    (fun salt ->
+      let seed = Helpers.test_seed 0 + salt in
+      let expected = equiv_model ~seed in
+      let single = equiv_run ~seed ~shards:1 in
+      let sharded = equiv_run ~seed ~shards:8 in
+      Array.iteri
+        (fun blk c ->
+          if c <> sharded.(blk) then
+            QCheck.Test.fail_reportf
+              "block %d: single-lock %C vs sharded %C (seed %d)" blk c
+              sharded.(blk) seed;
+          match expected.(blk) with
+          | Some e when e <> c ->
+              QCheck.Test.fail_reportf "block %d: model %C vs cache %C (seed %d)"
+                blk e c seed
+          | _ -> ())
+        single;
+      true)
+
 let suite =
   [
     tc "roundtrip" `Quick test_read_write_roundtrip;
@@ -212,4 +362,6 @@ let suite =
     tc "dirty eviction writes back" `Quick test_dirty_eviction_writes_back;
     tc "sleeplock serialises" `Quick test_sleeplock_serialises_holders;
     tc "double brelse rejected" `Quick test_brelse_unlocked_rejected;
+    tc "concurrent churn across shards" `Quick test_concurrent_churn;
+    QCheck_alcotest.to_alcotest prop_shard_equivalence;
   ]

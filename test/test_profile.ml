@@ -65,6 +65,31 @@ let test_disabled_is_free () =
   Alcotest.(check (list (pair string int64))) "nothing recorded" []
     (Sim.Profile.folded p)
 
+let test_lock_wait_attribution () =
+  (* Contended-lock time is reported per "<layer>/<lock>", keyed by the
+     layer the *blocked* fiber was in, and stays out of the self-time
+     attribution — blocked time overlaps other fibers' running time, so
+     counting it would break the conservation law. *)
+  let e = Sim.Engine.create () in
+  let p = Sim.Profile.create e in
+  Sim.Profile.enable p;
+  let m = Sim.Sync.Mutex.create ~name:"biglock" () in
+  ignore
+    (Sim.Engine.spawn ~name:"holder" e (fun () ->
+         Sim.Profile.with_frame p "log" (fun () ->
+             Sim.Sync.Mutex.with_lock m (fun () -> Sim.Engine.sleep 100L))));
+  ignore
+    (Sim.Engine.spawn ~name:"waiter" e (fun () ->
+         Sim.Profile.with_frame p "fs" (fun () ->
+             Sim.Sync.Mutex.with_lock m (fun () -> Sim.Engine.sleep 10L))));
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair string int64)))
+    "blocked time keyed by the blocked fiber's layer"
+    [ ("fs/biglock", 100L) ]
+    (Sim.Profile.lock_waits p);
+  Alcotest.(check int64) "waits stay out of attributed time"
+    (Sim.Profile.elapsed p) (Sim.Profile.attributed p)
+
 (* ------------------------------------------------------------------ *)
 (* Conservation on the real stacks.                                    *)
 
@@ -163,6 +188,7 @@ let suite =
     tc "frames: idle attribution" `Quick test_idle_attribution;
     tc "frames: disabled profiler records nothing" `Quick
       test_disabled_is_free;
+    tc "lock-wait attribution" `Quick test_lock_wait_attribution;
     tc "conservation: xv6 (BentoFS)" `Quick test_conservation_xv6;
     tc "conservation: fuse + crossing count" `Quick test_conservation_fuse;
     tc "conservation: ext4 (jbd2)" `Quick test_conservation_ext4;

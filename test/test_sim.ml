@@ -85,6 +85,43 @@ let test_mutex_mutual_exclusion () =
   Alcotest.(check int) "never two inside" 1 !max_inside;
   Alcotest.(check int) "contended count" 9 (Sim.Sync.Mutex.contended m)
 
+let test_mutex_fifo_fairness () =
+  (* FIFO handoff must rotate the lock round-robin through contending
+     fibers — no barging, no starvation — and bound every single wait by
+     the other fibers' combined hold time. *)
+  let e = Sim.Engine.create () in
+  let m = Sim.Sync.Mutex.create ~name:"fair" () in
+  let n = 8 and rounds = 20 in
+  let hold = 1_000L in
+  let grants = ref [] in
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.Engine.spawn e (fun () ->
+           for _ = 1 to rounds do
+             Sim.Sync.Mutex.lock m;
+             grants := i :: !grants;
+             Sim.Engine.sleep hold;
+             Sim.Sync.Mutex.unlock m
+           done))
+  done;
+  Sim.Engine.run e;
+  let grants = Array.of_list (List.rev !grants) in
+  Alcotest.(check int) "every round granted" (n * rounds)
+    (Array.length grants);
+  (* strict round-robin: after the first lap the grant order repeats *)
+  for k = n to Array.length grants - 1 do
+    if grants.(k) <> grants.(k - n) then
+      Alcotest.failf "grant %d went to fiber %d, expected %d (barging)" k
+        grants.(k)
+        grants.(k - n)
+  done;
+  Alcotest.(check bool) "waits were measured" true
+    (Int64.compare (Sim.Sync.Mutex.wait_ns m) 0L > 0);
+  (* the longest wait is exactly the other fibers' holds: (n-1) x hold *)
+  Alcotest.(check int64) "max wait bounded by (n-1) holds"
+    (Int64.mul (Int64.of_int (n - 1)) hold)
+    (Sim.Sync.Mutex.max_wait_ns m)
+
 let test_rwlock_readers_parallel_writers_exclusive () =
   let e = Sim.Engine.create () in
   let rw = Sim.Sync.Rwlock.create () in
@@ -305,6 +342,7 @@ let suite =
     tc "fiber failure propagates" `Quick test_fiber_failure_propagates;
     tc "deadlock detection" `Quick test_deadlock_detected;
     tc "mutex exclusion" `Quick test_mutex_mutual_exclusion;
+    tc "mutex fifo fairness" `Quick test_mutex_fifo_fairness;
     tc "rwlock semantics" `Quick test_rwlock_readers_parallel_writers_exclusive;
     tc "semaphore bounds" `Quick test_semaphore_bounds;
     tc "resource queueing" `Quick test_resource_queueing;

@@ -124,6 +124,51 @@ let test_background_flusher_writes_back () =
       ok (Kernel.Os.close os fd);
       Bento.Bentofs.unmount vfs h)
 
+let test_dirty_accounting_under_races () =
+  (* Regression: a write racing writepages (page re-dirtied while writeback
+     clears it) or two readers faulting the same missing page used to
+     double-count the global cached/dirty totals. With the debug oracle on,
+     every writeback and throttle crossing recomputes the totals from the
+     page tables and raises on drift; the final checks assert the counters
+     match the tables exactly and drain to zero after sync. *)
+  Helpers.with_seed ~default:29 @@ fun seed ->
+  Kernel.Vfs.set_debug_accounting true;
+  Fun.protect
+    ~finally:(fun () -> Kernel.Vfs.set_debug_accounting false)
+    (fun () ->
+      with_xv6 (fun machine os vfs _h ->
+          let npages = 64 in
+          ok (Kernel.Os.write_file os "/shared" (payload (npages * 4096)));
+          ok (Kernel.Os.sync os);
+          (* cold cache so concurrent readers fault the same pages *)
+          ok (Kernel.Vfs.drop_caches vfs);
+          let nfibers = 8 in
+          let done_ = Sim.Sync.Semaphore.create 0 in
+          for i = 0 to nfibers - 1 do
+            Kernel.Machine.spawn machine (fun () ->
+                let rng = Sim.Rng.create (seed + (101 * i)) in
+                let fd = ok (Kernel.Os.open_ os "/shared" Kernel.Os.rdwr) in
+                for _ = 1 to 60 do
+                  let pos = Sim.Rng.int rng npages * 4096 in
+                  match Sim.Rng.int rng 4 with
+                  | 0 ->
+                      ignore
+                        (ok (Kernel.Os.pwrite os fd ~pos (payload 4096)))
+                  | 1 -> ok (Kernel.Os.fsync os fd)
+                  | _ -> ignore (ok (Kernel.Os.pread os fd ~pos ~len:4096))
+                done;
+                ok (Kernel.Os.close os fd);
+                Sim.Sync.Semaphore.release done_)
+          done;
+          for _ = 1 to nfibers do
+            Sim.Sync.Semaphore.acquire done_
+          done;
+          Kernel.Vfs.check_accounting vfs;
+          ok (Kernel.Os.sync os);
+          Kernel.Vfs.check_accounting vfs;
+          Alcotest.(check int) "dirty counter drains to zero" 0
+            (Kernel.Vfs.dirty_pages vfs)))
+
 let suite =
   [
     tc "page cache absorbs reads" `Quick test_page_cache_hit_avoids_device;
@@ -132,4 +177,5 @@ let suite =
     tc "page reclaim under pressure" `Quick test_page_reclaim_under_pressure;
     tc "runs_of_indexes" `Quick test_runs_of_indexes;
     tc "background flusher" `Quick test_background_flusher_writes_back;
+    tc "dirty accounting under races" `Quick test_dirty_accounting_under_races;
   ]
