@@ -3,8 +3,9 @@
     and an online-upgrade measurement, on the simulated machine.
 
       main.exe               — run everything
-      main.exe fig2|fig3|fig4|table1..table6|readahead|scaling|ablate|upgrade
+      main.exe fig2|fig3|fig4|table1..table6|readahead|scaling|server|ablate|upgrade
       main.exe scaling --scaling-fibers 1,8,32 — throughput vs fiber count
+      main.exe server --server-clients 10,100,1000 — multi-tenant file server
       main.exe bechamel      — wall-clock microbenchmarks of hot structures
       main.exe all --duration 2.0 --untar-files 70000
       main.exe fig2 --json out.json     — machine-readable results
@@ -514,6 +515,56 @@ let scaling () =
   Targets.profile_enabled := saved_profile
 
 (* ------------------------------------------------------------------ *)
+(* Server: the multi-tenant file server. Client fleets split across QoS
+   classes (gold weight 4 / bronze weight 1) drive the wire protocol;
+   the rows that matter are per tenant class — throughput and p99 at
+   10/100/1000 concurrent client sessions.                              *)
+
+let server_clients = ref [ 10; 100; 1000 ]
+
+let server_section () =
+  header "Server: multi-tenant fleets, per-tenant-class throughput and p99";
+  let counts = List.sort_uniq compare !server_clients in
+  let show config (r : Workloads.Bench_result.t) =
+    let p q =
+      match Workloads.Bench_result.lat_percentile r q with
+      | Some v -> Int64.to_float v /. 1e3
+      | None -> 0.
+    in
+    pf "%-18s %10d %12.0f %10.1f %12.1f %12.1f\n%!" config r.ops
+      (Workloads.Bench_result.ops_per_sec r)
+      (Workloads.Bench_result.mbps r) (p 50.) (p 99.)
+  in
+  pf "%-18s %10s %12s %10s %12s %12s\n" "config" "ops" "ops/s" "MB/s"
+    "p50us" "p99us";
+  List.iter
+    (fun n ->
+      let rs =
+        Targets.run Targets.Bento_fs (fun _m os ->
+            Workloads.Server_fleet.webserver_fleet os ~nclients:n
+              ~duration:(dur ()) ~seed:!seed ())
+      in
+      List.iter
+        (fun (tenant, r) ->
+          let config = Printf.sprintf "web-%dc-%s" n tenant in
+          record ~section:"server" ~system:Targets.Bento_fs ~config r;
+          show config r)
+        rs)
+    counts;
+  let ci_clients = 40 in
+  let rs =
+    Targets.run Targets.Bento_fs (fun _m os ->
+        Workloads.Server_fleet.ci_fleet os ~nclients:ci_clients
+          ~duration:(dur ()) ~seed:!seed ())
+  in
+  List.iter
+    (fun (tenant, r) ->
+      let config = Printf.sprintf "ci-%dc-%s" ci_clients tenant in
+      record ~section:"server" ~system:Targets.Bento_fs ~config r;
+      show config r)
+    rs
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                   *)
 
 let run_bento_wb_batch ~wb_batch f =
@@ -724,6 +775,7 @@ let all () =
   table6 ();
   readahead_section ();
   scaling ();
+  server_section ();
   ablate ();
   upgrade ();
   bechamel ()
@@ -846,6 +898,10 @@ let () =
         scaling_fibers :=
           List.map int_of_string (String.split_on_char ',' v);
         parse rest
+    | "--server-clients" :: v :: rest ->
+        server_clients :=
+          List.map int_of_string (String.split_on_char ',' v);
+        parse rest
     | "--json" :: v :: rest ->
         json_path := Some v;
         parse rest
@@ -881,6 +937,7 @@ let () =
     | "table6" -> table6 ()
     | "readahead" -> readahead_section ()
     | "scaling" -> scaling ()
+    | "server" -> server_section ()
     | "ablate" -> ablate ()
     | "upgrade" -> upgrade ()
     | "bechamel" -> bechamel ()
@@ -888,7 +945,7 @@ let () =
     | s ->
         Printf.eprintf
           "unknown section %S (use table1..table6, fig2..fig4, readahead, \
-           scaling, ablate, upgrade, bechamel, all)\n"
+           scaling, server, ablate, upgrade, bechamel, all)\n"
           s;
         exit 2
   in

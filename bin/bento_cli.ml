@@ -204,7 +204,17 @@ let check_cmd =
       & info [ "dump-trace" ]
           ~doc:"Print the generated op trace (with indices) and exit")
   in
-  let run seed ops points sample fs inject dump =
+  let server_sessions =
+    Arg.(
+      value & opt int 0
+      & info [ "server-sessions" ]
+          ~doc:
+            "Also crash the stack under the multi-tenant file server with N \
+             client sessions holding dirty write-lease caches mid-commit, \
+             and verify every replay against the per-session oracle \
+             (0 = skip; xv6 stack)")
+  in
+  let run seed ops points sample fs inject dump server_sessions =
     let seed =
       match seed with
       | Some s -> s
@@ -245,9 +255,18 @@ let check_cmd =
       Check.Checker.run ~inject_bug:inject ~mode ~seed ~ops ~stacks ()
     in
     Format.printf "%a@?" Check.Checker.pp_report report;
-    if not (Check.Checker.report_ok report) then begin
-      Printf.printf "FAIL: reproduce with: bento_cli check --seed %d --ops %d --fs %s --crash-points %s\n"
-        seed ops fs points;
+    let server_ok =
+      if server_sessions <= 0 then true
+      else begin
+        let r = Check.Server_crash.run ~sessions:server_sessions ~seed () in
+        Format.printf "%a@?" Check.Server_crash.pp_report r;
+        Check.Server_crash.report_ok r
+      end
+    in
+    if not (Check.Checker.report_ok report && server_ok) then begin
+      Printf.printf
+        "FAIL: reproduce with: bento_cli check --seed %d --ops %d --fs %s --crash-points %s --server-sessions %d\n"
+        seed ops fs points server_sessions;
       exit 1
     end
     else Printf.printf "OK: no oracle violations, no divergences (seed %d)\n" seed
@@ -257,7 +276,9 @@ let check_cmd =
        ~doc:
          "Crash-consistency and differential checker: one seeded workload, \
           every stack, every crash point")
-    Term.(const run $ seed $ ops $ points $ sample $ fs $ inject $ dump)
+    Term.(
+      const run $ seed $ ops $ points $ sample $ fs $ inject $ dump
+      $ server_sessions)
 
 (* ------------------------------------------------------------------ *)
 

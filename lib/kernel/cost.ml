@@ -26,12 +26,16 @@ type t = {
       (** cost of fsync()ing the whole disk file per GB of device size —
           the "no way to sync part of a file" penalty of the FUSE baseline *)
   upgrade_quiesce : int64;  (** bento online-upgrade freeze/thaw overhead *)
+  server_request : int64;
+      (** per-message overhead of the file-server wire: syscall pair plus
+          loopback network-stack work on one side of the connection *)
+  server_copy_bw : float;  (** bytes/sec copying server request payloads *)
 }
 
 (* Bump whenever the constants below (or the code paths that charge them)
    change in a way that shifts absolute numbers: bench-diff refuses to
    compare runs recorded under different model versions. *)
-let model_version = "cost-2026.08"
+let model_version = "cost-2026.08b"
 
 let default =
   {
@@ -50,6 +54,8 @@ let default =
     odirect_op = 320L;
     odirect_fsync_per_gb = 38_000L;
     upgrade_quiesce = 50_000L;
+    server_request = 3_000L;
+    server_copy_bw = 8.0e9;
   }
 
 (** Time to copy [bytes] at [bw] bytes/sec. *)

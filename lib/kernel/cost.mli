@@ -20,6 +20,8 @@ type t = {
   odirect_op : int64;
   odirect_fsync_per_gb : int64;
   upgrade_quiesce : int64;
+  server_request : int64;
+  server_copy_bw : float;
 }
 
 val model_version : string

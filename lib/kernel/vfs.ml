@@ -165,9 +165,18 @@ type t = {
   mutable ra_enabled : bool;  (** ablation switch; on by default *)
   ra_issued : Sim.Stats.Counter.t;  (** pages prefetched (machine-wide) *)
   ra_hit : Sim.Stats.Counter.t;  (** page hits satisfied by readahead *)
+  mutable modify_hook : (int -> unit) option;
+      (** lease hook: called with the inode number after every successful
+          data mutation (write, truncate) — the file server uses it to bump
+          change attributes and break client leases when the file system is
+          written beneath it *)
 }
 
 let page_size t = t.page_size
+let set_modify_hook t h = t.modify_hook <- h
+
+let notify_modify t ino =
+  match t.modify_hook with Some f -> f ino | None -> ()
 let machine t = t.machine
 let ops t = t.ops
 let stats t = t.stats
@@ -459,6 +468,7 @@ let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
       ra_enabled = true;
       ra_issued = Machine.counter machine "readahead_issued";
       ra_hit = Machine.counter machine "readahead_hit";
+      modify_hook = None;
     }
   in
   if background then start_flusher t;
@@ -707,7 +717,11 @@ let write t v ~pos data : int res =
           | Error _ -> ());
           r)
     in
-    (match r with Ok _ -> balance_dirty t v | Error _ -> ());
+    (match r with
+    | Ok _ ->
+        balance_dirty t v;
+        notify_modify t v.v_ino
+    | Error _ -> ());
     r
 
 (** fsync: push this file's dirty pages into the fs, then ask the fs to
@@ -727,8 +741,9 @@ let fsync t v : unit res =
 let truncate t v size : unit res =
   if size < 0 then Error Errno.EINVAL
   else if size > t.ops.max_file_size then Error Errno.EFBIG
-  else
-    Sim.Sync.Rwlock.with_write v.v_rw (fun () ->
+  else begin
+    let r =
+      Sim.Sync.Rwlock.with_write v.v_rw (fun () ->
         (* Drop whole pages beyond the new size; zero the tail of the last
            partial page. *)
         let first_dead = (size + t.page_size - 1) / t.page_size in
@@ -759,6 +774,10 @@ let truncate t v size : unit res =
             v.v_size <- size;
             Ok ()
         | Error _ as e -> e)
+    in
+    (match r with Ok () -> notify_modify t v.v_ino | Error _ -> ());
+    r
+  end
 
 (* Drop all cached pages of a vnode (unlink of a closed file, eviction). *)
 let invalidate_pages t v =

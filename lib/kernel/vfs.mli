@@ -164,6 +164,13 @@ val set_readahead : t -> bool -> unit
 (** Enable/disable asynchronous readahead (on by default) — the ablation
     switch for the seqread-cold benchmark. *)
 
+val set_modify_hook : t -> (int -> unit) option -> unit
+(** Lease hook: register a callback invoked with the inode number after
+    every successful data mutation ({!write}, {!truncate}). The file server
+    uses it to bump its change attribute and break client leases when the
+    file system is modified beneath it. The callback runs on the mutating
+    fiber with no VFS locks held; it must not block. *)
+
 (** {1 Exposed for tests} *)
 
 val runs_of_indexes : batch:int -> int list -> int list list

@@ -1,0 +1,376 @@
+(** File-server client: RPC plumbing plus the attribute and data caches
+    that leases make safe.
+
+    While the client holds a lease on an inode it may answer [getattr]
+    and [read] from its cache, and under a write lease it buffers writes
+    locally (a dirty extent flushed on [commit], [close_] or recall).
+    When the server recalls the lease — some other session wants
+    conflicting access — a recall fiber flushes the dirty extent with a
+    stable write, drops the cache, and answers [Lease_return]; only then
+    does the server admit the conflicting op, so no other client can ever
+    observe pre-flush state, and this client stops trusting its cache the
+    moment the lease is gone. *)
+
+module Errno = Kernel.Errno
+module Ivar = Sim.Sync.Ivar
+
+type cfile = {
+  f_ino : int;
+  mutable f_lease : Proto.lease;
+  mutable f_attr : Proto.attr;  (** local view (size includes dirty bytes) *)
+  mutable f_srv_size : int;  (** size last confirmed by the server *)
+  mutable f_data : Bytes.t;
+  mutable f_have : int;  (** [0, f_have) of [f_data] mirrors the server *)
+  mutable f_dirty_lo : int;
+  mutable f_dirty_hi : int;  (** dirty extent [lo, hi); lo >= hi = clean *)
+}
+
+type t = {
+  cl_machine : Kernel.Machine.t;
+  cl_conn : Wire.conn;
+  cl_tenant : string;
+  mutable cl_next_xid : int;
+  cl_pending : (int, Proto.reply Ivar.t) Hashtbl.t;
+  cl_files : (int, cfile) Hashtbl.t;
+  mutable cl_root : Proto.attr option;
+  cl_hits : Sim.Stats.Counter.t;
+  cl_misses : Sim.Stats.Counter.t;
+  cl_local_writes : Sim.Stats.Counter.t;
+}
+
+let tenant t = t.cl_tenant
+let root t = match t.cl_root with Some a -> a | None -> invalid_arg "no root"
+
+let rpc t (req : Proto.request) : Proto.reply =
+  let xid = t.cl_next_xid in
+  t.cl_next_xid <- xid + 1;
+  let iv = Ivar.create () in
+  Hashtbl.replace t.cl_pending xid iv;
+  (try Wire.send_request t.cl_conn (Proto.encode_request ~xid req)
+   with Wire.Connection_closed ->
+     if not (Ivar.is_full iv) then Ivar.fill iv (Proto.R_err Errno.EIO));
+  let r = Ivar.read iv in
+  Hashtbl.remove t.cl_pending xid;
+  r
+
+(* --- cache bookkeeping -------------------------------------------- *)
+
+let dirty f = f.f_dirty_hi > f.f_dirty_lo
+
+let ensure_cap f n =
+  if Bytes.length f.f_data < n then begin
+    let nd = Bytes.make (max n ((2 * Bytes.length f.f_data) + 4096)) '\000' in
+    Bytes.blit f.f_data 0 nd 0 (Bytes.length f.f_data);
+    f.f_data <- nd
+  end
+
+let note_attr f (a : Proto.attr) =
+  f.f_srv_size <- a.size;
+  if f.f_lease = Proto.L_write then
+    f.f_attr <- { a with size = max a.size f.f_attr.size }
+  else f.f_attr <- a
+
+let drop_cache f =
+  f.f_have <- 0;
+  f.f_dirty_lo <- 0;
+  f.f_dirty_hi <- 0
+
+let fresh_cfile ino (a : Proto.attr) lease =
+  {
+    f_ino = ino;
+    f_lease = lease;
+    f_attr = a;
+    f_srv_size = a.size;
+    f_data = Bytes.create 0;
+    f_have = 0;
+    f_dirty_lo = 0;
+    f_dirty_hi = 0;
+  }
+
+(* [lo, hi) readable from cache? The valid region is the server-backed
+   prefix [0, f_have) plus the dirty extent. *)
+let covered f lo hi =
+  let contig =
+    if f.f_dirty_lo <= f.f_have && f.f_dirty_hi > f.f_have then f.f_dirty_hi
+    else f.f_have
+  in
+  hi <= contig || (lo >= f.f_dirty_lo && hi <= f.f_dirty_hi)
+
+let flush_dirty t f =
+  if dirty f then begin
+    let lo = f.f_dirty_lo and hi = f.f_dirty_hi in
+    f.f_dirty_lo <- 0;
+    f.f_dirty_hi <- 0;
+    let data = Bytes.sub f.f_data lo (hi - lo) in
+    match rpc t (Proto.Write { ino = f.f_ino; off = lo; data; stable = true }) with
+    | Proto.R_write { wattr; _ } ->
+        note_attr f wattr;
+        (* the flushed extent is now server-backed *)
+        if lo <= f.f_have then f.f_have <- max f.f_have hi;
+        Ok ()
+    | Proto.R_err e -> Error e
+    | _ -> Error Errno.EIO
+  end
+  else Ok ()
+
+(* --- recall handling ------------------------------------------------ *)
+
+let handle_recall t ino =
+  (match Hashtbl.find_opt t.cl_files ino with
+  | None -> ()
+  | Some f ->
+      (* Stop trusting the cache first, then flush, then return. *)
+      f.f_lease <- Proto.L_none;
+      ignore (flush_dirty t f);
+      drop_cache f);
+  ignore (rpc t (Proto.Lease_return { ino }))
+
+let rec recv_loop t =
+  match Wire.recv_smsg t.cl_conn with
+  | None ->
+      Hashtbl.iter
+        (fun _ iv ->
+          if not (Ivar.is_full iv) then Ivar.fill iv (Proto.R_err Errno.EIO))
+        t.cl_pending
+  | Some m ->
+      (match Proto.decode_smsg m with
+      | Error _ -> ()
+      | Ok (Proto.Reply { xid; reply }) -> (
+          match Hashtbl.find_opt t.cl_pending xid with
+          | Some iv when not (Ivar.is_full iv) -> Ivar.fill iv reply
+          | _ -> ())
+      | Ok (Proto.Recall { ino }) ->
+          (* A recall needs its own fiber: flushing sends RPCs whose
+             replies arrive on the very channel this loop drains. *)
+          Kernel.Machine.spawn ~name:"client-recall" t.cl_machine (fun () ->
+              handle_recall t ino));
+      recv_loop t
+
+(* --- session --------------------------------------------------------- *)
+
+(** Connect and attach as [tenant]. Must run inside a simulation fiber. *)
+let attach machine listener ~tenant : (t, Errno.t) result =
+  let conn = Wire.connect listener in
+  let t =
+    {
+      cl_machine = machine;
+      cl_conn = conn;
+      cl_tenant = tenant;
+      cl_next_xid = 1;
+      cl_pending = Hashtbl.create 16;
+      cl_files = Hashtbl.create 16;
+      cl_root = None;
+      cl_hits = Kernel.Machine.counter machine "client_cache_hits";
+      cl_misses = Kernel.Machine.counter machine "client_cache_misses";
+      cl_local_writes = Kernel.Machine.counter machine "client_local_writes";
+    }
+  in
+  Kernel.Machine.spawn ~name:"client-recv" machine (fun () -> recv_loop t);
+  match rpc t (Proto.Attach { tenant }) with
+  | Proto.R_attr a ->
+      t.cl_root <- Some a;
+      Ok t
+  | r ->
+      Wire.close conn;
+      (match r with Proto.R_err e -> Error e | _ -> Error Errno.EIO)
+
+(** Flush nothing, just leave: callers [close_] files first. *)
+let detach t =
+  (match rpc t Proto.Detach with _ -> ());
+  Wire.close t.cl_conn
+
+(* --- namespace ops (always remote) ---------------------------------- *)
+
+let expect_attr = function
+  | Proto.R_attr a -> Ok a
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+let lookup t ~dir ~name = expect_attr (rpc t (Proto.Lookup { dir; name }))
+let mkdir t ~dir ~name = expect_attr (rpc t (Proto.Mkdir { dir; name }))
+
+let readdir t ino =
+  match rpc t (Proto.Readdir { ino }) with
+  | Proto.R_dirents des -> Ok des
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+let unlink t ~dir ~name =
+  match rpc t (Proto.Unlink { dir; name }) with
+  | Proto.R_ok -> Ok ()
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+(* --- files ----------------------------------------------------------- *)
+
+let register_open t ino (oattr : Proto.attr) olease =
+  (match Hashtbl.find_opt t.cl_files ino with
+  | Some f ->
+      (* Cache survives re-open only if nothing changed server-side. *)
+      if f.f_attr.change <> oattr.change then drop_cache f;
+      f.f_lease <- olease;
+      f.f_attr <- oattr;
+      f.f_srv_size <- oattr.size
+  | None -> Hashtbl.replace t.cl_files ino (fresh_cfile ino oattr olease));
+  oattr
+
+let open_ t ino ~write : (Proto.attr, Errno.t) result =
+  match rpc t (Proto.Open { ino; write }) with
+  | Proto.R_open { oattr; olease } -> Ok (register_open t ino oattr olease)
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+let create t ~dir ~name ~write : (Proto.attr, Errno.t) result =
+  match rpc t (Proto.Create { dir; name; write }) with
+  | Proto.R_open { oattr; olease } ->
+      Ok (register_open t oattr.ino oattr olease)
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+let getattr t ino : (Proto.attr, Errno.t) result =
+  match Hashtbl.find_opt t.cl_files ino with
+  | Some f when f.f_lease <> Proto.L_none ->
+      Sim.Stats.Counter.incr t.cl_hits;
+      Ok f.f_attr
+  | cf -> (
+      Sim.Stats.Counter.incr t.cl_misses;
+      match rpc t (Proto.Getattr { ino }) with
+      | Proto.R_attr a ->
+          (match cf with Some f -> note_attr f a | None -> ());
+          Ok a
+      | Proto.R_err e -> Error e
+      | _ -> Error Errno.EIO)
+
+let remote_read t ino ~off ~len =
+  match rpc t (Proto.Read { ino; off; len }) with
+  | Proto.R_read { rdata; rattr } -> Ok (rdata, rattr)
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+let read t ino ~off ~len : (Bytes.t, Errno.t) result =
+  match Hashtbl.find_opt t.cl_files ino with
+  | Some f when f.f_lease <> Proto.L_none ->
+      let size = f.f_attr.size in
+      let off = min off size in
+      let len_eff = max 0 (min len (size - off)) in
+      let hi = off + len_eff in
+      if covered f off hi then begin
+        Sim.Stats.Counter.incr t.cl_hits;
+        Ok (Bytes.sub f.f_data off len_eff)
+      end
+      else begin
+        Sim.Stats.Counter.incr t.cl_misses;
+        match remote_read t ino ~off ~len with
+        | Error e -> Error e
+        | Ok (rdata, rattr) ->
+            note_attr f rattr;
+            let n = Bytes.length rdata in
+            (* Absorb into the prefix cache — without clobbering dirty
+               bytes, which are newer than what the server sent. *)
+            if f.f_lease <> Proto.L_none && off <= f.f_have && n > 0 then begin
+              ensure_cap f (off + n);
+              let dl = f.f_dirty_lo and dh = f.f_dirty_hi in
+              let saved =
+                if dirty f then Bytes.sub f.f_data dl (dh - dl)
+                else Bytes.empty
+              in
+              Bytes.blit rdata 0 f.f_data off n;
+              if dirty f then Bytes.blit saved 0 f.f_data dl (dh - dl);
+              f.f_have <- max f.f_have (off + n)
+            end;
+            Ok rdata
+      end
+  | _ -> (
+      Sim.Stats.Counter.incr t.cl_misses;
+      match remote_read t ino ~off ~len with
+      | Ok (rdata, _) -> Ok rdata
+      | Error e -> Error e)
+
+(* Is it safe to grow the dirty extent to swallow the gap between it and
+   a new write at [off, off+n)? Only if the gap bytes we would flush are
+   known-correct: either server-backed cache, or past the server's EOF
+   (zeros, exactly what a hole would read back as). *)
+let merge_safe f off n =
+  if not (dirty f) then true
+  else if off <= f.f_dirty_hi && off + n >= f.f_dirty_lo then true
+  else
+    let glo, ghi =
+      if off >= f.f_dirty_hi then (f.f_dirty_hi, off)
+      else (off + n, f.f_dirty_lo)
+    in
+    ghi <= f.f_have || glo >= f.f_srv_size
+
+let write t ino ~off (data : Bytes.t) : (int, Errno.t) result =
+  let n = Bytes.length data in
+  match Hashtbl.find_opt t.cl_files ino with
+  | Some f when f.f_lease = Proto.L_write ->
+      let buffer () =
+        ensure_cap f (off + n);
+        Bytes.blit data 0 f.f_data off n;
+        if dirty f then begin
+          f.f_dirty_lo <- min f.f_dirty_lo off;
+          f.f_dirty_hi <- max f.f_dirty_hi (off + n)
+        end
+        else begin
+          f.f_dirty_lo <- off;
+          f.f_dirty_hi <- off + n
+        end;
+        if off + n > f.f_attr.size then
+          f.f_attr <- { f.f_attr with size = off + n };
+        Sim.Stats.Counter.incr t.cl_local_writes;
+        Ok n
+      in
+      if merge_safe f off n then buffer ()
+      else begin
+        match flush_dirty t f with Error e -> Error e | Ok () -> buffer ()
+      end
+  | cf -> (
+      match rpc t (Proto.Write { ino; off; data; stable = false }) with
+      | Proto.R_write { count; wattr } ->
+          (match cf with Some f -> note_attr f wattr | None -> ());
+          Ok count
+      | Proto.R_err e -> Error e
+      | _ -> Error Errno.EIO)
+
+(** Flush this client's buffered writes and make the file durable. *)
+let commit t ino : (unit, Errno.t) result =
+  let flushed =
+    match Hashtbl.find_opt t.cl_files ino with
+    | Some f -> flush_dirty t f
+    | None -> Ok ()
+  in
+  match flushed with
+  | Error e -> Error e
+  | Ok () -> (
+      match rpc t (Proto.Commit { ino }) with
+      | Proto.R_ok -> Ok ()
+      | Proto.R_err e -> Error e
+      | _ -> Error Errno.EIO)
+
+(** Flush, give the lease back, forget the file. *)
+let close_ t ino : (unit, Errno.t) result =
+  match Hashtbl.find_opt t.cl_files ino with
+  | None -> Ok ()
+  | Some f -> (
+      let flushed = flush_dirty t f in
+      f.f_lease <- Proto.L_none;
+      Hashtbl.remove t.cl_files ino;
+      match (flushed, rpc t (Proto.Release { ino = f.f_ino })) with
+      | Error e, _ -> Error e
+      | Ok (), (Proto.R_ok | Proto.R_err _) -> Ok ()
+      | Ok (), _ -> Ok ())
+
+(** {1 Exposed for tests} *)
+
+let lease t ino =
+  match Hashtbl.find_opt t.cl_files ino with
+  | Some f -> f.f_lease
+  | None -> Proto.L_none
+
+let cached_size t ino =
+  match Hashtbl.find_opt t.cl_files ino with
+  | Some f -> Some f.f_attr.size
+  | None -> None
+
+(** Inject a raw frame — used by the garbage-fuzz test. *)
+let send_raw t bytes = Wire.send_request t.cl_conn bytes

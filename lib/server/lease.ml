@@ -1,0 +1,227 @@
+(** Server-side lease (delegation) table, the coherence heart of the
+    server: a client may serve reads (and buffer writes) from its local
+    cache only while it holds a lease on the inode, and the server admits
+    no conflicting access until every conflicting lease has been recalled
+    and returned — so a stale client cache is impossible by construction.
+
+    Grants per inode:
+    - any number of read leases may coexist;
+    - a write lease is exclusive against every other session.
+
+    Two flavours of holding:
+    - *durable* holds back an [Open]/[Create] grant: the client caches
+      until the server recalls (callback over the wire; the client flushes
+      dirty data and answers [Lease_return]) or the client releases;
+    - *transient* pins taken around a single server-side operation, so an
+      in-flight conflicting op also blocks a new grant. Transient pins are
+      never recalled — they drain by themselves.
+
+    A session's own pins and durable lease never conflict with each other,
+    which is what lets a client flush dirty writes *during* the recall of
+    the very lease that made them dirty. *)
+
+type kind = Read | Write
+
+type holder = {
+  h_session : int;
+  mutable h_kind : kind;
+  mutable h_pins : int;  (** in-flight ops by this session *)
+  mutable h_durable : bool;  (** client-visible grant *)
+  mutable h_recalled : bool;  (** recall sent, waiting for Lease_return *)
+  mutable h_ready : bool;
+      (** the grant's reply has been put on the wire. A recall enqueued
+          before the granting [R_open] would be processed first by the
+          client — acking a lease it does not know it holds — so recalls
+          wait for readiness (see {!grant_ready}). *)
+}
+
+type entry = { mutable holders : holder list }
+
+type t = {
+  mu : Sim.Sync.Mutex.t;
+  cv : Sim.Sync.Condvar.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable recall : session:int -> ino:int -> unit;
+      (** wired to the server's recall callback after construction *)
+  recalls : Sim.Stats.Counter.t;
+}
+
+let create machine =
+  {
+    mu = Sim.Sync.Mutex.create ~name:"lease" ();
+    cv = Sim.Sync.Condvar.create ();
+    entries = Hashtbl.create 256;
+    recall = (fun ~session:_ ~ino:_ -> ());
+    recalls = Kernel.Machine.counter machine "server_recalls";
+  }
+
+let set_recall t f = t.recall <- f
+
+let entry_of t ino =
+  match Hashtbl.find_opt t.entries ino with
+  | Some e -> e
+  | None ->
+      let e = { holders = [] } in
+      Hashtbl.replace t.entries ino e;
+      e
+
+let holder_gone t ino e h =
+  if h.h_pins = 0 && not h.h_durable then begin
+    e.holders <- List.filter (fun x -> x != h) e.holders;
+    if e.holders = [] then Hashtbl.remove t.entries ino
+  end
+
+(* Does [h] (held by another session) conflict with a [kind] acquisition? *)
+let conflicts kind h =
+  match kind with Read -> h.h_kind = Write | Write -> true
+
+(** Pin [ino] for one operation by [session], waiting out (and recalling)
+    conflicting leases. If [durable] the pin also grants — or upgrades
+    to — a client-visible lease of the same kind. Returns the granted
+    durable kind (the acquisition kind when [durable]). *)
+let acquire t ~session ~ino ?(durable = false) kind =
+  Sim.Sync.Mutex.lock t.mu;
+  let rec try_acquire () =
+    let e = entry_of t ino in
+    let mine =
+      List.find_opt (fun h -> h.h_session = session) e.holders
+    in
+    let others = List.filter (fun h -> h.h_session <> session) e.holders in
+    let blocking = List.filter (conflicts kind) others in
+    (* A durable re-grant must not slip in while our own previous grant
+       has a recall outstanding: the in-flight [Lease_return] would land
+       after the re-grant and silently revoke it, leaving the client
+       caching under a lease the server no longer tracks. Wait for the
+       return to complete first. Transient pins stay exempt — the flush
+       that answers the recall needs them. *)
+    let own_recall_pending =
+      durable
+      && match mine with Some h -> h.h_recalled | None -> false
+    in
+    if blocking = [] && not own_recall_pending then begin
+      (match mine with
+      | Some h ->
+          h.h_pins <- h.h_pins + 1;
+          if kind = Write then h.h_kind <- Write;
+          if durable then begin
+            h.h_durable <- true;
+            h.h_ready <- false
+          end
+      | None ->
+          e.holders <-
+            {
+              h_session = session;
+              h_kind = kind;
+              h_pins = 1;
+              h_durable = durable;
+              h_recalled = false;
+              h_ready = not durable;
+            }
+            :: e.holders)
+    end
+    else begin
+      (* Break durable conflicting leases; transient pins just drain. A
+         grant whose reply is not yet on the wire cannot be recalled —
+         {!grant_ready} will broadcast once it is. *)
+      List.iter
+        (fun h ->
+          if h.h_durable && h.h_ready && not h.h_recalled then begin
+            h.h_recalled <- true;
+            Sim.Stats.Counter.incr t.recalls;
+            t.recall ~session:h.h_session ~ino
+          end)
+        blocking;
+      Sim.Sync.Condvar.wait t.cv t.mu;
+      try_acquire ()
+    end
+  in
+  try_acquire ();
+  Sim.Sync.Mutex.unlock t.mu
+
+(** The reply carrying this session's durable grant has been enqueued on
+    the connection: the lease may be recalled from now on. *)
+let grant_ready t ~session ~ino =
+  Sim.Sync.Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.entries ino with
+  | None -> ()
+  | Some e -> (
+      match List.find_opt (fun h -> h.h_session = session) e.holders with
+      | Some h -> h.h_ready <- true
+      | None -> ()));
+  Sim.Sync.Condvar.broadcast t.cv;
+  Sim.Sync.Mutex.unlock t.mu
+
+(** Drop one operation pin. *)
+let release_pin t ~session ~ino =
+  Sim.Sync.Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.entries ino with
+  | None -> ()
+  | Some e -> (
+      match List.find_opt (fun h -> h.h_session = session) e.holders with
+      | None -> ()
+      | Some h ->
+          h.h_pins <- max 0 (h.h_pins - 1);
+          holder_gone t ino e h));
+  Sim.Sync.Condvar.broadcast t.cv;
+  Sim.Sync.Mutex.unlock t.mu
+
+(** Drop the durable grant ([Release] or [Lease_return] from the client). *)
+let unlease t ~session ~ino =
+  Sim.Sync.Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.entries ino with
+  | None -> ()
+  | Some e -> (
+      match List.find_opt (fun h -> h.h_session = session) e.holders with
+      | None -> ()
+      | Some h ->
+          h.h_durable <- false;
+          h.h_recalled <- false;
+          h.h_ready <- true;
+          holder_gone t ino e h));
+  Sim.Sync.Condvar.broadcast t.cv;
+  Sim.Sync.Mutex.unlock t.mu
+
+(** Session teardown: drop every durable grant the session still holds. *)
+let release_session t ~session =
+  Sim.Sync.Mutex.lock t.mu;
+  let inos =
+    Hashtbl.fold
+      (fun ino e acc ->
+        if List.exists (fun h -> h.h_session = session && h.h_durable) e.holders
+        then ino :: acc
+        else acc)
+      t.entries []
+  in
+  List.iter
+    (fun ino ->
+      let e = Hashtbl.find t.entries ino in
+      List.iter
+        (fun h ->
+          if h.h_session = session then begin
+            h.h_durable <- false;
+            h.h_recalled <- false;
+            h.h_ready <- true;
+            holder_gone t ino e h
+          end)
+        e.holders)
+    inos;
+  Sim.Sync.Condvar.broadcast t.cv;
+  Sim.Sync.Mutex.unlock t.mu
+
+(** {1 Exposed for tests} *)
+
+(** Sessions holding a durable lease on [ino], with the kind. *)
+let durable_holders t ino =
+  Sim.Sync.Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.entries ino with
+    | None -> []
+    | Some e ->
+        List.filter_map
+          (fun h -> if h.h_durable then Some (h.h_session, h.h_kind) else None)
+          e.holders
+  in
+  Sim.Sync.Mutex.unlock t.mu;
+  r
+
+let recall_count t = Sim.Stats.Counter.get t.recalls

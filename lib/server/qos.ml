@@ -1,0 +1,181 @@
+(** Per-tenant request scheduling: weighted fair queueing over tenant
+    queues plus per-tenant inflight caps, in front of a bounded pool of
+    server execution slots.
+
+    The scheduler is an admission gate, not a worker pool: a session's
+    handler fiber calls {!enter} before executing its operation and
+    {!leave} after. While the server is saturated, waiting requests are
+    dispatched in virtual-finish-time order — each tenant's requests are
+    stamped with start/finish tags advanced at a rate inversely
+    proportional to the tenant's weight, the classic WFQ discipline — so a
+    tenant flooding the server can only consume its weighted share, which
+    is what the fairness regression test pins down. *)
+
+type tclass = { weight : int; max_inflight : int }
+
+let default_class = { weight = 1; max_inflight = 8 }
+
+type waiter = {
+  w_start : float;
+  w_finish : float;
+  w_ivar : unit Sim.Sync.Ivar.t;
+  w_enq_ns : int64;
+}
+
+type tenant = {
+  t_name : string;
+  t_class : tclass;
+  t_queue : waiter Queue.t;
+  mutable t_inflight : int;
+  mutable t_last_finish : float;
+  mutable t_max_inflight : int;  (** high-water mark, for the cap test *)
+  mutable t_completed : int;
+  t_wait : Sim.Stats.Histogram.t;  (** queue wait per admitted request *)
+}
+
+type t = {
+  q_machine : Kernel.Machine.t;
+  mu : Sim.Sync.Mutex.t;
+  tenants : (string, tenant) Hashtbl.t;
+  order : string list;  (** deterministic iteration order *)
+  mutable vtime : float;
+  mutable total_inflight : int;
+  max_total : int;
+}
+
+exception Unknown_tenant of string
+
+let create machine ~max_total (classes : (string * tclass) list) =
+  let tenants = Hashtbl.create 8 in
+  List.iter
+    (fun (name, cls) ->
+      Hashtbl.replace tenants name
+        {
+          t_name = name;
+          t_class = { cls with weight = max 1 cls.weight };
+          t_queue = Queue.create ();
+          t_inflight = 0;
+          t_last_finish = 0.;
+          t_max_inflight = 0;
+          t_completed = 0;
+          t_wait = Sim.Stats.Histogram.create (name ^ "_qos_wait");
+        })
+    classes;
+  {
+    q_machine = machine;
+    mu = Sim.Sync.Mutex.create ~name:"qos" ();
+    tenants;
+    order = List.map fst classes;
+    vtime = 0.;
+    total_inflight = 0;
+    max_total = max 1 max_total;
+  }
+
+let tenant_exn t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> tn
+  | None -> raise (Unknown_tenant name)
+
+let has_tenant t name = Hashtbl.mem t.tenants name
+
+let admit t tn =
+  tn.t_inflight <- tn.t_inflight + 1;
+  if tn.t_inflight > tn.t_max_inflight then tn.t_max_inflight <- tn.t_inflight;
+  t.total_inflight <- t.total_inflight + 1
+
+(* Wake eligible waiters in virtual-finish-time order until slots run out.
+   Called with the mutex held. *)
+let dispatch t =
+  let rec go () =
+    if t.total_inflight < t.max_total then begin
+      let best =
+        List.fold_left
+          (fun acc name ->
+            let tn = tenant_exn t name in
+            if
+              Queue.is_empty tn.t_queue
+              || tn.t_inflight >= tn.t_class.max_inflight
+            then acc
+            else
+              let w = Queue.peek tn.t_queue in
+              match acc with
+              | Some (_, w') when w'.w_finish <= w.w_finish -> acc
+              | _ -> Some (tn, w))
+          None t.order
+      in
+      match best with
+      | None -> ()
+      | Some (tn, _) ->
+          let w = Queue.pop tn.t_queue in
+          if w.w_start > t.vtime then t.vtime <- w.w_start;
+          admit t tn;
+          Sim.Stats.Histogram.record tn.t_wait
+            (Int64.sub (Kernel.Machine.now t.q_machine) w.w_enq_ns);
+          Sim.Sync.Ivar.fill w.w_ivar ();
+          go ()
+    end
+  in
+  go ()
+
+(** Block until this request is admitted. [cost] is the request's service
+    demand in abstract units (payload-scaled); a tenant's virtual time
+    advances by [cost / weight] per request. *)
+let enter t ~tenant ~cost =
+  Sim.Sync.Mutex.lock t.mu;
+  let tn = tenant_exn t tenant in
+  let start = Float.max t.vtime tn.t_last_finish in
+  let finish = start +. (cost /. float_of_int tn.t_class.weight) in
+  tn.t_last_finish <- finish;
+  if
+    Queue.is_empty tn.t_queue
+    && tn.t_inflight < tn.t_class.max_inflight
+    && t.total_inflight < t.max_total
+  then begin
+    (* Uncontended fast path: admit in place. Any queued waiters elsewhere
+       are queued only because their own tenant is at its cap. *)
+    admit t tn;
+    Sim.Stats.Histogram.record tn.t_wait 0L;
+    Sim.Sync.Mutex.unlock t.mu
+  end
+  else begin
+    let w =
+      {
+        w_start = start;
+        w_finish = finish;
+        w_ivar = Sim.Sync.Ivar.create ();
+        w_enq_ns = Kernel.Machine.now t.q_machine;
+      }
+    in
+    Queue.push w tn.t_queue;
+    Sim.Sync.Mutex.unlock t.mu;
+    Sim.Sync.Ivar.read w.w_ivar
+  end
+
+let leave t ~tenant =
+  Sim.Sync.Mutex.lock t.mu;
+  let tn = tenant_exn t tenant in
+  tn.t_inflight <- tn.t_inflight - 1;
+  tn.t_completed <- tn.t_completed + 1;
+  t.total_inflight <- t.total_inflight - 1;
+  dispatch t;
+  Sim.Sync.Mutex.unlock t.mu
+
+let with_slot t ~tenant ~cost f =
+  enter t ~tenant ~cost;
+  Fun.protect ~finally:(fun () -> leave t ~tenant) f
+
+(** {1 Exposed for tests and reporting} *)
+
+type tenant_stats = {
+  ts_completed : int;
+  ts_max_inflight : int;
+  ts_wait : Sim.Stats.Histogram.t;
+}
+
+let tenant_stats t name =
+  let tn = tenant_exn t name in
+  {
+    ts_completed = tn.t_completed;
+    ts_max_inflight = tn.t_max_inflight;
+    ts_wait = tn.t_wait;
+  }

@@ -1,0 +1,219 @@
+(** Multi-tenant file-server fleets: client populations driving the
+    {!Server.Fileserver} over its wire protocol, split across QoS tenant
+    classes.
+
+    webserver — a fleet of web frontends serving a shared small-file
+    corpus: each client loops picking a file by a Zipf popularity draw,
+    opens it once with a read lease, and then serves it — from its lease
+    cache after warmup, over the wire on a miss. Mostly cache hits and
+    attribute checks; the canonical many-clients/small-reads personality.
+
+    ci — a fleet of CI workers: each job creates a private build
+    directory, writes a tree of intermediate files through a write-lease
+    cache, commits them, then scans the tree back (readdir + read) and
+    cleans up. Write-heavy, bursty, lease churn.
+
+    Both report one {!Bench_result} per tenant class so the bench can
+    print per-class throughput and p99 — the fairness story. *)
+
+let ok = Kernel.Errno.ok_exn
+
+let ok_r = function
+  | Ok v -> v
+  | Error e -> failwith ("server_fleet: " ^ Kernel.Errno.to_string e)
+
+(** The two tenant classes every fleet runs with: [gold] holds 4x the
+    weight and a deeper inflight allowance than [bronze]. *)
+let tenant_classes =
+  [
+    ("gold", { Server.Qos.weight = 4; max_inflight = 16 });
+    ("bronze", { Server.Qos.weight = 1; max_inflight = 8 });
+  ]
+
+let tenant_of i = if i mod 2 = 0 then "gold" else "bronze"
+
+type per_tenant = {
+  mutable pt_ops : int;
+  mutable pt_bytes : int;
+  pt_lat : Sim.Stats.Histogram.t;
+}
+
+let per_tenant_table label =
+  List.map
+    (fun (name, _) ->
+      ( name,
+        {
+          pt_ops = 0;
+          pt_bytes = 0;
+          pt_lat =
+            Sim.Stats.Histogram.create
+              (Printf.sprintf "%s_%s_lat" label name);
+        } ))
+    tenant_classes
+
+let results_of label table t0 machine =
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  List.map
+    (fun (name, pt) ->
+      ( name,
+        {
+          Bench_result.label = label ^ "-" ^ name;
+          ops = pt.pt_ops;
+          bytes = pt.pt_bytes;
+          elapsed_ns = elapsed;
+          lat = Some pt.pt_lat;
+        } ))
+    table
+
+(* Run [nclients] client fibers against a fresh server on [os]; [body]
+   gets (client index, tenant accounting, deadline, client session). *)
+let run_fleet os ~label ~nclients ~duration ~max_total body =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let server =
+    Server.Fileserver.start machine os
+      { Server.Fileserver.tenants = tenant_classes; max_inflight_total = max_total }
+  in
+  let listener = Server.Fileserver.listener server in
+  let table = per_tenant_table label in
+  let done_ = Sim.Sync.Semaphore.create 0 in
+  let t0 = Kernel.Machine.now machine in
+  let deadline = Int64.add t0 duration in
+  for i = 0 to nclients - 1 do
+    Kernel.Machine.spawn ~name:(Printf.sprintf "fleet-%d" i) machine (fun () ->
+        let tenant = tenant_of i in
+        let pt = List.assoc tenant table in
+        (match Server.Client.attach machine listener ~tenant with
+        | Error e -> failwith ("fleet attach: " ^ Kernel.Errno.to_string e)
+        | Ok cl ->
+            body i pt deadline cl;
+            Server.Client.detach cl);
+        Sim.Sync.Semaphore.release done_)
+  done;
+  for _ = 1 to nclients do
+    Sim.Sync.Semaphore.acquire done_
+  done;
+  let r = results_of label table t0 machine in
+  Server.Fileserver.stop server;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* webserver fleet                                                      *)
+
+(** Per-request client-side service time (parse request, fill response):
+    virtual time the client spends off the wire, so a cache-hit loop
+    still advances the clock without touching the server's cores. *)
+let web_think_ns = 20_000L
+
+let webserver_fleet os ?(nfiles = 300) ?(fsize = 16384) ~nclients ~duration
+    ~seed () : (string * Bench_result.t) list =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  (* Build the document corpus before the server comes up. *)
+  ok (Kernel.Os.mkdir os "/srv");
+  let name id = Printf.sprintf "doc%04d" id in
+  for id = 0 to nfiles - 1 do
+    ok
+      (Kernel.Os.write_file os
+         (Printf.sprintf "/srv/%s" (name id))
+         (Bytes.make fsize (Char.chr (65 + (id mod 26)))))
+  done;
+  ok (Kernel.Os.sync os);
+  let rng0 = Sim.Rng.create seed in
+  let rngs = Array.init nclients (fun _ -> Sim.Rng.split rng0) in
+  run_fleet os ~label:"web" ~nclients ~duration ~max_total:64
+    (fun i pt deadline cl ->
+      let rng = rngs.(i) in
+      let root = (Server.Client.root cl).Server.Proto.ino in
+      let srv = ok_r (Server.Client.lookup cl ~dir:root ~name:"srv") in
+      let inos = Array.make nfiles 0 in
+      let rec serve () =
+        if Kernel.Machine.now machine < deadline then begin
+          let id = Sim.Rng.zipf rng ~n:nfiles ~theta:0.9 in
+          let t0 = Kernel.Machine.now machine in
+          (if inos.(id) = 0 then begin
+             let a =
+               ok_r
+                 (Server.Client.lookup cl ~dir:srv.Server.Proto.ino
+                    ~name:(name id))
+             in
+             inos.(id) <- a.Server.Proto.ino;
+             ignore (ok_r (Server.Client.open_ cl inos.(id) ~write:false))
+           end);
+          (match Server.Client.read cl inos.(id) ~off:0 ~len:fsize with
+          | Ok d -> pt.pt_bytes <- pt.pt_bytes + Bytes.length d
+          | Error _ -> ());
+          Sim.Engine.sleep web_think_ns;
+          pt.pt_ops <- pt.pt_ops + 1;
+          Sim.Stats.Histogram.record pt.pt_lat
+            (Int64.sub (Kernel.Machine.now machine) t0);
+          serve ()
+        end
+      in
+      serve ())
+
+(* ------------------------------------------------------------------ *)
+(* CI fleet                                                             *)
+
+let ci_fleet os ?(files_per_job = 12) ?(fsize = 24576) ~nclients ~duration
+    ~seed () : (string * Bench_result.t) list =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  ok (Kernel.Os.mkdir os "/ci");
+  ignore seed;
+  run_fleet os ~label:"ci" ~nclients ~duration ~max_total:64
+    (fun i pt deadline cl ->
+      let root = (Server.Client.root cl).Server.Proto.ino in
+      let ci = ok_r (Server.Client.lookup cl ~dir:root ~name:"ci") in
+      let job = ref 0 in
+      let rec run_job () =
+        if Kernel.Machine.now machine < deadline then begin
+          let t0 = Kernel.Machine.now machine in
+          let dirname = Printf.sprintf "w%04d-j%04d" i !job in
+          incr job;
+          let dir =
+            ok_r (Server.Client.mkdir cl ~dir:ci.Server.Proto.ino ~name:dirname)
+          in
+          let dino = dir.Server.Proto.ino in
+          (* build: write the intermediate tree through the lease cache *)
+          for f = 0 to files_per_job - 1 do
+            let a =
+              ok_r
+                (Server.Client.create cl ~dir:dino
+                   ~name:(Printf.sprintf "o%03d" f)
+                   ~write:true)
+            in
+            let ino = a.Server.Proto.ino in
+            let chunk = Bytes.make 8192 (Char.chr (97 + (f mod 26))) in
+            let rec put off =
+              if off < fsize then begin
+                ignore (ok_r (Server.Client.write cl ino ~off chunk));
+                put (off + 8192)
+              end
+            in
+            put 0;
+            ok_r (Server.Client.commit cl ino);
+            ok_r (Server.Client.close_ cl ino);
+            pt.pt_bytes <- pt.pt_bytes + fsize
+          done;
+          (* scan: readdir + read everything back *)
+          let des = ok_r (Server.Client.readdir cl dino) in
+          List.iter
+            (fun (_, ino, kind) ->
+              if kind = 0 then begin
+                ignore (ok_r (Server.Client.open_ cl ino ~write:false));
+                (match Server.Client.read cl ino ~off:0 ~len:fsize with
+                | Ok d -> pt.pt_bytes <- pt.pt_bytes + Bytes.length d
+                | Error _ -> ());
+                ok_r (Server.Client.close_ cl ino)
+              end)
+            des;
+          (* clean the workspace *)
+          List.iter
+            (fun (n, _, kind) ->
+              if kind = 0 then ok_r (Server.Client.unlink cl ~dir:dino ~name:n))
+            des;
+          pt.pt_ops <- pt.pt_ops + 1;
+          Sim.Stats.Histogram.record pt.pt_lat
+            (Int64.sub (Kernel.Machine.now machine) t0);
+          run_job ()
+        end
+      in
+      run_job ())

@@ -25,6 +25,8 @@ let () =
       ("vfs_xv6", Test_vfs_xv6.suite);
       ("fuse", Test_fuse.suite);
       ("proto", Test_proto.suite);
+      ("server_proto", Test_server_proto.suite);
+      ("server", Test_server.suite);
       ("ext4", Test_ext4.suite);
       ("check", Test_check.suite);
     ]

@@ -185,6 +185,31 @@ let test_inject_bug_is_caught () =
         (v.Check.Checker.v_ops <> []))
     v
 
+(* ------------------------------------------------------------------ *)
+(* Crash consistency under the file server: sessions with dirty        *)
+(* write-lease caches, crash points mid-commit                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_crash () =
+  with_seed ~default:42 @@ fun seed ->
+  let r = Check.Server_crash.run ~sessions:6 ~seed () in
+  if not (Check.Server_crash.report_ok r) then
+    Alcotest.failf "server crash check:\n%s"
+      (Format.asprintf "%a" Check.Server_crash.pp_report r);
+  Alcotest.(check int) "every session committed" 6 r.Check.Server_crash.s_committed_at_end;
+  Alcotest.(check bool) "crash points captured" true
+    (r.Check.Server_crash.s_points_captured > 0);
+  (* the run must actually exercise mid-commit interleavings — points
+     where some sessions had committed and others still held dirty
+     caches — or the property is vacuous *)
+  Alcotest.(check bool) "mid-commit points replayed" true
+    (r.Check.Server_crash.s_points_mixed > 0)
+
+let test_server_crash_inject_bug_is_caught () =
+  let r = Check.Server_crash.run ~inject_bug:true ~sessions:4 ~seed:1 () in
+  Alcotest.(check bool) "injected bug reported" false
+    (Check.Server_crash.report_ok r)
+
 let suite =
   [
     tc "oracle errnos" `Quick test_oracle_errnos;
@@ -196,4 +221,8 @@ let suite =
     tc "symlink crash behaviour" `Quick test_symlink_crash_behaviour;
     tc "mid-batch scatter crash" `Quick test_scatter_batch_crash;
     tc "injected bug is caught" `Quick test_inject_bug_is_caught;
+    tc "server crash: committed durable, dirty caches legal" `Quick
+      test_server_crash;
+    tc "server crash: injected bug is caught" `Quick
+      test_server_crash_inject_bug_is_caught;
   ]

@@ -1,0 +1,191 @@
+(** Round-trip and fuzz property tests of the file-server wire protocol.
+
+    Unlike the FUSE protocol, the server decoders are total — a server
+    must survive arbitrary bytes from a client — so the fuzz properties
+    here assert [Error _] (never an exception) on truncated and garbage
+    frames. *)
+
+let tc = Alcotest.test_case
+
+let gen_name =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 59) (char_range 'a' 'z')))
+
+let gen_ino = QCheck.Gen.int_range 1 1_000_000
+let gen_off = QCheck.Gen.int_range 0 (1 lsl 30)
+
+let gen_request : Server.Proto.request QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Server.Proto in
+  oneof
+    [
+      map (fun tenant -> Attach { tenant }) gen_name;
+      map2 (fun dir name -> Lookup { dir; name }) gen_ino gen_name;
+      map (fun ino -> Getattr { ino }) gen_ino;
+      map2 (fun ino write -> Open { ino; write }) gen_ino bool;
+      map
+        (fun ((dir, name), write) -> Create { dir; name; write })
+        (pair (pair gen_ino gen_name) bool);
+      map2 (fun dir name -> Mkdir { dir; name }) gen_ino gen_name;
+      map2 (fun dir name -> Unlink { dir; name }) gen_ino gen_name;
+      map
+        (fun ((ino, off), len) -> Read { ino; off; len })
+        (pair (pair gen_ino gen_off) (int_range 0 (1 lsl 20)));
+      map
+        (fun (((ino, off), data), stable) ->
+          Write { ino; off; data = Bytes.of_string data; stable })
+        (pair (pair (pair gen_ino gen_off) (string_size (int_range 0 4096))) bool);
+      map (fun ino -> Commit { ino }) gen_ino;
+      map (fun ino -> Readdir { ino }) gen_ino;
+      map (fun ino -> Release { ino }) gen_ino;
+      map (fun ino -> Lease_return { ino }) gen_ino;
+      return Detach;
+    ]
+
+let request_eq (a : Server.Proto.request) (b : Server.Proto.request) =
+  match (a, b) with
+  | Server.Proto.Write w1, Server.Proto.Write w2 ->
+      w1.ino = w2.ino && w1.off = w2.off && w1.stable = w2.stable
+      && Bytes.equal w1.data w2.data
+  | _ -> a = b
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"server request roundtrip"
+    (QCheck.make gen_request)
+    (fun req ->
+      match Server.Proto.decode_request (Server.Proto.encode_request ~xid:42 req) with
+      | Ok (xid, req') -> xid = 42 && request_eq req req'
+      | Error why -> QCheck.Test.fail_reportf "decode failed: %s" why)
+
+let gen_attr =
+  QCheck.Gen.(
+    map
+      (fun ((((ino, kind), size), nlink), change) ->
+        { Server.Proto.ino; kind; size; nlink; change })
+      (pair
+         (pair (pair (pair gen_ino (int_range 0 2)) gen_off) (int_range 0 100))
+         (int_range 0 1_000_000)))
+
+let gen_reply : Server.Proto.reply QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Server.Proto in
+  oneof
+    [
+      map
+        (fun e -> R_err e)
+        (oneofl
+           [
+             Kernel.Errno.ENOENT;
+             Kernel.Errno.EIO;
+             Kernel.Errno.ESTALE;
+             Kernel.Errno.EINVAL;
+           ]);
+      return R_ok;
+      map (fun a -> R_attr a) gen_attr;
+      map2
+        (fun oattr olease -> R_open { oattr; olease })
+        gen_attr
+        (oneofl [ L_none; L_read; L_write ]);
+      map2
+        (fun s rattr -> R_read { rdata = Bytes.of_string s; rattr })
+        (string_size (int_range 0 4096))
+        gen_attr;
+      map2 (fun count wattr -> R_write { count; wattr }) (int_range 0 (1 lsl 20)) gen_attr;
+      map
+        (fun des -> R_dirents des)
+        (list_size (int_range 0 20)
+           (map2 (fun name (ino, kind) -> (name, ino, kind)) gen_name
+              (pair gen_ino (int_range 0 2))));
+    ]
+
+let reply_eq (a : Server.Proto.reply) (b : Server.Proto.reply) =
+  match (a, b) with
+  | Server.Proto.R_read r1, Server.Proto.R_read r2 ->
+      Bytes.equal r1.rdata r2.rdata && r1.rattr = r2.rattr
+  | _ -> a = b
+
+let gen_smsg : Server.Proto.smsg QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2
+        (fun xid reply -> Server.Proto.Reply { xid; reply })
+        (int_range 0 (1 lsl 40))
+        gen_reply;
+      map (fun ino -> Server.Proto.Recall { ino }) gen_ino;
+    ]
+
+let smsg_eq (a : Server.Proto.smsg) (b : Server.Proto.smsg) =
+  match (a, b) with
+  | Server.Proto.Reply r1, Server.Proto.Reply r2 ->
+      r1.xid = r2.xid && reply_eq r1.reply r2.reply
+  | _ -> a = b
+
+let prop_smsg_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"server reply/recall roundtrip"
+    (QCheck.make gen_smsg)
+    (fun m ->
+      match Server.Proto.decode_smsg (Server.Proto.encode_smsg m) with
+      | Ok m' -> smsg_eq m m'
+      | Error why -> QCheck.Test.fail_reportf "decode failed: %s" why)
+
+(* --- fuzz: decoders are total ---------------------------------------- *)
+
+(* Every strict prefix of a valid frame must decode to a clean error. *)
+let prop_truncated_request =
+  QCheck.Test.make ~count:200 ~name:"truncated request frames return Error"
+    (QCheck.make QCheck.Gen.(pair gen_request (int_range 0 1000)))
+    (fun (req, cut) ->
+      let frame = Server.Proto.encode_request ~xid:7 req in
+      let cut = min cut (max 0 (Bytes.length frame - 1)) in
+      match Server.Proto.decode_request (Bytes.sub frame 0 cut) with
+      | Error _ -> true
+      | Ok _ ->
+          (* a prefix may happen to decode only if trailing fields were
+             empty — re-encoding must then reproduce the prefix exactly *)
+          cut = Bytes.length frame)
+
+let prop_garbage_smsg =
+  QCheck.Test.make ~count:500 ~name:"garbage server frames never raise"
+    (QCheck.make (QCheck.Gen.string_size (QCheck.Gen.int_range 0 256)))
+    (fun s ->
+      let b = Bytes.of_string s in
+      (match Server.Proto.decode_request b with Ok _ | Error _ -> ());
+      (match Server.Proto.decode_smsg b with Ok _ | Error _ -> ());
+      true)
+
+(* Bit-flip a valid frame: decoding may succeed (the flip can land in a
+   payload byte) but must never raise. *)
+let prop_bitflip_request =
+  QCheck.Test.make ~count:500 ~name:"bit-flipped request frames never raise"
+    (QCheck.make
+       QCheck.Gen.(pair gen_request (pair (int_range 0 10_000) (int_range 0 7))))
+    (fun (req, (pos, bit)) ->
+      let frame = Server.Proto.encode_request ~xid:9 req in
+      let pos = pos mod Bytes.length frame in
+      Bytes.set frame pos
+        (Char.chr (Char.code (Bytes.get frame pos) lxor (1 lsl bit)));
+      match Server.Proto.decode_request frame with Ok _ | Error _ -> true)
+
+let test_short_and_garbage () =
+  (match Server.Proto.decode_request (Bytes.create 0) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty frame accepted");
+  (match Server.Proto.decode_request (Bytes.make 32 '\255') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage opcode accepted");
+  match Server.Proto.decode_smsg (Bytes.make 3 '\001') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short smsg accepted"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_smsg_roundtrip;
+    QCheck_alcotest.to_alcotest prop_truncated_request;
+    QCheck_alcotest.to_alcotest prop_garbage_smsg;
+    QCheck_alcotest.to_alcotest prop_bitflip_request;
+    tc "short and garbage frames rejected cleanly" `Quick test_short_and_garbage;
+  ]
