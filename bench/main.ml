@@ -3,9 +3,10 @@
     and an online-upgrade measurement, on the simulated machine.
 
       main.exe               — run everything
-      main.exe fig2|fig3|fig4|table1..table6|readahead|scaling|server|ablate|upgrade
+      main.exe fig2|fig3|fig4|table1..table6|readahead|scaling|server|coldstart|ablate|upgrade
       main.exe scaling --scaling-fibers 1,8,32 — throughput vs fiber count
       main.exe server --server-clients 10,100,1000 — multi-tenant file server
+      main.exe coldstart --coldstart-tenants 10,100,1000 — CAS tenant trees
       main.exe bechamel      — wall-clock microbenchmarks of hot structures
       main.exe all --duration 2.0 --untar-files 70000
       main.exe fig2 --json out.json     — machine-readable results
@@ -93,6 +94,13 @@ let record ~section ~system ~config (r : Workloads.Bench_result.t) =
         (Int64.to_float (c "machine.log_commit_blocks"))
         (Int64.to_float log_commits)
     in
+    (* fraction of CAS page faults served by an already-resident shared
+       page; Null (so ungated) on runs without a CAS store *)
+    let cas_shared_ratio =
+      let h = Int64.to_float (c "machine.cas_hits") in
+      let f = Int64.to_float (c "machine.cas_fills") in
+      fdiv h (h +. f)
+    in
     let profile_json =
       match Targets.last_profile () with
       | None -> Null
@@ -142,6 +150,7 @@ let record ~section ~system ~config (r : Workloads.Bench_result.t) =
           ("bcache_hit_ratio", bcache_hit_ratio);
           ("log_commits", int64 log_commits);
           ("log_commit_mean_blocks", log_commit_mean_blocks);
+          ("cas_shared_ratio", cas_shared_ratio);
           ("counters", Obj counters);
           ("profile", profile_json);
         ]
@@ -565,6 +574,76 @@ let server_section () =
     rs
 
 (* ------------------------------------------------------------------ *)
+(* Coldstart: one sealed Linux-source-style manifest instantiated as N
+   tenant trees. The CAS arms (Bento and FUSE) share pages across all
+   tenants — warm open+read should show zero device reads on Bento and
+   a crossings_per_op gap on FUSE — while the naive arm writes N private
+   copies, the device-blocks baseline.                                  *)
+
+let coldstart_tenants = ref [ 10; 100; 1000 ]
+
+(* a ~100-file tree keeps 1000 tenants inside the inode table of the
+   4M-block disk below *)
+let coldstart_nfiles = 100
+let coldstart_ndirs = 12
+
+let coldstart_section () =
+  header "Coldstart: N tenant trees from one sealed manifest";
+  let counts = List.sort_uniq compare !coldstart_tenants in
+  (* big disk for the naive copies, a 1 GiB CAS region, and a page cap
+     high enough that tenant aliases are never reclaimed mid-measure *)
+  let disk_blocks = 4 * 1024 * 1024 in
+  let page_cap = 2_000_000 in
+  let cas_blocks = 256 * 1024 in
+  pf "%-22s %10s %12s %10s %12s %12s %10s\n" "config" "ops" "opens/s"
+    "p99us" "dev_reads" "dev_blocks" "respages";
+  let arms = [ ("cas", Targets.Bento_fs); ("cas", Targets.Fuse);
+               ("naive", Targets.Bento_fs) ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (mode, sys) ->
+          let f _machine os =
+            match mode with
+            | "cas" ->
+                Workloads.Coldstart.cas_run os ~tenants:n
+                  ~nfiles:coldstart_nfiles ~ndirs:coldstart_ndirs ~seed:!seed
+            | _ ->
+                Workloads.Coldstart.naive_run os ~tenants:n
+                  ~nfiles:coldstart_nfiles ~ndirs:coldstart_ndirs ~seed:!seed
+          in
+          let r =
+            if mode = "cas" then
+              Targets.run ~disk_blocks ~page_cap ~cas_blocks sys f
+            else Targets.run ~disk_blocks ~page_cap sys f
+          in
+          let config = Printf.sprintf "coldstart-%s-%dt" mode n in
+          record ~section:"coldstart" ~system:sys ~config
+            r.Workloads.Coldstart.r_sweep;
+          record_scalar ~section:"coldstart" ~system:sys
+            ~config:(config ^ "-devreads") ~metric:"warm_device_reads"
+            (float_of_int r.Workloads.Coldstart.r_warm_device_reads);
+          record_scalar ~section:"coldstart" ~system:sys
+            ~config:(config ^ "-blocks") ~metric:"device_blocks"
+            (float_of_int r.Workloads.Coldstart.r_device_blocks);
+          let sweep = r.Workloads.Coldstart.r_sweep in
+          let p99 =
+            match Workloads.Bench_result.lat_percentile sweep 99.0 with
+            | Some v -> Int64.to_float v /. 1e3
+            | None -> 0.
+          in
+          pf "%-22s %10d %12.0f %10.1f %12d %12d %10d\n%!"
+            (Printf.sprintf "%s:%s" config (Targets.system_name sys))
+            sweep.Workloads.Bench_result.ops
+            (Workloads.Bench_result.ops_per_sec sweep)
+            p99
+            r.Workloads.Coldstart.r_warm_device_reads
+            r.Workloads.Coldstart.r_device_blocks
+            r.Workloads.Coldstart.r_resident_pages)
+        arms)
+    counts
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out.                   *)
 
 let run_bento_wb_batch ~wb_batch f =
@@ -776,6 +855,7 @@ let all () =
   readahead_section ();
   scaling ();
   server_section ();
+  coldstart_section ();
   ablate ();
   upgrade ();
   bechamel ()
@@ -902,6 +982,10 @@ let () =
         server_clients :=
           List.map int_of_string (String.split_on_char ',' v);
         parse rest
+    | "--coldstart-tenants" :: v :: rest ->
+        coldstart_tenants :=
+          List.map int_of_string (String.split_on_char ',' v);
+        parse rest
     | "--json" :: v :: rest ->
         json_path := Some v;
         parse rest
@@ -938,6 +1022,7 @@ let () =
     | "readahead" -> readahead_section ()
     | "scaling" -> scaling ()
     | "server" -> server_section ()
+    | "coldstart" -> coldstart_section ()
     | "ablate" -> ablate ()
     | "upgrade" -> upgrade ()
     | "bechamel" -> bechamel ()
@@ -945,7 +1030,7 @@ let () =
     | s ->
         Printf.eprintf
           "unknown section %S (use table1..table6, fig2..fig4, readahead, \
-           scaling, server, ablate, upgrade, bechamel, all)\n"
+           scaling, server, coldstart, ablate, upgrade, bechamel, all)\n"
           s;
         exit 2
   in

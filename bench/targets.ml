@@ -86,8 +86,12 @@ let print_lock_waits ?(top = 8) ~label p =
       Printf.printf "%!"
 
 (** Bring up [system] on a fresh machine, run [f os], tear down, drain the
-    simulation, and return [f]'s result. *)
-let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
+    simulation, and return [f]'s result. [page_cap] and [cas_blocks] are
+    honoured by the Bento and FUSE stacks (the coldstart section needs a
+    CAS region and room for many tenants' aliased pages); the C and Ext4
+    baselines ignore them. *)
+let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?page_cap
+    ?cas_blocks ?label system f =
   let machine = Kernel.Machine.create ~disk_blocks ~block_size:4096 () in
   if !trace_enabled then
     Sim.Trace.set_enabled (Kernel.Machine.tracer machine) true;
@@ -96,8 +100,12 @@ let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
   Kernel.Machine.spawn ~name:"bench" machine (fun () ->
       match system with
       | Bento_fs ->
-          ok (Bento.Bentofs.mkfs machine xv6_maker);
-          let vfs, h = ok (Bento.Bentofs.mount ~background machine xv6_maker) in
+          ok (Bento.Bentofs.mkfs ?cas_blocks machine xv6_maker);
+          let vfs, h =
+            ok
+              (Bento.Bentofs.mount ~background ?page_cap ?cas_blocks machine
+                 xv6_maker)
+          in
           let os = Kernel.Os.create vfs in
           result := Some (f machine os);
           Bento.Bentofs.unmount vfs h
@@ -108,8 +116,12 @@ let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?label system f =
           result := Some (f machine os);
           Vfs_xv6.unmount vfs
       | Fuse ->
-          ok (Bento.Bentofs.mkfs machine xv6_maker);
-          let vfs, h = ok (Bento_user.mount ~background machine xv6_maker) in
+          ok (Bento.Bentofs.mkfs ?cas_blocks machine xv6_maker);
+          let vfs, h =
+            ok
+              (Bento_user.mount ~background ?page_cap ?cas_blocks machine
+                 xv6_maker)
+          in
           let os = Kernel.Os.create vfs in
           result := Some (f machine os);
           Bento_user.unmount vfs h

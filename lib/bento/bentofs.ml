@@ -18,6 +18,7 @@ type handle = {
   mutable upgrades : int;
   tracer : Sim.Trace.t;
   crossings : Sim.Stats.Counter.t;  (** VFS → BentoFS dispatch crossings *)
+  cas : Kernel.Cas.t option;  (** CAS region store, when mounted with one *)
 }
 
 let wb_batch_pages = 256
@@ -177,11 +178,32 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
     max_file_size = h.current.Fs_api.d_max_file_size;
   }
 
-(** Format the device with file system [maker]. *)
-let mkfs (machine : Kernel.Machine.t) (maker : (module Fs_api.FS_MAKER)) :
-    (unit, Kernel.Errno.t) result =
+(* Reserving a CAS region caps the block count the fs sees: the tail of
+   the device belongs to the store. *)
+let fs_cap machine cas_blocks =
+  match cas_blocks with
+  | None | Some 0 -> None
+  | Some n -> Some (Device.Ssd.nblocks (Kernel.Machine.disk machine) - n)
+
+let cas_backend bcache =
+  {
+    Kernel.Cas.b_block_size = Kernel.Bcache.block_size bcache;
+    b_read = Kernel.Bcache.raw_read bcache;
+    b_read_scatter = Kernel.Bcache.raw_read_scatter bcache;
+    b_write = Kernel.Bcache.raw_write_scatter bcache;
+    b_flush = (fun () -> Kernel.Bcache.flush bcache);
+  }
+
+(** Format the device with file system [maker]. [cas_blocks] must match
+    the value later given to {!mount} — the fs layout stops where the CAS
+    region starts. *)
+let mkfs ?cas_blocks (machine : Kernel.Machine.t)
+    (maker : (module Fs_api.FS_MAKER)) : (unit, Kernel.Errno.t) result =
   let bcache = Kernel.Bcache.create machine in
-  let services = Bentoks.kernel_services machine bcache in
+  let services =
+    Bentoks.kernel_services ?nblocks_cap:(fs_cap machine cas_blocks) machine
+      bcache
+  in
   let module K = (val services) in
   let module Maker = (val maker) in
   let module F = Maker (K) in
@@ -191,18 +213,34 @@ let mkfs (machine : Kernel.Machine.t) (maker : (module Fs_api.FS_MAKER)) :
 
 (** Insert + mount: instantiate the fs module against fresh kernel
     services, mount it, and return the VFS mount plus the handle used for
-    upgrades. *)
-let mount ?dirty_limit ?page_cap ?background ?wb_batch (machine : Kernel.Machine.t)
-    (maker : (module Fs_api.FS_MAKER)) :
+    upgrades. [cas_blocks > 0] reserves that many device-tail blocks for a
+    content-addressable store, attaches it (recovering any committed
+    state) and registers its hooks with the VFS. *)
+let mount ?dirty_limit ?page_cap ?background ?wb_batch ?cas_blocks
+    (machine : Kernel.Machine.t) (maker : (module Fs_api.FS_MAKER)) :
     (Kernel.Vfs.t * handle, Kernel.Errno.t) result =
   let bcache = Kernel.Bcache.create machine in
-  let services = Bentoks.kernel_services machine bcache in
+  let services =
+    Bentoks.kernel_services ?nblocks_cap:(fs_cap machine cas_blocks) machine
+      bcache
+  in
   let module K = (val services) in
   let module Maker = (val maker) in
   let module F = Maker (K) in
   match F.mount () with
   | Error _ as e -> e
   | Ok fs ->
+      let cas =
+        match cas_blocks with
+        | None | Some 0 -> None
+        | Some n ->
+            let base = Device.Ssd.nblocks (Kernel.Machine.disk machine) - n in
+            let store =
+              Kernel.Cas.attach machine (cas_backend bcache) ~base ~blocks:n
+            in
+            Kernel.Cas.register machine store;
+            Some store
+      in
       let h =
         {
           current = Fs_api.dispatch_of (module F) fs;
@@ -213,17 +251,24 @@ let mount ?dirty_limit ?page_cap ?background ?wb_batch (machine : Kernel.Machine
           upgrades = 0;
           tracer = Kernel.Machine.tracer machine;
           crossings = Kernel.Machine.counter machine "bento_crossings";
+          cas;
         }
       in
       let vfs =
         Kernel.Vfs.mount ?dirty_limit ?page_cap ?background machine
           (vfs_ops ?wb_batch h)
       in
+      Option.iter
+        (fun store -> Kernel.Vfs.set_cas vfs (Some (Kernel.Cas.vfs_hooks store)))
+        cas;
       Ok (vfs, h)
 
 (** Unmount: flush the VFS, destroy the fs instance. *)
 let unmount (vfs : Kernel.Vfs.t) (h : handle) =
   Kernel.Vfs.unmount vfs;
+  (match h.cas with
+  | Some _ -> Kernel.Cas.unregister h.machine
+  | None -> ());
   h.current.Fs_api.d_destroy ()
 
 let bcache h = h.bcache

@@ -18,6 +18,9 @@ type handle = {
   tracer : Sim.Trace.t;
   crossings : Sim.Stats.Counter.t;
       (** machine counter ["bento_crossings"]: VFS → BentoFS dispatches *)
+  cas : Kernel.Cas.t option;
+      (** content-addressable store over the reserved device tail, when
+          mounted with [cas_blocks > 0] *)
 }
 (** The mount handle; [Upgrade] swaps [current] under [dispatch_lock]. *)
 
@@ -29,21 +32,29 @@ val vfs_ops : ?wb_batch:int -> handle -> Kernel.Vfs.fs_ops
     baseline's writepage behaviour (ablation experiments). *)
 
 val mkfs :
+  ?cas_blocks:int ->
   Kernel.Machine.t ->
   (module Fs_api.FS_MAKER) ->
   (unit, Kernel.Errno.t) result
-(** Format the machine's device with the given file system. *)
+(** Format the machine's device with the given file system. [cas_blocks]
+    reserves that many device-tail blocks for the CAS region (the fs
+    layout stops where it starts) and must match the value given to
+    {!mount}. *)
 
 val mount :
   ?dirty_limit:int ->
   ?page_cap:int ->
   ?background:bool ->
   ?wb_batch:int ->
+  ?cas_blocks:int ->
   Kernel.Machine.t ->
   (module Fs_api.FS_MAKER) ->
   (Kernel.Vfs.t * handle, Kernel.Errno.t) result
 (** Instantiate the fs module against fresh kernel services ("module
-    insertion"), mount it on the VFS, and return the upgrade handle. *)
+    insertion"), mount it on the VFS, and return the upgrade handle.
+    [cas_blocks > 0] additionally attaches a {!Kernel.Cas} store over the
+    reserved device tail, registers it for {!Kernel.Cas.of_machine}, and
+    installs its page-sharing hooks on the VFS. *)
 
 val unmount : Kernel.Vfs.t -> handle -> unit
 (** Flush the VFS, then destroy the fs instance. *)

@@ -159,9 +159,11 @@ end
 
 (** Build the in-kernel services over a machine's buffer cache. The
     returned module closes over the kernel objects — holding the module is
-    the capability. *)
-let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
-    (module KSERVICES) =
+    the capability. [nblocks_cap] caps the device size the file system
+    sees, reserving the tail (e.g. for a {!Kernel.Cas} region) — the fs
+    never allocates past it. *)
+let kernel_services ?nblocks_cap (machine : Kernel.Machine.t)
+    (bc : Kernel.Bcache.t) : (module KSERVICES) =
   let stats = Kernel.Machine.stats machine in
   (* Fs → kernel crossing counters, cached so the hot buffer path pays one
      increment rather than a hash lookup per call. *)
@@ -292,7 +294,9 @@ let kernel_services (machine : Kernel.Machine.t) (bc : Kernel.Bcache.t) :
 
     let flush () = Kernel.Bcache.flush bc
     let block_size = Kernel.Bcache.block_size bc
-    let nblocks = Device.Ssd.nblocks (Kernel.Machine.disk machine)
+    let nblocks =
+      let total = Device.Ssd.nblocks (Kernel.Machine.disk machine) in
+      match nblocks_cap with Some n -> min n total | None -> total
     let cpu ns = Kernel.Machine.cpu_work machine ns
     let costs = Kernel.Machine.cost machine
     let now () = Kernel.Machine.now machine

@@ -15,8 +15,8 @@
 exception Use_after_release = Bento.Bentoks.Use_after_release
 exception Double_release = Bento.Bentoks.Double_release
 
-let user_services (machine : Kernel.Machine.t) (ubc : Fusesim.Ubcache.t) :
-    (module Bento.Bentoks.KSERVICES) =
+let user_services ?nblocks_cap (machine : Kernel.Machine.t)
+    (ubc : Fusesim.Ubcache.t) : (module Bento.Bentoks.KSERVICES) =
   let stats = Kernel.Machine.stats machine in
   (module struct
     module Buffer = struct
@@ -114,7 +114,10 @@ let user_services (machine : Kernel.Machine.t) (ubc : Fusesim.Ubcache.t) :
     let flush () = Fusesim.Ubcache.flush ubc
 
     let block_size = Device.Ssd.block_size (Kernel.Machine.disk machine)
-    let nblocks = Device.Ssd.nblocks (Kernel.Machine.disk machine)
+
+    let nblocks =
+      let total = Device.Ssd.nblocks (Kernel.Machine.disk machine) in
+      match nblocks_cap with Some n -> min n total | None -> total
     let cpu ns = Kernel.Machine.cpu_work machine ns
     let costs = Kernel.Machine.cost machine
     let now () = Kernel.Machine.now machine
@@ -210,12 +213,29 @@ type mount_handle = {
   driver : Fusesim.Driver.t;
   transport : Fusesim.Transport.t;
   ubcache : Fusesim.Ubcache.t;
+  cas : Kernel.Cas.t option;
 }
+
+(* CAS block access on this stack goes through the daemon's user bcache
+   raw path (uncached pread/pwrite on the disk file): the shared-page
+   table is the only cache, same dedup-aware admission as the kernel
+   stack. The wire crossing per *open* is still paid by the VFS driver —
+   the CAS saves device I/O, not FUSE round-trips. *)
+let cas_backend machine ubc =
+  {
+    Kernel.Cas.b_block_size = Device.Ssd.block_size (Kernel.Machine.disk machine);
+    b_read = Fusesim.Ubcache.raw_read ubc;
+    b_read_scatter =
+      (fun blocks ->
+        List.map (fun b -> (b, Fusesim.Ubcache.raw_read ubc b)) blocks);
+    b_write = List.iter (fun (b, d) -> Fusesim.Ubcache.raw_write ubc b d);
+    b_flush = (fun () -> Fusesim.Ubcache.flush ubc);
+  }
 
 (** Mount a Bento file system as a userspace FUSE daemon: same fs code,
     user services, the real wire protocol in between. *)
-let mount ?dirty_limit ?background ?nominal_gb (machine : Kernel.Machine.t)
-    (maker : (module Bento.Fs_api.FS_MAKER)) :
+let mount ?dirty_limit ?page_cap ?background ?nominal_gb ?cas_blocks
+    (machine : Kernel.Machine.t) (maker : (module Bento.Fs_api.FS_MAKER)) :
     (Kernel.Vfs.t * mount_handle, Kernel.Errno.t) result =
   let ufile = Fusesim.Ufile.create ?nominal_gb machine in
   let ubc = Fusesim.Ubcache.create ufile in
@@ -224,13 +244,30 @@ let mount ?dirty_limit ?background ?nominal_gb (machine : Kernel.Machine.t)
      hit-ratio metric. *)
   Kernel.Machine.register_stats machine ~prefix:"bcache"
     (Fusesim.Ubcache.stats ubc);
-  let services = user_services machine ubc in
+  let nblocks_cap =
+    match cas_blocks with
+    | None | Some 0 -> None
+    | Some n -> Some (Device.Ssd.nblocks (Kernel.Machine.disk machine) - n)
+  in
+  let services = user_services ?nblocks_cap machine ubc in
   let module K = (val services) in
   let module Maker = (val maker) in
   let module F = Maker (K) in
   match F.mount () with
   | Error _ as e -> e
   | Ok fs ->
+      let cas =
+        match cas_blocks with
+        | None | Some 0 -> None
+        | Some n ->
+            let base = Device.Ssd.nblocks (Kernel.Machine.disk machine) - n in
+            let store =
+              Kernel.Cas.attach machine (cas_backend machine ubc) ~base
+                ~blocks:n
+            in
+            Kernel.Cas.register machine store;
+            Some store
+      in
       let dispatch = Bento.Fs_api.dispatch_of (module F) fs in
       let handler = handler_of dispatch in
       let transport = Fusesim.Transport.create machine in
@@ -241,11 +278,17 @@ let mount ?dirty_limit ?background ?nominal_gb (machine : Kernel.Machine.t)
         Fusesim.Driver.vfs_ops driver
           ~max_file_size:dispatch.Bento.Fs_api.d_max_file_size
       in
-      let vfs = Kernel.Vfs.mount ?dirty_limit ?background machine ops in
-      Ok (vfs, { driver; transport; ubcache = ubc })
+      let vfs = Kernel.Vfs.mount ?dirty_limit ?page_cap ?background machine ops in
+      Option.iter
+        (fun store -> Kernel.Vfs.set_cas vfs (Some (Kernel.Cas.vfs_hooks store)))
+        cas;
+      Ok (vfs, { driver; transport; ubcache = ubc; cas })
 
 (** Unmount: flush the VFS (through the wire), destroy the daemon-side fs,
     close the connection. *)
 let unmount (vfs : Kernel.Vfs.t) (h : mount_handle) =
   Kernel.Vfs.unmount vfs;
+  (match h.cas with
+  | Some _ -> Kernel.Cas.unregister (Kernel.Vfs.machine vfs)
+  | None -> ());
   Fusesim.Driver.shutdown h.driver

@@ -90,6 +90,12 @@ let bwrite t b = Ufile.pwrite_block t.ufile b.block b.data
    the cached buffer — it may hold newer, uncommitted contents. *)
 let raw_write t block data = Ufile.pwrite_block t.ufile block data
 
+(* Read a block without admitting it to the cache: CAS blocks are cached
+   once in the shared-page table instead. *)
+let raw_read t block =
+  incr t "raw_reads";
+  Ufile.pread_block t.ufile block
+
 let brelse t b =
   if b.refcount <= 0 then invalid_arg "Ubcache.brelse";
   b.refcount <- b.refcount - 1;

@@ -31,6 +31,10 @@ val raw_write : t -> int -> Bytes.t -> unit
     cached buffer — installing a committed version while the cache may
     hold newer uncommitted contents. *)
 
+val raw_read : t -> int -> Bytes.t
+(** Read a block without admitting it to the cache — the CAS store's
+    shared-page table is the only cache its blocks get. *)
+
 val brelse : t -> buf -> unit
 val pin : buf -> unit
 val unpin : buf -> unit

@@ -454,6 +454,30 @@ let raw_write_scatter t pairs =
           Sim.Stats.Counter.incr ~by:(List.length pairs)
             (Sim.Stats.counter t.gstats "raw_writes"))
 
+(** Read a block straight from the device without admitting it to the
+    cache — the CAS store's dedup-aware admission policy: content-addressed
+    blocks are cached once in the refcounted shared-page table above, so
+    admitting them here as well would duplicate them in memory. *)
+let raw_read t block =
+  layer t (fun () ->
+      let data = Device.Ssd.read t.dev block in
+      incr_g t "raw_reads";
+      data)
+
+(** Scatter version of {!raw_read}: fetch many blocks, merged into
+    contiguous commands dispatched concurrently through the bio layer,
+    none of them admitted to the cache. Returns (block, data) pairs in
+    unspecified order. *)
+let raw_read_scatter t blocks =
+  match blocks with
+  | [] -> []
+  | _ ->
+      layer t (fun () ->
+          let pairs, _cmds = Bio.read_scatter t.dev blocks in
+          Sim.Stats.Counter.incr ~by:(List.length blocks)
+            (Sim.Stats.counter t.gstats "raw_reads");
+          pairs)
+
 (** Durability barrier on the underlying device. *)
 let flush t =
   layer t (fun () ->

@@ -88,6 +88,15 @@ val raw_write_scatter : t -> (int * Bytes.t) list -> unit
     concurrently through the bio layer, then wait for all completions.
     Duplicate blocks must not appear. *)
 
+val raw_read : t -> int -> Bytes.t
+(** Read a block straight from the device without admitting it to the
+    cache. Used by the CAS store, whose blocks are cached once in the
+    refcounted shared-page table instead (dedup-aware admission). *)
+
+val raw_read_scatter : t -> int list -> (int * Bytes.t) list
+(** Scatter version of {!raw_read}: merged into contiguous commands and
+    dispatched concurrently; nothing is admitted to the cache. *)
+
 val flush : t -> unit
 (** Device durability barrier. *)
 

@@ -301,7 +301,11 @@ let unlink t path : unit res =
     | Some v ->
         v.Vfs.v_unlinked <- true;
         if v.Vfs.v_nopen = 0 then Vfs.drop_vnode t.vfs v
-    | None -> ());
+    | None ->
+        (* never opened, so no vnode carries the deletion to the CAS
+           binding — drop it here or a file recycling the inode number
+           would serve the sealed content *)
+        if st.Vfs.st_nlink <= 1 then Vfs.cas_unbind t.vfs st.Vfs.st_ino);
     Ok ()
 
 let rmdir t path : unit res =
@@ -347,7 +351,7 @@ let rename t oldpath newpath : unit res =
         | Some v ->
             v.Vfs.v_unlinked <- true;
             if v.Vfs.v_nopen = 0 then Vfs.drop_vnode t.vfs v
-        | None -> ())
+        | None -> Vfs.cas_unbind t.vfs vino)
   | None -> ());
   Ok ()
 

@@ -126,6 +126,11 @@ type page = {
   pdata : Bytes.t;
   mutable pdirty : bool;
   mutable pra : bool;  (** brought in by readahead, not yet consumed *)
+  mutable pshared : int64 option;
+      (** content hash when [pdata] aliases a refcounted CAS shared page:
+          the same [Bytes.t] appears in every vnode whose sealed file has
+          this block content. Shared pages are never dirty — a write
+          privatises the whole file first (COW). *)
 }
 
 type vnode = {
@@ -145,6 +150,31 @@ type vnode = {
       (** end of the prefetch-issued region; the next chunk starts here *)
   v_ra_inflight : (int, unit) Hashtbl.t;
       (** page indexes an async prefetch is currently fetching *)
+}
+
+(** Hooks a content-addressable store registers with the VFS ({!set_cas}).
+    The VFS consults them on page faults so vnodes of sealed (read-only
+    instantiated) files alias the store's refcounted shared pages instead
+    of reading through the file system; every page-removal path gives the
+    reference back. The record keeps [Vfs] free of a dependency on the
+    store implementation. *)
+type cas_ops = {
+  cas_lookup : int -> int64 array option;
+      (** per-page content hashes of a sealed file, by inode; [None] when
+          the inode is not CAS-bound *)
+  cas_acquire : int64 -> Bytes.t;
+      (** shared page bytes for a hash, refcount raised by one; fills from
+          the device on first use. The returned [Bytes.t] is shared — the
+          caller must never mutate it. *)
+  cas_release : int64 -> unit;  (** one alias dropped; 0 refs ⇒ reclaimable *)
+  cas_refs : int64 -> int;  (** current refcount (0 when not resident) *)
+  cas_cow : int -> unit;
+      (** break the binding after the file's content has been privatised
+          and flushed: removes it durably so post-crash readers see the
+          private copy, never a mix *)
+  cas_unbind : int -> unit;  (** unlink: drop the binding (durably) *)
+  cas_debug_refs : unit -> (int64 * int) list;
+      (** resident (hash, refcount) table, for the accounting oracle *)
 }
 
 type t = {
@@ -170,6 +200,7 @@ type t = {
           data mutation (write, truncate) — the file server uses it to bump
           change attributes and break client leases when the file system is
           written beneath it *)
+  mutable cas : cas_ops option;  (** content-addressable store hooks *)
 }
 
 let page_size t = t.page_size
@@ -185,6 +216,24 @@ let incr ?by t name = Sim.Stats.Counter.incr ?by (Sim.Stats.counter t.stats name
 let cost t = Machine.cost t.machine
 let cpu t ns = Machine.cpu_work t.machine ns
 let tracer t = Machine.tracer t.machine
+
+let set_cas t c = t.cas <- c
+
+let cas_hashes t v =
+  match t.cas with None -> None | Some c -> c.cas_lookup v.v_ino
+
+let cas_unbind t ino =
+  match t.cas with Some c -> c.cas_unbind ino | None -> ()
+
+(* Give a page's shared-table reference back. Every path that removes a
+   page from a page table funnels through this, or the store's refcounts
+   drift from the alias count and the accounting oracle fires. *)
+let release_shared t p =
+  match p.pshared with
+  | None -> ()
+  | Some h ->
+      p.pshared <- None;
+      (match t.cas with Some c -> c.cas_release h | None -> ())
 
 let vnode_of t ino ~kind ~size =
   match Hashtbl.find_opt t.vnodes ino with
@@ -229,6 +278,9 @@ let reclaim_pages t =
           List.iter
             (fun i ->
               if Pcpu.read t.total_pages > target then begin
+                (match Hashtbl.find_opt v.v_pages i with
+                | Some p -> release_shared t p
+                | None -> ());
                 Hashtbl.remove v.v_pages i;
                 Pcpu.add t.total_pages (-1)
               end)
@@ -247,7 +299,8 @@ let insert_page t v index p =
       if old.pdirty then begin
         v.v_dirty_pages <- v.v_dirty_pages - 1;
         Pcpu.add t.total_dirty (-1)
-      end
+      end;
+      release_shared t old
   | None -> Pcpu.add t.total_pages 1);
   Hashtbl.replace v.v_pages index p;
   reclaim_pages t
@@ -279,7 +332,49 @@ let check_accounting t =
   if !pages <> Pcpu.read t.total_pages then
     failwith
       (Printf.sprintf "vfs: total_pages %d <> actual %d"
-         (Pcpu.read t.total_pages) !pages)
+         (Pcpu.read t.total_pages) !pages);
+  (* Shared-page oracle: every resident CAS entry's refcount must equal
+     the number of page-table aliases of that hash, a shared page must be
+     clean (COW privatises before any dirtying), and a zero-ref entry
+     must have been reclaimed. *)
+  match t.cas with
+  | None -> ()
+  | Some c ->
+      let aliases : (int64, int) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun _ v ->
+          Hashtbl.iter
+            (fun i p ->
+              match p.pshared with
+              | None -> ()
+              | Some h ->
+                  if p.pdirty then
+                    failwith
+                      (Printf.sprintf "vfs: ino %d page %d shared AND dirty"
+                         v.v_ino i);
+                  Hashtbl.replace aliases h
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt aliases h)))
+            v.v_pages)
+        t.vnodes;
+      let table = c.cas_debug_refs () in
+      List.iter
+        (fun (h, refs) ->
+          let actual = Option.value ~default:0 (Hashtbl.find_opt aliases h) in
+          if refs <> actual then
+            failwith
+              (Printf.sprintf "vfs: cas hash %Lx refcount %d <> %d aliases" h
+                 refs actual);
+          if refs = 0 then
+            failwith
+              (Printf.sprintf "vfs: cas hash %Lx resident with zero refs" h))
+        table;
+      Hashtbl.iter
+        (fun h n ->
+          if n > 0 && not (List.mem_assoc h table) then
+            failwith
+              (Printf.sprintf
+                 "vfs: %d aliases of cas hash %Lx but no shared entry" n h))
+        aliases
 
 let cached_pages t = Pcpu.read t.total_pages
 let dirty_pages t = Pcpu.read t.total_dirty
@@ -469,6 +564,7 @@ let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
       ra_issued = Machine.counter machine "readahead_issued";
       ra_hit = Machine.counter machine "readahead_hit";
       modify_hook = None;
+      cas = None;
     }
   in
   if background then start_flusher t;
@@ -545,21 +641,63 @@ let rec page_of t v index : (page, Errno.t) result =
       done;
       page_of t v index
   | None -> (
-      incr t "page_misses";
-      Sim.Trace.instant (tracer t) ~cat:"vfs" "vfs:page_miss";
-      match t.ops.readpage ~ino:v.v_ino ~index with
-      | Ok data -> (
-          (* readpage blocked for device I/O: a concurrent reader may have
-             instantiated this page meanwhile. Adopt the cached page
-             rather than replacing it — replacing would discard dirty
-             bits a racing writer set and double-count the cached total. *)
-          match Hashtbl.find_opt v.v_pages index with
-          | Some p -> Ok p
+      match cas_alias t v index with
+      | Some r -> r
+      | None -> (
+          incr t "page_misses";
+          Sim.Trace.instant (tracer t) ~cat:"vfs" "vfs:page_miss";
+          match t.ops.readpage ~ino:v.v_ino ~index with
+          | Ok data -> (
+              (* readpage blocked for device I/O: a concurrent reader may
+                 have instantiated this page meanwhile. Adopt the cached
+                 page rather than replacing it — replacing would discard
+                 dirty bits a racing writer set and double-count the
+                 cached total. *)
+              match Hashtbl.find_opt v.v_pages index with
+              | Some p -> Ok p
+              | None ->
+                  let p =
+                    { pdata = data; pdirty = false; pra = false;
+                      pshared = None }
+                  in
+                  insert_page t v index p;
+                  Ok p)
+          | Error _ as e -> e))
+
+(* The many-to-one page path: a fault on a CAS-bound inode resolves
+   through the store's shared-page table instead of the file system. A
+   table hit aliases the identical cached [Bytes.t] another tenant's
+   vnode already maps — zero device I/O, zero copy; a miss fills the
+   shared page once from the CAS region (bypassing the buffer cache) and
+   then aliases it. The on-disk file is a metadata-only stub, so falling
+   through to [readpage] would return zeros — bound inodes must never
+   take that path for indexes the manifest covers. *)
+and cas_alias t v index : (page, Errno.t) result option =
+  match t.cas with
+  | None -> None
+  | Some c -> (
+      match c.cas_lookup v.v_ino with
+      | None -> None
+      | Some hashes when index < Array.length hashes ->
+          let h = hashes.(index) in
+          let data = c.cas_acquire h in
+          (* acquire may block on device I/O: adopt a racer's page and
+             give our reference back rather than double-count the alias *)
+          (match Hashtbl.find_opt v.v_pages index with
+          | Some p ->
+              c.cas_release h;
+              Some (Ok p)
           | None ->
-              let p = { pdata = data; pdirty = false; pra = false } in
+              let p =
+                { pdata = data; pdirty = false; pra = false;
+                  pshared = Some h }
+              in
               insert_page t v index p;
-              Ok p)
-      | Error _ as e -> e)
+              Some (Ok p))
+      | Some _ ->
+          (* beyond the sealed content (reads clamp to v_size, so only
+             reachable through a stale size): zeros via the sparse stub *)
+          None)
 
 (* A page being created entirely beyond the current data does not need a
    disk read. *)
@@ -570,7 +708,8 @@ let page_for_write t v index =
   | None ->
       let beyond = index * t.page_size >= v.v_size in
       if beyond then begin
-        let p = { pdata = Bytes.make t.page_size '\000'; pdirty = false; pra = false } in
+        let p = { pdata = Bytes.make t.page_size '\000'; pdirty = false;
+                  pra = false; pshared = None } in
         insert_page t v index p;
         Ok p
       end
@@ -590,7 +729,12 @@ let ra_max_window = 32 (* 128 KB, the kernel's default readahead cap *)
 let set_readahead t on = t.ra_enabled <- on
 
 let maybe_readahead t v ~first ~last =
-  if t.active && t.ra_enabled && v.v_kind = Reg then begin
+  (* CAS-bound files must not prefetch through the fs: on disk they are
+     metadata-only sparse stubs, so [readahead] would insert zero-filled
+     pages over the sealed content. Their warm path is the shared-page
+     table; there is nothing useful to prefetch. *)
+  if t.active && t.ra_enabled && v.v_kind = Reg && cas_hashes t v = None
+  then begin
     if first <= v.v_ra_next && v.v_ra_next <= last + 1 then begin
       v.v_ra_next <- last + 1;
       (* Issue a whole window-sized chunk, not the sliding tail: a new
@@ -641,7 +785,8 @@ let maybe_readahead t v ~first ~last =
                               && idx * t.page_size < v.v_size
                             then
                               insert_page t v idx
-                                { pdata = data; pdirty = false; pra = true })
+                                { pdata = data; pdirty = false; pra = true;
+                                  pshared = None })
                           pages)))
           (runs_of_indexes ~batch:max_int !missing)
       end
@@ -683,6 +828,63 @@ let read t v ~pos ~len : Bytes.t res =
           go 0
         end)
 
+(* Copy-on-write: the first mutation of a CAS-bound file privatises the
+   whole file and breaks the binding, after which it is an ordinary file.
+   Ordering gives the crash oracle its old-or-new guarantee:
+     1. fault every sealed page in (cheap: shared-table aliases),
+     2. replace the shared aliases with private dirty copies,
+     3. push the full content into the file system and fsync it,
+     4. only then durably remove the binding ([cas_cow]).
+   A crash before step 4 leaves the binding in place, so readers see the
+   old shared content; after it, the fsynced private copy — never a mix.
+   Runs under the vnode's write lock, so no reader observes the middle. *)
+let privatize t v (c : cas_ops) : unit res =
+  let npages = (v.v_size + t.page_size - 1) / t.page_size in
+  let rec fault i =
+    if i >= npages then Ok ()
+    else match page_of t v i with Ok _ -> fault (i + 1) | Error _ as e -> e
+  in
+  match fault 0 with
+  | Error _ as e -> e
+  | Ok () ->
+      for i = 0 to npages - 1 do
+        match Hashtbl.find_opt v.v_pages i with
+        | None -> ()
+        | Some p ->
+            if p.pshared <> None then begin
+              release_shared t p;
+              let priv =
+                { pdata = Bytes.copy p.pdata; pdirty = true; pra = false;
+                  pshared = None }
+              in
+              Hashtbl.replace v.v_pages i priv;
+              v.v_dirty_pages <- v.v_dirty_pages + 1;
+              Pcpu.add t.total_dirty 1
+            end
+            else if not p.pdirty then begin
+              (* already private (defensive): still dirty it so the full
+                 content reaches the fs before the binding is removed *)
+              p.pdirty <- true;
+              v.v_dirty_pages <- v.v_dirty_pages + 1;
+              Pcpu.add t.total_dirty 1
+            end
+      done;
+      writeback_vnode t v;
+      (match t.ops.fsync ~ino:v.v_ino with
+      | Error _ as e -> e
+      | Ok () ->
+          c.cas_cow v.v_ino;
+          incr t "cas_cow_breaks";
+          Ok ())
+
+(* Break the share before any mutation of a CAS-bound file. Must run
+   under the vnode's write lock (callers below hold it), which also
+   serialises racing first-writers. *)
+let maybe_cow t v : unit res =
+  match t.cas with
+  | Some c when c.cas_lookup v.v_ino <> None -> privatize t v c
+  | _ -> Ok ()
+
 (** Write [data] at [pos], extending the file as needed. *)
 let write t v ~pos data : int res =
   let len = Bytes.length data in
@@ -691,6 +893,9 @@ let write t v ~pos data : int res =
   else
     let r =
       Sim.Sync.Rwlock.with_write v.v_rw (fun () ->
+          match maybe_cow t v with
+          | Error _ as e -> e
+          | Ok () ->
           let rec go off =
             if off >= len then Ok len
             else begin
@@ -744,6 +949,9 @@ let truncate t v size : unit res =
   else begin
     let r =
       Sim.Sync.Rwlock.with_write v.v_rw (fun () ->
+        match maybe_cow t v with
+        | Error _ as e -> e
+        | Ok () ->
         (* Drop whole pages beyond the new size; zero the tail of the last
            partial page. *)
         let first_dead = (size + t.page_size - 1) / t.page_size in
@@ -758,6 +966,7 @@ let truncate t v size : unit res =
               v.v_dirty_pages <- v.v_dirty_pages - 1;
               Pcpu.add t.total_dirty (-1)
             end;
+            release_shared t p;
             Hashtbl.remove v.v_pages i;
             Pcpu.add t.total_pages (-1))
           dead;
@@ -786,14 +995,18 @@ let invalidate_pages t v =
       if p.pdirty then begin
         v.v_dirty_pages <- v.v_dirty_pages - 1;
         Pcpu.add t.total_dirty (-1)
-      end)
+      end;
+      release_shared t p)
     v.v_pages;
   Pcpu.add t.total_pages (-(Hashtbl.length v.v_pages));
   Hashtbl.reset v.v_pages
 
 let drop_vnode t v =
   invalidate_pages t v;
-  Hashtbl.remove t.vnodes v.v_ino
+  Hashtbl.remove t.vnodes v.v_ino;
+  (* deletion context only (unlink / rename victim): a binding for a
+     recycled inode number must not serve stale sealed content *)
+  if v.v_unlinked then cas_unbind t v.v_ino
 
 (** Full sync(2): all files, then the fs-wide sync. *)
 let sync t : unit res =
@@ -811,11 +1024,51 @@ let drop_caches t : unit res =
   match sync t with
   | Error _ as e -> e
   | Ok () ->
+      (* With CAS sharing a page may be unevictable: if an *open* vnode
+         aliases the same shared entry, dropping this vnode's alias frees
+         nothing — the bytes stay resident in the shared table. Keep such
+         pages (Linux keeps pages it cannot free), evict everything else.
+         The readahead/prefetch state is reset for every file regardless,
+         and retained pages lose their readahead mark: the old reset
+         assumed full eviction, and stale [pra] marks on surviving pages
+         would credit the next read stream with hits it never earned. *)
+      let held : (int64, unit) Hashtbl.t = Hashtbl.create 64 in
       Hashtbl.iter
         (fun _ v ->
-          invalidate_pages t v;
+          if v.v_nopen > 0 then
+            Hashtbl.iter
+              (fun _ p ->
+                match p.pshared with
+                | Some h -> Hashtbl.replace held h ()
+                | None -> ())
+              v.v_pages)
+        t.vnodes;
+      Hashtbl.iter
+        (fun _ v ->
+          let doomed =
+            Hashtbl.fold
+              (fun i p acc ->
+                match p.pshared with
+                | Some h when Hashtbl.mem held h ->
+                    p.pra <- false;
+                    acc
+                | _ -> (i, p) :: acc)
+              v.v_pages []
+          in
+          List.iter
+            (fun (i, p) ->
+              if p.pdirty then begin
+                (* sync above wrote everything back; defensive *)
+                v.v_dirty_pages <- v.v_dirty_pages - 1;
+                Pcpu.add t.total_dirty (-1)
+              end;
+              release_shared t p;
+              Hashtbl.remove v.v_pages i;
+              Pcpu.add t.total_pages (-1))
+            doomed;
           v.v_ra_next <- 0;
           v.v_ra_window <- 0;
           v.v_ra_issued_to <- 0)
         t.vnodes;
+      if !debug_accounting then check_accounting t;
       Ok ()

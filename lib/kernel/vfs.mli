@@ -71,6 +71,11 @@ type page = {
   pdata : Bytes.t;
   mutable pdirty : bool;
   mutable pra : bool;  (** inserted by readahead and not yet consumed *)
+  mutable pshared : int64 option;
+      (** content hash when [pdata] aliases the CAS shared-page table —
+          the same [Bytes.t] appears in every vnode caching that content,
+          so it must never be mutated in place (COW replaces the page). A
+          shared page is clean by construction. *)
 }
 
 type vnode = {
@@ -158,7 +163,10 @@ val sync : t -> unit res
 val drop_caches : t -> unit res
 (** Flush everything, then drop every cached page and reset per-file
     readahead state (`echo 3 > drop_caches`) — cold page cache without a
-    remount. *)
+    remount. CAS-shared pages also aliased by a still-open vnode are kept
+    (evicting one alias frees nothing while the shared entry stays
+    resident) but lose their readahead mark; readahead state is reset for
+    every file regardless of how many pages survived. *)
 
 val set_readahead : t -> bool -> unit
 (** Enable/disable asynchronous readahead (on by default) — the ablation
@@ -170,6 +178,49 @@ val set_modify_hook : t -> (int -> unit) option -> unit
     uses it to bump its change attribute and break client leases when the
     file system is modified beneath it. The callback runs on the mutating
     fiber with no VFS locks held; it must not block. *)
+
+(** {1 Content-addressable store hooks} *)
+
+(** Callbacks a content-addressable store ({!module:Cas}) registers so the
+    page cache can alias sealed read-only content across inodes instead of
+    reading through the file system; every page-removal path gives the
+    shared reference back. The record keeps [Vfs] free of a dependency on
+    the store implementation. *)
+type cas_ops = {
+  cas_lookup : int -> int64 array option;
+      (** per-page content hashes of a sealed file, by inode; [None] when
+          the inode is not CAS-bound *)
+  cas_acquire : int64 -> Bytes.t;
+      (** shared page bytes for a hash, refcount raised by one; fills from
+          the device on first use. The returned [Bytes.t] is shared — the
+          caller must never mutate it. *)
+  cas_release : int64 -> unit;  (** one alias dropped; 0 refs ⇒ reclaimable *)
+  cas_refs : int64 -> int;  (** current refcount (0 when not resident) *)
+  cas_cow : int -> unit;
+      (** break the binding after the file's content has been privatised
+          and flushed: removes it durably so post-crash readers see the
+          private copy, never a mix *)
+  cas_unbind : int -> unit;  (** unlink: drop the binding (durably) *)
+  cas_debug_refs : unit -> (int64 * int) list;
+      (** resident (hash, refcount) table, for the accounting oracle *)
+}
+
+val set_cas : t -> cas_ops option -> unit
+(** Attach (or detach) a content-addressable store. With hooks attached,
+    page faults on CAS-bound inodes alias the refcounted shared-page table
+    (zero-copy across tenants, no device read when resident), the first
+    write to a bound file privatises it (copy-on-write: fault all pages,
+    copy, flush, then durably unbind), and readahead is disabled for bound
+    files — their backing file-system blocks are sparse stubs. *)
+
+val cas_hashes : t -> vnode -> int64 array option
+(** The sealed per-page hash array for a bound vnode ([None] when unbound
+    or no store is attached). *)
+
+val cas_unbind : t -> int -> unit
+(** Drop a CAS binding by inode number, if a store is attached — used by
+    the syscall layer when a bound file is unlinked without ever having
+    had a vnode. *)
 
 (** {1 Exposed for tests} *)
 

@@ -26,6 +26,13 @@ let direction_of = function
          if absolute single-fiber throughput held steady *)
   | "lat_p50_ns" | "lat_p90_ns" | "lat_p99_ns" -> Lower_better
   | "write_amplification" | "crossings_per_op" -> Lower_better
+  | "cas_shared_ratio" -> Higher_better
+      (* fraction of CAS page faults served by a resident shared page —
+         a drop means tenants stopped sharing *)
+  | "warm_device_reads" | "device_blocks" -> Lower_better
+      (* synthetic rows from the coldstart section: device reads during
+         the warm sweep (0 on Bento — any rise re-opens the cold path)
+         and total device blocks in use (the dedup claim) *)
   | _ -> Informational
 
 (* ------------------------------------------------------------------ *)

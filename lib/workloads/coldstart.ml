@@ -1,0 +1,166 @@
+(** Coldstart: one sealed Linux-source-style manifest instantiated as N
+    tenant trees.
+
+    The dependency-tree scenario behind the CAS layer: every tenant gets
+    the same read-only tree. With content addressing ({!Kernel.Cas}) the
+    tree's blocks live on the device once and all tenants alias the same
+    cached pages, so after the first tenant faults them in, a warm
+    open+read across every other tenant does {e zero} device I/O; the
+    naive baseline writes N private copies and caches N private page
+    sets. Reported per run: the warm open+read sweep (ops = open+read of
+    one file), device reads observed during the warm sweep, page-cache
+    residency, and total device blocks used. *)
+
+let ok = Kernel.Errno.ok_exn
+
+(* ------------------------------------------------------------------ *)
+(* The sealed tree: Macro's Linux-like shape, paths made root-relative,
+   with deterministic content. A quarter of the files are exact
+   duplicates of earlier ones (vendored/generated files), so sealing
+   also dedups within one manifest.                                     *)
+
+let tree ~nfiles ~ndirs ~seed =
+  let m = Macro.linux_tree_manifest ~nfiles ~ndirs ~seed () in
+  let strip p =
+    (* "/linux/arch/sub0001" -> "arch/sub0001" *)
+    let prefix = "/linux/" in
+    if String.length p > String.length prefix then
+      String.sub p (String.length prefix) (String.length p - String.length prefix)
+    else ""
+  in
+  let dirs = List.filter_map (fun d ->
+      match strip d with "" -> None | r -> Some r)
+      m.Macro.dirs
+  in
+  let dup_base = max 1 (nfiles * 3 / 4) in
+  let content i size =
+    let rng = Sim.Rng.create (seed + (i mod dup_base)) in
+    (* block-aligned repeating payload so equal seeds give equal pages *)
+    let b = Bytes.create size in
+    let word = ref (Sim.Rng.int rng 0x1000000) in
+    for j = 0 to size - 1 do
+      if j land 63 = 0 then word := Sim.Rng.int rng 0x1000000;
+      Bytes.unsafe_set b j (Char.unsafe_chr ((!word + j) land 0xff))
+    done;
+    b
+  in
+  let files =
+    List.mapi
+      (fun i { Macro.me_path; me_size } ->
+        (* duplicate files must share sizes too, or their pages differ *)
+        let size =
+          let rng = Sim.Rng.create (seed + 7919 + (i mod dup_base)) in
+          max 128 (min me_size (2048 + Sim.Rng.int rng 16384))
+        in
+        (strip me_path, content i size))
+      m.Macro.files
+  in
+  (dirs, files)
+
+type result = {
+  r_sweep : Bench_result.t;  (** warm open+read over every tenant's files *)
+  r_warm_device_reads : int;  (** device blocks read during the warm sweep *)
+  r_resident_pages : int;  (** VFS page-cache residency after the sweep *)
+  r_shared_pages : int;  (** CAS shared-table residency (0 for naive) *)
+  r_device_blocks : int;  (** fs blocks in use + CAS region blocks in use *)
+}
+
+let root_of k = Printf.sprintf "/t%04d" k
+
+let device_blocks_used os store =
+  let s = Kernel.Os.statfs os in
+  let fs_used = s.Kernel.Vfs.f_blocks - s.Kernel.Vfs.f_bfree in
+  fs_used + (match store with Some c -> Kernel.Cas.used_blocks c | None -> 0)
+
+(* Warm open+read sweep: for every tenant, open each file, read it whole,
+   close. One op = one open+read+close. *)
+let sweep ?lat os ~tenants files =
+  let bytes = ref 0 in
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  for k = 0 to tenants - 1 do
+    let root = root_of k in
+    List.iter
+      (fun (path, size) ->
+        let f0 = Kernel.Machine.now machine in
+        let fd = ok (Kernel.Os.open_ os (root ^ "/" ^ path) Kernel.Os.rdonly) in
+        let data = ok (Kernel.Os.pread os fd ~pos:0 ~len:size) in
+        ok (Kernel.Os.close os fd);
+        bytes := !bytes + Bytes.length data;
+        match lat with
+        | Some h ->
+            Sim.Stats.Histogram.record h
+              (Int64.sub (Kernel.Machine.now machine) f0)
+        | None -> ())
+      files
+  done;
+  !bytes
+
+let blocks_read_counter machine =
+  Sim.Stats.counter (Device.Ssd.stats (Kernel.Machine.disk machine)) "blocks_read"
+
+let measured_sweep ~label os ~tenants files =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let store = Kernel.Cas.of_machine machine in
+  let br = blocks_read_counter machine in
+  let br0 = Sim.Stats.Counter.get br in
+  let lat = Sim.Stats.Histogram.create "coldstart_open_read" in
+  let t0 = Kernel.Machine.now machine in
+  let bytes = sweep ~lat os ~tenants files in
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t0 in
+  (* the device-read delta must close before [device_blocks_used] reads
+     the CAS superblock, or that read pollutes the warm count *)
+  let warm_reads = Int64.to_int (Int64.sub (Sim.Stats.Counter.get br) br0) in
+  {
+    r_sweep =
+      {
+        Bench_result.label;
+        ops = tenants * List.length files;
+        bytes;
+        elapsed_ns = elapsed;
+        lat = Some lat;
+      };
+    r_warm_device_reads = warm_reads;
+    r_resident_pages = Kernel.Vfs.cached_pages (Kernel.Os.vfs os);
+    r_shared_pages =
+      (match store with Some c -> Kernel.Cas.resident_pages c | None -> 0);
+    r_device_blocks = device_blocks_used os store;
+  }
+
+(** Seal the tree once, instantiate it as [tenants] trees (one durable
+    commit for all the bindings), fault the shared pages in with one cold
+    pass over the first tenant, then run the measured warm sweep over all
+    tenants. Requires the mount to have a CAS store attached. *)
+let cas_run os ~tenants ~nfiles ~ndirs ~seed : result =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let store =
+    match Kernel.Cas.of_machine machine with
+    | Some s -> s
+    | None -> failwith "coldstart: mount has no CAS store attached"
+  in
+  let dirs, files = tree ~nfiles ~ndirs ~seed in
+  let mid = Kernel.Cas.seal_files store ~name:"coldstart" ~dirs ~files in
+  for k = 0 to tenants - 1 do
+    Kernel.Cas.instantiate ~commit_bindings:false store os ~mid
+      ~root:(root_of k)
+  done;
+  Kernel.Cas.commit store;
+  let files = List.map (fun (p, d) -> (p, Bytes.length d)) files in
+  ignore (sweep os ~tenants:1 files : int);
+  measured_sweep ~label:"coldstart-cas" os ~tenants files
+
+(** The naive-copy baseline: write [tenants] private copies of the same
+    tree, sync, then run the same measured warm sweep. *)
+let naive_run os ~tenants ~nfiles ~ndirs ~seed : result =
+  let dirs, files = tree ~nfiles ~ndirs ~seed in
+  for k = 0 to tenants - 1 do
+    let root = root_of k in
+    ok (Kernel.Os.mkdir os root);
+    List.iter (fun d -> ok (Kernel.Os.mkdir os (root ^ "/" ^ d))) dirs;
+    List.iter
+      (fun (p, data) -> ok (Kernel.Os.write_file os (root ^ "/" ^ p) data))
+      files
+  done;
+  ok (Kernel.Os.sync os);
+  let files = List.map (fun (p, d) -> (p, Bytes.length d)) files in
+  ignore (sweep os ~tenants:1 files : int);
+  measured_sweep ~label:"coldstart-naive" os ~tenants files

@@ -28,5 +28,6 @@ let () =
       ("server_proto", Test_server_proto.suite);
       ("server", Test_server.suite);
       ("ext4", Test_ext4.suite);
+      ("cas", Test_cas.suite);
       ("check", Test_check.suite);
     ]

@@ -1,0 +1,301 @@
+(** The content-addressable store: sealing, tenant instantiation,
+    zero-device-read warm sharing, COW isolation, drop_caches under shared
+    references, durability across remount, and the qcheck refcount /
+    content-equivalence property over interleaved tenant operations. *)
+
+let ok = Helpers.ok
+let tc = Alcotest.test_case
+
+(* A small tree crossing page boundaries, with one exact duplicate pair so
+   sealing itself dedups. *)
+let fixture_dirs = [ "sub" ]
+
+let fixture_files () =
+  [
+    ("a.txt", Helpers.payload ~seed:1 1000);
+    ("sub/b.bin", Helpers.payload ~seed:2 4096);
+    ("sub/c.bin", Helpers.payload ~seed:3 9000);
+    ("dup1.bin", Helpers.payload ~seed:4 8192);
+    ("dup2.bin", Helpers.payload ~seed:4 8192);
+  ]
+
+let with_cas ?(cas_blocks = 4096) f =
+  Helpers.in_sim (fun machine ->
+      ok (Bento.Bentofs.mkfs ~cas_blocks machine Helpers.xv6_maker);
+      let vfs, handle =
+        ok
+          (Bento.Bentofs.mount ~background:false ~cas_blocks machine
+             Helpers.xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let store = Option.get (Kernel.Cas.of_machine machine) in
+      f machine os vfs store;
+      Bento.Bentofs.unmount vfs handle)
+
+let blocks_read machine =
+  Sim.Stats.Counter.get
+    (Sim.Stats.counter
+       (Device.Ssd.stats (Kernel.Machine.disk machine))
+       "blocks_read")
+
+let read_file os path =
+  let fd = ok (Kernel.Os.open_ os path Kernel.Os.rdonly) in
+  let st = ok (Kernel.Os.fstat os fd) in
+  let data = ok (Kernel.Os.pread os fd ~pos:0 ~len:st.Kernel.Vfs.st_size) in
+  ok (Kernel.Os.close os fd);
+  data
+
+let ino_of os path = (ok (Kernel.Os.stat os path)).Kernel.Vfs.st_ino
+
+let seal_and_instantiate store os ~tenants =
+  let mid =
+    Kernel.Cas.seal_files store ~name:"fixture" ~dirs:fixture_dirs
+      ~files:(fixture_files ())
+  in
+  for k = 0 to tenants - 1 do
+    Kernel.Cas.instantiate store os ~mid ~root:(Printf.sprintf "/t%d" k)
+  done;
+  mid
+
+(* ------------------------------------------------------------------ *)
+
+let test_warm_sharing () =
+  with_cas (fun machine os vfs store ->
+      ignore (seal_and_instantiate store os ~tenants:3 : int);
+      (* sealing dedups the duplicate pair within the manifest *)
+      Alcotest.(check bool)
+        "dedup_blocks_saved > 0" true
+        (Sim.Stats.Counter.get (Kernel.Machine.counter machine "dedup_blocks_saved")
+        > 0L);
+      (* cold pass: tenant 0 faults every page in from the device *)
+      List.iter
+        (fun (p, data) ->
+          Alcotest.(check bytes) ("cold " ^ p) data (read_file os ("/t0/" ^ p)))
+        (fixture_files ());
+      (* warm passes: tenants 1 and 2 alias resident shared pages — zero
+         device reads *)
+      let br0 = blocks_read machine in
+      for k = 1 to 2 do
+        List.iter
+          (fun (p, data) ->
+            Alcotest.(check bytes)
+              (Printf.sprintf "warm t%d %s" k p)
+              data
+              (read_file os (Printf.sprintf "/t%d/%s" k p)))
+          (fixture_files ())
+      done;
+      Alcotest.(check int64) "warm device reads" br0 (blocks_read machine);
+      Alcotest.(check bool)
+        "cas hits counted" true
+        (Sim.Stats.Counter.get (Kernel.Machine.counter machine "cas_hits") > 0L);
+      Kernel.Vfs.check_accounting vfs)
+
+let test_cow_isolation () =
+  with_cas (fun _machine os vfs store ->
+      ignore (seal_and_instantiate store os ~tenants:2 : int);
+      let orig = List.assoc "sub/c.bin" (fixture_files ()) in
+      let victim = "/t0/sub/c.bin" in
+      let ino = ino_of os victim in
+      Alcotest.(check bool) "bound before write" true
+        (Kernel.Cas.binding_of store ino <> None);
+      (* overwrite one byte in the middle of page 1 *)
+      let fd = ok (Kernel.Os.open_ os victim Kernel.Os.wronly) in
+      ignore (ok (Kernel.Os.pwrite os fd ~pos:4097 (Bytes.of_string "X")));
+      ok (Kernel.Os.close os fd);
+      Alcotest.(check bool) "binding broken by COW" true
+        (Kernel.Cas.binding_of store ino = None);
+      let expected = Bytes.copy orig in
+      Bytes.set expected 4097 'X';
+      Alcotest.(check bytes) "writer sees new content" expected
+        (read_file os victim);
+      Alcotest.(check bytes) "other tenant unaffected" orig
+        (read_file os "/t1/sub/c.bin");
+      Kernel.Vfs.check_accounting vfs;
+      (* cold re-read: the private copy now lives in the file system *)
+      ok (Kernel.Vfs.drop_caches vfs);
+      Alcotest.(check bytes) "private copy durable" expected
+        (read_file os victim);
+      Alcotest.(check bytes) "shared copy still served" orig
+        (read_file os "/t1/sub/c.bin"))
+
+let test_drop_caches_shared () =
+  with_cas (fun _machine os vfs store ->
+      ignore (seal_and_instantiate store os ~tenants:2 : int);
+      (* hold /t0/a.txt open with its page resident *)
+      let fd = ok (Kernel.Os.open_ os "/t0/a.txt" Kernel.Os.rdonly) in
+      ignore (ok (Kernel.Os.pread os fd ~pos:0 ~len:1000));
+      (* alias the same content from a closed file of the other tenant *)
+      ignore (read_file os "/t1/a.txt" : Bytes.t);
+      ignore (read_file os "/t1/sub/b.bin" : Bytes.t);
+      Alcotest.(check bool) "several pages resident" true
+        (Kernel.Vfs.cached_pages vfs >= 3);
+      ok (Kernel.Vfs.drop_caches vfs);
+      (* only the page aliased by the open vnode survives — in both
+         vnodes, since eviction of the closed alias would free nothing *)
+      Alcotest.(check int) "held shared pages survive" 2
+        (Kernel.Vfs.cached_pages vfs);
+      Alcotest.(check int) "one shared entry resident" 1
+        (Kernel.Cas.resident_pages store);
+      Kernel.Vfs.check_accounting vfs;
+      ok (Kernel.Os.close os fd);
+      (* with the file closed nothing holds the share *)
+      ok (Kernel.Vfs.drop_caches vfs);
+      Alcotest.(check int) "all pages dropped once closed" 0
+        (Kernel.Vfs.cached_pages vfs);
+      Alcotest.(check int) "shared table empty" 0
+        (Kernel.Cas.resident_pages store);
+      Kernel.Vfs.check_accounting vfs)
+
+let test_unlink_unbinds () =
+  with_cas (fun _machine os vfs store ->
+      ignore (seal_and_instantiate store os ~tenants:1 : int);
+      (* unlink without ever opening: the no-vnode path must unbind *)
+      let i1 = ino_of os "/t0/dup1.bin" in
+      ok (Kernel.Os.unlink os "/t0/dup1.bin");
+      Alcotest.(check bool) "never-opened unlink unbinds" true
+        (Kernel.Cas.binding_of store i1 = None);
+      (* POSIX: an open fd keeps reading sealed content after unlink;
+         the binding goes when the last reference does *)
+      let orig = List.assoc "a.txt" (fixture_files ()) in
+      let fd = ok (Kernel.Os.open_ os "/t0/a.txt" Kernel.Os.rdonly) in
+      let i2 = ino_of os "/t0/a.txt" in
+      ok (Kernel.Os.unlink os "/t0/a.txt");
+      Alcotest.(check bool) "binding survives while open" true
+        (Kernel.Cas.binding_of store i2 <> None);
+      Alcotest.(check bytes) "unlinked-but-open reads sealed data" orig
+        (ok (Kernel.Os.pread os fd ~pos:0 ~len:1000));
+      ok (Kernel.Os.close os fd);
+      Alcotest.(check bool) "binding dropped on last close" true
+        (Kernel.Cas.binding_of store i2 = None);
+      Kernel.Vfs.check_accounting vfs)
+
+let test_remount_durability () =
+  Helpers.in_sim (fun machine ->
+      let cas_blocks = 4096 in
+      ok (Bento.Bentofs.mkfs ~cas_blocks machine Helpers.xv6_maker);
+      let vfs, handle =
+        ok
+          (Bento.Bentofs.mount ~background:false ~cas_blocks machine
+             Helpers.xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let store = Option.get (Kernel.Cas.of_machine machine) in
+      ignore (seal_and_instantiate store os ~tenants:2 : int);
+      Bento.Bentofs.unmount vfs handle;
+      (* remount: manifests and bindings come back from the catalog *)
+      let vfs, handle =
+        ok
+          (Bento.Bentofs.mount ~background:false ~cas_blocks machine
+             Helpers.xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let store = Option.get (Kernel.Cas.of_machine machine) in
+      Alcotest.(check bool) "manifest recovered" true
+        (Kernel.Cas.find_manifest store "fixture" <> None);
+      List.iter
+        (fun (p, data) ->
+          Alcotest.(check bytes) ("after remount " ^ p) data
+            (read_file os ("/t1/" ^ p)))
+        (fixture_files ());
+      Kernel.Vfs.check_accounting vfs;
+      Bento.Bentofs.unmount vfs handle)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: interleaved instantiate/read/write/unlink over shared trees.
+   After every step the VFS shared-page oracle must hold (refcount ==
+   number of aliasing vnode pages, no zero-ref residents), and every
+   surviving file must read back exactly what a private copy would hold
+   (sealed bytes, or sealed bytes with the writes applied).              *)
+
+let prop_interleaved =
+  QCheck.Test.make ~count:12 ~name:"cas interleaved ops: refcounts + contents"
+    QCheck.(int_bound 1_000_000)
+    (fun salt ->
+      let seed = Helpers.test_seed 0 + salt in
+      with_cas (fun _machine os vfs store ->
+          let rng = Sim.Rng.create seed in
+          let files = fixture_files () in
+          let mid =
+            Kernel.Cas.seal_files store ~name:"fixture" ~dirs:fixture_dirs
+              ~files
+          in
+          (* model: path -> expected bytes, for every live tenant file *)
+          let model : (string, Bytes.t) Hashtbl.t = Hashtbl.create 64 in
+          let tenants = ref 0 in
+          let add_tenant () =
+            let root = Printf.sprintf "/q%d" !tenants in
+            incr tenants;
+            Kernel.Cas.instantiate store os ~mid ~root;
+            List.iter
+              (fun (p, data) ->
+                Hashtbl.replace model (root ^ "/" ^ p) (Bytes.copy data))
+              files
+          in
+          let pick_path () =
+            let live = Hashtbl.fold (fun p _ acc -> p :: acc) model [] in
+            match live with
+            | [] -> None
+            | l -> Some (List.nth l (Sim.Rng.int rng (List.length l)))
+          in
+          add_tenant ();
+          for _step = 1 to 60 do
+            (match Sim.Rng.int rng 10 with
+            | 0 when !tenants < 4 -> add_tenant ()
+            | 1 | 2 -> (
+                (* write: breaks the share, applies to the model too *)
+                match pick_path () with
+                | None -> ()
+                | Some p ->
+                    let expected = Hashtbl.find model p in
+                    let len = 1 + Sim.Rng.int rng 600 in
+                    let pos =
+                      Sim.Rng.int rng (max 1 (Bytes.length expected - len))
+                    in
+                    let data = Helpers.payload ~seed:(Sim.Rng.int rng 9999) len in
+                    let fd = ok (Kernel.Os.open_ os p Kernel.Os.wronly) in
+                    ignore (ok (Kernel.Os.pwrite os fd ~pos data));
+                    ok (Kernel.Os.close os fd);
+                    Bytes.blit data 0 expected pos len)
+            | 3 -> (
+                match pick_path () with
+                | None -> ()
+                | Some p ->
+                    ok (Kernel.Os.unlink os p);
+                    Hashtbl.remove model p)
+            | _ -> (
+                match pick_path () with
+                | None -> ()
+                | Some p ->
+                    let got = read_file os p in
+                    let expected = Hashtbl.find model p in
+                    if not (Bytes.equal got expected) then
+                      QCheck.Test.fail_reportf
+                        "%s: read %d bytes diverged from model (seed %d)" p
+                        (Bytes.length got) seed));
+            (* refcount invariants, every step *)
+            Kernel.Vfs.check_accounting vfs;
+            List.iter
+              (fun (_h, refs) ->
+                if refs <= 0 then
+                  QCheck.Test.fail_reportf
+                    "resident shared page with refcount %d (seed %d)" refs seed)
+              ((Kernel.Cas.vfs_hooks store).Kernel.Vfs.cas_debug_refs ())
+          done;
+          (* final content sweep *)
+          Hashtbl.iter
+            (fun p expected ->
+              if not (Bytes.equal (read_file os p) expected) then
+                QCheck.Test.fail_reportf "%s: final content diverged (seed %d)"
+                  p seed)
+            model);
+      true)
+
+let suite =
+  [
+    tc "warm sharing: zero device reads" `Quick test_warm_sharing;
+    tc "cow isolation" `Quick test_cow_isolation;
+    tc "drop_caches keeps held shared pages" `Quick test_drop_caches_shared;
+    tc "unlink unbinds" `Quick test_unlink_unbinds;
+    tc "remount durability" `Quick test_remount_durability;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+  ]

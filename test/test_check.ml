@@ -210,6 +210,201 @@ let test_server_crash_inject_bug_is_caught () =
   Alcotest.(check bool) "injected bug reported" false
     (Check.Server_crash.report_ok r)
 
+(* ------------------------------------------------------------------ *)
+(* CAS crash traces: mid-seal and mid-COW                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The CAS layer has its own crash protocol (two-slot superblock, live
+   state never overwritten) that the Model-op checker above cannot
+   exercise, so these traces capture crash points by hand with the same
+   device hook the checker uses, then replay each point — once with only
+   the stable image (clean power cut) and once with the whole volatile
+   cache applied (everything in flight made it) — and check the CAS
+   oracle against the recovered mount. *)
+
+let cas_blocks = 4096
+
+let cas_tree () =
+  ( [ "sub" ],
+    [
+      ("a.bin", payload ~seed:11 5000);
+      ("sub/b.bin", payload ~seed:12 9000);
+      ("c.bin", payload ~seed:11 5000) (* exact duplicate of a.bin *);
+    ] )
+
+type cas_point = {
+  cpt_stable : (int * Bytes.t) array;
+  cpt_volatile : (int * Bytes.t) list;
+}
+
+(** Run [setup] and make it durable, then run [mutate] with the command
+    hook installed; return one crash point per write/flush boundary. *)
+let cas_capture ~setup ~mutate : cas_point list =
+  let points = ref [] in
+  in_sim (fun machine ->
+      let dev = Kernel.Machine.disk machine in
+      ok (Bento.Bentofs.mkfs ~cas_blocks machine xv6_maker);
+      let vfs, handle =
+        ok (Bento.Bentofs.mount ~background:false ~cas_blocks machine xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let store = Option.get (Kernel.Cas.of_machine machine) in
+      setup os store;
+      ok (Kernel.Os.sync os);
+      Device.Ssd.flush dev;
+      let cached_epoch = ref (-1) and cached_stable = ref [||] in
+      let capture = function
+        | Device.Ssd.Cmd_read -> ()
+        | Device.Ssd.Cmd_write | Device.Ssd.Cmd_flush ->
+            let epoch = Device.Ssd.stable_epoch dev in
+            if !cached_epoch <> epoch then begin
+              let acc = ref [] in
+              Array.iteri
+                (fun i o ->
+                  match o with Some b -> acc := (i, b) :: !acc | None -> ())
+                (Device.Ssd.crash_view dev);
+              cached_stable := Array.of_list (List.rev !acc);
+              cached_epoch := epoch
+            end;
+            points :=
+              {
+                cpt_stable = !cached_stable;
+                cpt_volatile = Device.Ssd.volatile_view dev;
+              }
+              :: !points
+      in
+      Device.Ssd.set_command_hook dev (Some capture);
+      mutate os store;
+      Device.Ssd.set_command_hook dev None;
+      Bento.Bentofs.unmount vfs handle);
+  List.rev !points
+
+(** Rebuild the crashed image on a fresh machine, mount (= CAS attach +
+    log recovery), and hand [check] the recovered view. [volatile] also
+    applies the in-flight cache, as if every outstanding write made it to
+    media just before the cut. *)
+let cas_replay (pt : cas_point) ~volatile check =
+  in_sim (fun machine ->
+      let dev = Kernel.Machine.disk machine in
+      Array.iter
+        (fun (blk, b) -> Device.Ssd.Offline.write dev blk b)
+        pt.cpt_stable;
+      if volatile then
+        List.iter
+          (fun (blk, b) -> Device.Ssd.Offline.write dev blk b)
+          pt.cpt_volatile;
+      let vfs, handle =
+        ok (Bento.Bentofs.mount ~background:false ~cas_blocks machine xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let store = Option.get (Kernel.Cas.of_machine machine) in
+      check os store;
+      Bento.Bentofs.unmount vfs handle)
+
+let cas_read_file os path =
+  let fd = ok (Kernel.Os.open_ os path Kernel.Os.rdonly) in
+  let st = ok (Kernel.Os.fstat os fd) in
+  let data = ok (Kernel.Os.pread os fd ~pos:0 ~len:st.Kernel.Vfs.st_size) in
+  ok (Kernel.Os.close os fd);
+  data
+
+(* Crash at every command boundary inside seal_files. Oracle: the sealed
+   manifest is all-or-nothing — recovery finds either no manifest (the
+   old generation) or a complete one whose every block is durable and
+   re-hashes to its key. *)
+let test_cas_crash_mid_seal () =
+  let dirs, files = cas_tree () in
+  let points =
+    cas_capture
+      ~setup:(fun _ _ -> ())
+      ~mutate:(fun _ store ->
+        ignore (Kernel.Cas.seal_files store ~name:"mid-seal" ~dirs ~files : int))
+  in
+  Alcotest.(check bool) "captured crash points" true (List.length points > 2);
+  let old_gen = ref 0 and sealed = ref 0 in
+  List.iter
+    (fun pt ->
+      List.iter
+        (fun volatile ->
+          cas_replay pt ~volatile (fun _ store ->
+              match Kernel.Cas.find_manifest store "mid-seal" with
+              | None -> incr old_gen
+              | Some mid ->
+                  if not (Kernel.Cas.verify_manifest store mid) then
+                    Alcotest.fail
+                      "recovered manifest fails durability/hash verification";
+                  Alcotest.(check int) "recovered manifest is whole"
+                    (List.length files)
+                    (Array.length (Kernel.Cas.manifest_files store mid));
+                  incr sealed))
+        [ false; true ])
+    points;
+  (* non-vacuity: the sweep must observe both sides of the commit point *)
+  Alcotest.(check bool) "some crashes land before the seal commits" true
+    (!old_gen > 0);
+  Alcotest.(check bool) "some crashes land after the seal commits" true
+    (!sealed > 0)
+
+(* Crash at every command boundary inside a COW break: one page-aligned
+   4 KB overwrite of a bound file, fsynced. Oracle: the victim reads back
+   either the sealed bytes or the fully-written new bytes — never a mix,
+   and never new bytes while the binding still stands (the unbind is only
+   committed after the private copy is durable). The sibling tenant's
+   alias must serve the sealed bytes at every crash point. *)
+let test_cas_crash_mid_cow () =
+  let dirs, files = cas_tree () in
+  let victim = "/t0/sub/b.bin" in
+  let old_b = List.assoc "sub/b.bin" files in
+  let newpage = payload ~seed:99 4096 in
+  let new_b = Bytes.copy old_b in
+  Bytes.blit newpage 0 new_b 4096 4096;
+  let points =
+    cas_capture
+      ~setup:(fun os store ->
+        let mid = Kernel.Cas.seal_files store ~name:"mid-cow" ~dirs ~files in
+        Kernel.Cas.instantiate store os ~mid ~root:"/t0";
+        Kernel.Cas.instantiate store os ~mid ~root:"/t1")
+      ~mutate:(fun os _ ->
+        let fd = ok (Kernel.Os.open_ os victim Kernel.Os.wronly) in
+        ignore (ok (Kernel.Os.pwrite os fd ~pos:4096 newpage) : int);
+        ok (Kernel.Os.fsync os fd);
+        ok (Kernel.Os.close os fd))
+  in
+  Alcotest.(check bool) "captured crash points" true (List.length points > 2);
+  let olds = ref 0 and news = ref 0 and bound_old = ref 0 in
+  List.iter
+    (fun pt ->
+      List.iter
+        (fun volatile ->
+          cas_replay pt ~volatile (fun os store ->
+              let got = cas_read_file os victim in
+              let ino = (ok (Kernel.Os.stat os victim)).Kernel.Vfs.st_ino in
+              let bound = Kernel.Cas.binding_of store ino <> None in
+              if Bytes.equal got old_b then begin
+                incr olds;
+                if bound then incr bound_old
+              end
+              else if Bytes.equal got new_b then begin
+                incr news;
+                if bound then
+                  Alcotest.fail
+                    "private COW content served while the binding still stands"
+              end
+              else
+                Alcotest.fail
+                  "torn COW: victim is neither the sealed content nor the \
+                   fully-written copy";
+              Alcotest.(check bytes) "sibling tenant still sealed" old_b
+                (cas_read_file os "/t1/sub/b.bin")))
+        [ false; true ])
+    points;
+  Alcotest.(check bool) "some crashes preserve the sealed content" true
+    (!olds > 0);
+  Alcotest.(check bool) "some crashes land after the write is durable" true
+    (!news > 0);
+  Alcotest.(check bool) "the still-bound old state was observed" true
+    (!bound_old > 0)
+
 let suite =
   [
     tc "oracle errnos" `Quick test_oracle_errnos;
@@ -225,4 +420,8 @@ let suite =
       test_server_crash;
     tc "server crash: injected bug is caught" `Quick
       test_server_crash_inject_bug_is_caught;
+    tc "cas crash mid-seal: manifest all-or-nothing" `Quick
+      test_cas_crash_mid_seal;
+    tc "cas crash mid-cow: old xor new, never a mix" `Quick
+      test_cas_crash_mid_cow;
   ]
