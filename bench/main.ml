@@ -531,6 +531,51 @@ let scaling () =
 
 let server_clients = ref [ 10; 100; 1000 ]
 
+(* Per-tenant SLO monitor summaries of one fleet run: printed, and exported
+   as gated synthetic rows (slo_p99_ms, slo_breaches) so bench-diff flags a
+   tenant class losing its latency objective. *)
+let slo_report ~prefix (summaries : Server.Slo.summary list) =
+  List.iter
+    (fun (s : Server.Slo.summary) ->
+      pf
+        "  slo %-8s target %4.0fms  window p50 %7.2fms p99 %7.2fms  %8.0f \
+         ops/s  over-target %Ld  breaches %Ld\n%!"
+        s.s_tenant
+        (Int64.to_float s.s_target_ns /. 1e6)
+        (Int64.to_float s.s_p50_ns /. 1e6)
+        (Int64.to_float s.s_p99_ns /. 1e6)
+        s.s_throughput s.s_over_target s.s_breaches;
+      record_scalar ~section:"server" ~system:Targets.Bento_fs
+        ~config:(Printf.sprintf "%s-%s-slo-p99" prefix s.s_tenant)
+        ~metric:"slo_p99_ms"
+        (Int64.to_float s.s_p99_ns /. 1e6);
+      record_scalar ~section:"server" ~system:Targets.Bento_fs
+        ~config:(Printf.sprintf "%s-%s-slo-breaches" prefix s.s_tenant)
+        ~metric:"slo_breaches"
+        (Int64.to_float s.s_breaches))
+    summaries
+
+(* Causal-DAG reconstruction of a traced run: the tentpole's acceptance
+   check. Every request observed in the trace must stitch into one
+   connected DAG of spans and flow edges — orphan completions or split
+   components mean a broken propagation hop. *)
+let causal_report ?(system = Targets.Bento_fs) ~section ~config () =
+  if !Targets.trace_enabled then
+    match Targets.last_tracer () with
+    | None -> ()
+    | Some tr ->
+        let evs = Sim.Trace.events tr in
+        let reqs = Sim.Trace.Causal.requests evs in
+        let ratio = Sim.Trace.Causal.connected_ratio evs in
+        pf "  causal: %d requests traced, %.4f reconstructed as connected \
+            DAGs%s\n%!"
+          (List.length reqs) ratio
+          (if Sim.Trace.dropped tr > 0 then
+             Printf.sprintf " (ring dropped %d events)" (Sim.Trace.dropped tr)
+           else "");
+        record_scalar ~section ~system ~config:(config ^ "-causal")
+          ~metric:"causal_connected_ratio" ratio
+
 let server_section () =
   header "Server: multi-tenant fleets, per-tenant-class throughput and p99";
   let counts = List.sort_uniq compare !server_clients in
@@ -548,9 +593,10 @@ let server_section () =
     "p50us" "p99us";
   List.iter
     (fun n ->
+      let slo_out = ref [] in
       let rs =
         Targets.run Targets.Bento_fs (fun _m os ->
-            Workloads.Server_fleet.webserver_fleet os ~nclients:n
+            Workloads.Server_fleet.webserver_fleet os ~slo_out ~nclients:n
               ~duration:(dur ()) ~seed:!seed ())
       in
       List.iter
@@ -558,12 +604,15 @@ let server_section () =
           let config = Printf.sprintf "web-%dc-%s" n tenant in
           record ~section:"server" ~system:Targets.Bento_fs ~config r;
           show config r)
-        rs)
+        rs;
+      slo_report ~prefix:(Printf.sprintf "web-%dc" n) !slo_out;
+      causal_report ~section:"server" ~config:(Printf.sprintf "web-%dc" n) ())
     counts;
   let ci_clients = 40 in
+  let slo_out = ref [] in
   let rs =
     Targets.run Targets.Bento_fs (fun _m os ->
-        Workloads.Server_fleet.ci_fleet os ~nclients:ci_clients
+        Workloads.Server_fleet.ci_fleet os ~slo_out ~nclients:ci_clients
           ~duration:(dur ()) ~seed:!seed ())
   in
   List.iter
@@ -571,7 +620,10 @@ let server_section () =
       let config = Printf.sprintf "ci-%dc-%s" ci_clients tenant in
       record ~section:"server" ~system:Targets.Bento_fs ~config r;
       show config r)
-    rs
+    rs;
+  slo_report ~prefix:(Printf.sprintf "ci-%dc" ci_clients) !slo_out;
+  causal_report ~section:"server" ~config:(Printf.sprintf "ci-%dc" ci_clients)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Coldstart: one sealed Linux-source-style manifest instantiated as N
@@ -639,7 +691,8 @@ let coldstart_section () =
             p99
             r.Workloads.Coldstart.r_warm_device_reads
             r.Workloads.Coldstart.r_device_blocks
-            r.Workloads.Coldstart.r_resident_pages)
+            r.Workloads.Coldstart.r_resident_pages;
+          causal_report ~system:sys ~section:"coldstart" ~config ())
         arms)
     counts
 
@@ -708,6 +761,25 @@ let ablate () =
     (Workloads.Bench_result.ops_per_sec fuse_c)
     (Workloads.Bench_result.ops_per_sec bento_c
     /. max 0.001 (Workloads.Bench_result.ops_per_sec fuse_c));
+  header "Ablation: always-on flight recorder (warm 4KB seq reads, Bento)";
+  let flight_read () =
+    Targets.run Targets.Bento_fs (fun _m os ->
+        Workloads.Micro.read_bench os ~iosize:4096 ~pattern:Workloads.Micro.Seq
+          ~nthreads:1 ~duration:(dur ()) ~file_mb:128 ~seed:!seed)
+  in
+  let fl_on = flight_read () in
+  record ~section:"ablate" ~system:Targets.Bento_fs
+    ~config:"read-seq-4k-flight-on" fl_on;
+  Targets.flight_enabled := false;
+  let fl_off = flight_read () in
+  Targets.flight_enabled := true;
+  record ~section:"ablate" ~system:Targets.Bento_fs
+    ~config:"read-seq-4k-flight-off" fl_off;
+  let on_ops = Workloads.Bench_result.ops_per_sec fl_on in
+  let off_ops = Workloads.Bench_result.ops_per_sec fl_off in
+  pf "warm 4KB reads: recorder on %.0f/s  off %.0f/s  overhead %.2f%%\n%!"
+    on_ops off_ops
+    (if off_ops > 0. then (off_ops -. on_ops) /. off_ops *. 100. else 0.);
   header "Ablation: journaling strategy (varmail ops/s; xv6 sync log vs jbd2 lazy checkpoint)";
   let vm_x =
     Targets.run Targets.Bento_fs (fun _m os ->

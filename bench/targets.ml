@@ -35,6 +35,14 @@ let trace_enabled = ref false  (** additionally enable the span tracer *)
 let profile_enabled = ref false
 (** additionally enable per-layer virtual-time attribution *)
 
+let flight_enabled = ref true
+(** the always-on flight recorder; the ablation section switches it off to
+    price its overhead *)
+
+let trace_capacity = ref (1 lsl 20)
+(** ring slots when tracing: a server fleet sweep emits far more events
+    than the 64Ki default, and causal reconstruction needs the whole run *)
+
 let observations : observation list ref = ref []  (* newest first *)
 
 (** Rename the most recent observation — called by the harness right after
@@ -46,6 +54,9 @@ let relabel_last label =
 
 let last_counters () =
   match !observations with o :: _ -> o.obs_counters | [] -> []
+
+let last_tracer () =
+  match !observations with o :: _ -> Some o.obs_tracer | [] -> None
 
 let last_profile () =
   match !observations with o :: _ -> o.obs_profile | [] -> None
@@ -93,8 +104,11 @@ let print_lock_waits ?(top = 8) ~label p =
 let run ?(disk_blocks = 2 * 1024 * 1024) ?(background = true) ?page_cap
     ?cas_blocks ?label system f =
   let machine = Kernel.Machine.create ~disk_blocks ~block_size:4096 () in
-  if !trace_enabled then
-    Sim.Trace.set_enabled (Kernel.Machine.tracer machine) true;
+  if !trace_enabled then begin
+    Sim.Trace.set_capacity (Kernel.Machine.tracer machine) !trace_capacity;
+    Sim.Trace.set_enabled (Kernel.Machine.tracer machine) true
+  end;
+  Sim.Flight.set_enabled (Kernel.Machine.flight machine) !flight_enabled;
   if !profile_enabled then Sim.Profile.enable (Kernel.Machine.profile machine);
   let result = ref None in
   Kernel.Machine.spawn ~name:"bench" machine (fun () ->

@@ -153,6 +153,134 @@ let crashtest_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let inspect_cmd =
+  let fs_arg =
+    Arg.(
+      value & opt string "bento"
+      & info [ "fs" ] ~doc:"bento | c-kernel | fuse | ext4")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the inspector JSON to $(docv) instead of stdout")
+  in
+  let flight_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:"Write the flight-recorder ring dump to $(docv) instead of \
+                stdout")
+  in
+  let run fsname json_path flight_path =
+    let ok_r = function
+      | Ok v -> v
+      | Error e -> failwith ("inspect: " ^ Kernel.Errno.to_string e)
+    in
+    let machine =
+      Kernel.Machine.create ~disk_blocks:(256 * 1024) ~block_size:4096 ()
+    in
+    let captured = ref Util.Json.Null in
+    Kernel.Machine.spawn machine (fun () ->
+        let os, finish =
+          match fsname with
+          | "bento" ->
+              ok (Bento.Bentofs.mkfs machine xv6);
+              let vfs, h = ok (Bento.Bentofs.mount machine xv6) in
+              (Kernel.Os.create vfs, fun () -> Bento.Bentofs.unmount vfs h)
+          | "c-kernel" ->
+              ok (Vfs_xv6.mkfs machine);
+              let vfs = ok (Vfs_xv6.mount machine) in
+              (Kernel.Os.create vfs, fun () -> Vfs_xv6.unmount vfs)
+          | "fuse" ->
+              ok (Bento.Bentofs.mkfs machine xv6);
+              let vfs, h = ok (Bento_user.mount machine xv6) in
+              (Kernel.Os.create vfs, fun () -> Bento_user.unmount vfs h)
+          | "ext4" ->
+              ok (Ext4sim.Ext4.mkfs machine);
+              let vfs, h = ok (Ext4sim.Ext4.mount machine) in
+              (Kernel.Os.create vfs, fun () -> Ext4sim.Ext4.unmount vfs h)
+          | other -> failwith ("unknown fs: " ^ other)
+        in
+        (* local load so the bcache/log/journal probes have state *)
+        ok (Kernel.Os.mkdir os "/smoke");
+        for i = 0 to 19 do
+          ok
+            (Kernel.Os.write_file os
+               (Printf.sprintf "/smoke/f%02d" i)
+               (Bytes.make 16384 'x'))
+        done;
+        ok (Kernel.Os.sync os);
+        (* a live multi-tenant server so the lease/qos/slo/session probes
+           show real entries at snapshot time *)
+        let server =
+          Server.Fileserver.start machine os
+            {
+              Server.Fileserver.tenants =
+                [
+                  ("gold", { Server.Qos.weight = 4; max_inflight = 16 });
+                  ("bronze", { Server.Qos.weight = 1; max_inflight = 8 });
+                ];
+              max_inflight_total = 32;
+            }
+        in
+        let listener = Server.Fileserver.listener server in
+        let drive tenant =
+          let cl = ok_r (Server.Client.attach machine listener ~tenant) in
+          let root = (Server.Client.root cl).Server.Proto.ino in
+          for i = 0 to 9 do
+            let a =
+              ok_r
+                (Server.Client.create cl ~dir:root
+                   ~name:(Printf.sprintf "%s%02d" tenant i)
+                   ~write:true)
+            in
+            ignore
+              (ok_r
+                 (Server.Client.write cl a.Server.Proto.ino ~off:0
+                    (Bytes.make 4096 'i')));
+            ok_r (Server.Client.commit cl a.Server.Proto.ino)
+          done;
+          cl
+        in
+        let gold = drive "gold" in
+        let bronze = drive "bronze" in
+        (* snapshot while the sessions still hold their write leases *)
+        captured := Kernel.Machine.inspect machine;
+        Server.Client.detach gold;
+        Server.Client.detach bronze;
+        Server.Fileserver.stop server;
+        finish ());
+    Kernel.Machine.run machine;
+    let emit path content what =
+      match path with
+      | None -> print_string content
+      | Some p ->
+          let oc = open_out p in
+          output_string oc content;
+          close_out oc;
+          Printf.eprintf "wrote %s to %s\n%!" what p
+    in
+    emit json_path (Util.Json.to_string !captured ^ "\n") "inspector JSON";
+    emit flight_path
+      (Sim.Flight.render
+         (Kernel.Machine.flight machine)
+         ~reason:"bento_cli inspect" ~req:0L)
+      "flight ring"
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Bring up a stack plus the multi-tenant server, run a smoke \
+          workload, and dump the live internal-state inspectors (bcache \
+          residency, CAS page table, lease table, WFQ depths, journal \
+          state, SLO windows) and the flight-recorder ring")
+    Term.(const run $ fs_arg $ json_out $ flight_out)
+
+(* ------------------------------------------------------------------ *)
+
 let bugstudy_cmd =
   let run () = Format.printf "%a" Bugstudy.Study.pp_table1 () in
   Cmd.v (Cmd.info "bugstudy" ~doc:"Print the Table 1 bug study") Term.(const run $ const ())
@@ -348,6 +476,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            layout_cmd; smoke_cmd; crashtest_cmd; bugstudy_cmd; check_cmd;
-            benchdiff_cmd;
+            layout_cmd; smoke_cmd; crashtest_cmd; inspect_cmd; bugstudy_cmd;
+            check_cmd; benchdiff_cmd;
           ]))

@@ -153,6 +153,11 @@ module type KSERVICES = sig
   (** Sample a counter time-series on the machine tracer (e.g. log free
       space) for Perfetto counter tracks. *)
 
+  val register_inspector : string -> (unit -> (string * int) list) -> unit
+  (** Expose live fs-internal state (log free blocks, outstanding ops,
+      ...) under a name in the machine's inspect dump
+      ([bento_cli inspect]). The probe runs only when a dump is taken. *)
+
   val printk : string -> unit
   (** Kernel log line (dmesg), tagged with the machine's virtual time. *)
 end
@@ -329,6 +334,11 @@ let kernel_services ?nblocks_cap (machine : Kernel.Machine.t)
     let trace_counter name v =
       Sim.Trace.counter (Kernel.Machine.tracer machine) ~cat:"fs" name
         (Int64.of_int v)
+
+    let register_inspector name probe =
+      Kernel.Machine.register_inspector machine ~name (fun () ->
+          Util.Json.Obj
+            (List.map (fun (k, v) -> (k, Util.Json.Int v)) (probe ())))
 
     let printk msg = Kernel.Printk.info machine "%s" msg
   end)

@@ -151,6 +151,11 @@ let user_services ?nblocks_cap (machine : Kernel.Machine.t)
       Sim.Trace.counter (Kernel.Machine.tracer machine) ~cat:"fs" name
         (Int64.of_int v)
 
+    let register_inspector name probe =
+      Kernel.Machine.register_inspector machine ~name (fun () ->
+          Util.Json.Obj
+            (List.map (fun (k, v) -> (k, Util.Json.Int v)) (probe ())))
+
     let printk msg = Kernel.Printk.info machine "fuse-daemon: %s" msg
   end)
 

@@ -240,17 +240,33 @@ let write_cmd t ~start bufs =
    [config.channels] busy) while commands queue, transfer and complete.
    The completion carries either the command's result or its exception,
    re-raised at [await] — a fire-and-forget submitter (readahead) simply
-   never observes a late failure. *)
+   never observes a late failure.
 
-type completion = (Bytes.t array, exn) result Sim.Sync.Ivar.t
+   Each async hop is bracketed by tracer flow edges: submitter -> device
+   fiber at submit, device fiber -> awaiter at completion. The device
+   fiber inherits the submitter's request context at spawn, so every
+   event it emits carries the right reqid, and the flow edges are what
+   let [Trace.Causal] stitch the request back into one connected DAG. *)
+
+type completion = {
+  c_ivar : (Bytes.t array, exn) result Sim.Sync.Ivar.t;
+  c_tracer : Sim.Trace.t;
+  mutable c_flow : int64;
+      (** flow edge opened by the device fiber when it fills the ivar,
+          closed by the awaiter; 0 until completion (or while tracing is
+          off) *)
+}
 
 let submit t ~name run =
-  let iv : completion = Sim.Sync.Ivar.create () in
+  let c = { c_ivar = Sim.Sync.Ivar.create (); c_tracer = t.tracer; c_flow = 0L } in
+  let submit_edge = Sim.Trace.flow_begin t.tracer ~cat:"device" name in
   ignore
     (Sim.Engine.spawn ~name t.engine (fun () ->
+         Sim.Trace.flow_end t.tracer ~cat:"device" name submit_edge;
          let r = match run () with v -> Ok v | exception e -> Error e in
-         Sim.Sync.Ivar.fill iv r));
-  iv
+         c.c_flow <- Sim.Trace.flow_begin t.tracer ~cat:"device" (name ^ ":done");
+         Sim.Sync.Ivar.fill c.c_ivar r));
+  c
 
 let submit_read t ~start ~count =
   if count <= 0 then invalid_arg "Ssd.submit_read: empty";
@@ -268,9 +284,11 @@ let submit_write t ~start bufs =
       [||])
 
 let await c =
-  match Sim.Sync.Ivar.read c with Ok v -> v | Error e -> raise e
+  let r = Sim.Sync.Ivar.read c.c_ivar in
+  Sim.Trace.flow_end c.c_tracer ~cat:"device" "ssd:done" c.c_flow;
+  match r with Ok v -> v | Error e -> raise e
 
-let is_complete c = Sim.Sync.Ivar.is_full c
+let is_complete c = Sim.Sync.Ivar.is_full c.c_ivar
 
 (** Read [count] contiguous blocks as one device command. *)
 let read_contig t ~start ~count = await (submit_read t ~start ~count)

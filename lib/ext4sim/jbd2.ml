@@ -46,29 +46,43 @@ let handle_max_blocks = 64
 let bsize = Layout4.block_size
 
 let create ?(commit_interval = Sim.Time.sec 5) machine bc ~jstart ~jlen =
-  {
-    machine;
-    bc;
-    jsb_block = jstart;
-    area_start = jstart + 1;
-    capacity = jlen - 1;
-    lock = Sim.Sync.Mutex.create ~name:"jbd2" ();
-    cond = Sim.Sync.Condvar.create ();
-    sequence = 1;
-    seq_done = 0;
-    head = 0;
-    handles = 0;
-    committing = false;
-    force_waiters = 0;
-    running = Hashtbl.create 256;
-    running_order = [];
-    checkpoint_queue = [];
-    cp_blocks = 0;
-    commits = 0;
-    checkpoints = 0;
-    active = true;
-    commit_interval;
-  }
+  let t =
+    {
+      machine;
+      bc;
+      jsb_block = jstart;
+      area_start = jstart + 1;
+      capacity = jlen - 1;
+      lock = Sim.Sync.Mutex.create ~name:"jbd2" ();
+      cond = Sim.Sync.Condvar.create ();
+      sequence = 1;
+      seq_done = 0;
+      head = 0;
+      handles = 0;
+      committing = false;
+      force_waiters = 0;
+      running = Hashtbl.create 256;
+      running_order = [];
+      checkpoint_queue = [];
+      cp_blocks = 0;
+      commits = 0;
+      checkpoints = 0;
+      active = true;
+      commit_interval;
+    }
+  in
+  Kernel.Machine.register_inspector machine ~name:"jbd2" (fun () ->
+      Util.Json.Obj
+        [
+          ("capacity", Util.Json.Int t.capacity);
+          ("free_blocks", Util.Json.Int (t.capacity - t.head));
+          ("running_blocks", Util.Json.Int (Hashtbl.length t.running));
+          ("checkpoint_blocks", Util.Json.Int t.cp_blocks);
+          ("handles", Util.Json.Int t.handles);
+          ("commits", Util.Json.Int t.commits);
+          ("checkpoints", Util.Json.Int t.checkpoints);
+        ]);
+  t
 
 let write_jsb t =
   let b = Kernel.Bcache.getblk t.bc t.jsb_block in

@@ -94,16 +94,38 @@ let create ?(capacity = 8192) ?shards machine =
   in
   let gstats = Sim.Stats.create () in
   Machine.register_stats machine ~prefix:"bcache" gstats;
-  {
-    machine;
-    dev = Machine.disk machine;
-    tracer = Machine.tracer machine;
-    capacity;
-    nshards;
-    shards = Array.init nshards mk;
-    gstats;
-    merged = Sim.Stats.create ();
-  }
+  let t =
+    {
+      machine;
+      dev = Machine.disk machine;
+      tracer = Machine.tracer machine;
+      capacity;
+      nshards;
+      shards = Array.init nshards mk;
+      gstats;
+      merged = Sim.Stats.create ();
+    }
+  in
+  (* Live residency probe: how full (and how dirty) each shard is right
+     now — the view `bento_cli inspect` dumps. *)
+  Machine.register_inspector machine ~name:"bcache" (fun () ->
+      let open Util.Json in
+      let shard s =
+        let dirty = ref 0 in
+        Hashtbl.iter (fun _ b -> if b.dirty then incr dirty) s.table;
+        Obj
+          [
+            ("cap", Int s.cap);
+            ("resident", Int (Hashtbl.length s.table));
+            ("dirty", Int !dirty);
+          ]
+      in
+      Obj
+        [
+          ("capacity", Int t.capacity);
+          ("shards", List (Array.to_list (Array.map shard t.shards)));
+        ]);
+  t
 
 let shard_of t block = t.shards.(block mod t.nshards)
 let block_size t = Device.Ssd.block_size t.dev

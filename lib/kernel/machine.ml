@@ -10,10 +10,15 @@ type t = {
   stats : Sim.Stats.t;
   tracer : Sim.Trace.t;
   profile : Sim.Profile.t;
+  flight : Sim.Flight.t;
   mutable registries : (string * Sim.Stats.t) list;
       (** stats registries of attached subsystems (bcache, fuse transport,
           ...), newest first, each under a dotted prefix — so one snapshot
           covers the whole stack *)
+  mutable inspectors : (string * (unit -> Util.Json.t)) list;
+      (** live internal-state probes (bcache residency, lease table, WFQ
+          depths, ...), newest first, keyed by name — [inspect] snapshots
+          them all *)
 }
 
 let create ?(cost = Cost.default) ?config ~disk_blocks ~block_size () =
@@ -25,6 +30,7 @@ let create ?(cost = Cost.default) ?config ~disk_blocks ~block_size () =
       ~block_size engine
   in
   let stats = Sim.Stats.create () in
+  let flight = Sim.Flight.create ~cpus:cost.Cost.ncores engine tracer in
   {
     engine;
     cpu = Sim.Resource.create ~name:"cpu" cost.Cost.ncores;
@@ -33,7 +39,9 @@ let create ?(cost = Cost.default) ?config ~disk_blocks ~block_size () =
     stats;
     tracer;
     profile;
+    flight;
     registries = [ ("machine", stats); ("ssd", Device.Ssd.stats disk) ];
+    inspectors = [];
   }
 
 let engine t = t.engine
@@ -42,6 +50,7 @@ let cost t = t.cost
 let stats t = t.stats
 let tracer t = t.tracer
 let profile t = t.profile
+let flight t = t.flight
 let now t = Sim.Engine.now t.engine
 
 (** Run [f] under profiler layer frame [layer] (no-op while profiling is
@@ -52,6 +61,37 @@ let with_layer t layer f = Sim.Profile.with_frame t.profile layer f
     counter snapshots include it. Registering the same prefix twice (e.g.
     mount/remount creating two bcaches) is fine: snapshots sum by name. *)
 let register_stats t ~prefix stats = t.registries <- (prefix, stats) :: t.registries
+
+(** Register a live internal-state probe under [name] — a function that,
+    when {!inspect} runs, snapshots some subsystem's current state as
+    JSON (bcache residency per shard, lease table, WFQ queue depths,
+    journal free blocks, ...). Re-registering a name shadows the older
+    probe (mount/remount). *)
+let register_inspector t ~name probe =
+  t.inspectors <- (name, probe) :: t.inspectors
+
+(** Snapshot every registered inspector as one JSON object, name-sorted;
+    a probe that raises reports the exception instead of aborting the
+    dump (inspection must work on a wedged machine). *)
+let inspect t : Util.Json.t =
+  let seen = Hashtbl.create 16 in
+  let fields =
+    List.filter_map
+      (fun (name, probe) ->
+        if Hashtbl.mem seen name then None
+        else begin
+          Hashtbl.replace seen name ();
+          let v =
+            try probe ()
+            with exn ->
+              Util.Json.Obj [ ("error", Util.Json.String (Printexc.to_string exn)) ]
+          in
+          Some (name, v)
+        end)
+      t.inspectors
+  in
+  Util.Json.Obj
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
 
 (** All counters of the machine and its registered subsystems as
     ["prefix.name"] pairs, sorted; duplicate names are summed. *)

@@ -24,6 +24,10 @@ val profile : t -> Sim.Profile.t
 (** The machine-wide virtual-time profiler (disabled by default); shared
     with the attached device so attribution covers syscall-to-flash. *)
 
+val flight : t -> Sim.Flight.t
+(** The machine-wide flight recorder: always on (one ring per core),
+    free in virtual time, dumped on triggers (slow op, error, oracle). *)
+
 val with_layer : t -> string -> (unit -> 'a) -> 'a
 (** Run a function under a profiler layer frame ("vfs", "bcache", "log",
     ...); just calls the function while profiling is disabled. *)
@@ -36,6 +40,17 @@ val register_stats : t -> prefix:string -> Sim.Stats.t -> unit
 val counter_snapshot : t -> (string * int64) list
 (** All counters of the machine's own registry (prefix "machine"), the
     device ("ssd"), and every registered subsystem, name-sorted. *)
+
+val register_inspector : t -> name:string -> (unit -> Util.Json.t) -> unit
+(** Register a live internal-state probe (bcache residency per shard,
+    lease table, WFQ queue depths, journal free blocks, ...). Probes run
+    only when {!inspect} is called; re-registering a name shadows the
+    older probe. *)
+
+val inspect : t -> Util.Json.t
+(** Snapshot every registered inspector as one name-sorted JSON object.
+    A probe that raises contributes an ["error"] object instead of
+    aborting — inspection must work on a wedged machine. *)
 
 val now : t -> int64
 

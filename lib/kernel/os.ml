@@ -26,6 +26,12 @@ type t = {
   max_files : int;
   sys_lat : Sim.Stats.Histogram.t;  (** entry-to-exit latency, all syscalls *)
   sys_count : Sim.Stats.Counter.t;
+  mutable slow_ns : int64 option;
+      (** latency threshold: a syscall exceeding it triggers a
+          flight-recorder dump *)
+  mutable trigger_errors : bool;
+      (** dump on syscalls returning [Error _] (off by default: ENOENT
+          probes are routine in workloads) *)
 }
 
 type 'a res = ('a, Errno.t) result
@@ -41,9 +47,13 @@ let create ?(max_files = 65536) vfs =
     max_files;
     sys_lat = Machine.histogram machine "syscall_lat";
     sys_count = Machine.counter machine "syscalls";
+    slow_ns = None;
+    trigger_errors = false;
   }
 
 let vfs t = t.vfs
+let set_slow_threshold t ns = t.slow_ns <- ns
+let set_trigger_errors t b = t.trigger_errors <- b
 
 let charge_syscall t =
   let c = Machine.cost (Vfs.machine t.vfs) in
@@ -52,21 +62,73 @@ let charge_syscall t =
 (* Every syscall body runs inside this wrapper: it charges the
    user/kernel crossing, emits a tracer span named after the call, and
    records entry-to-exit virtual latency. The span begins before the
-   crossing charge so queueing for a CPU core is attributed to the call. *)
-let syscall t name f =
+   crossing charge so queueing for a CPU core is attributed to the call.
+
+   The wrapper also anchors the request context: a fiber arriving with no
+   reqid (a local mount) gets one minted for the duration of the call, so
+   every span, flow and flight entry below it — down to the device
+   completion fibers, which inherit the context at spawn — carries the
+   same id. A server handler that already set a per-request context keeps
+   it. Entry lands in the flight recorder; a call that exceeds the slow
+   threshold or raises triggers a dump with the request's causal trace. *)
+let syscall_plain t name f =
   let machine = Vfs.machine t.vfs in
   let tr = Machine.tracer machine in
+  let fl = Machine.flight machine in
+  let eng = Machine.engine machine in
   Sim.Stats.Counter.incr t.sys_count;
+  let minted = Sim.Engine.current_req eng = 0L in
+  if minted then Sim.Engine.set_current_req eng (Sim.Engine.next_req_id eng);
+  let clear_req () = if minted then Sim.Engine.set_current_req eng 0L in
   (* The whole syscall body runs under the "vfs" profiler frame; deeper
      layers (fs, bcache, device) push their own frames on top. *)
   Machine.with_layer machine "vfs" (fun () ->
       Sim.Trace.span_begin tr ~cat:"syscall" name;
+      Sim.Flight.note fl ~kind:"syscall" name;
       let t0 = Machine.now machine in
       charge_syscall t;
-      let r = f () in
-      Sim.Stats.Histogram.record t.sys_lat (Int64.sub (Machine.now machine) t0);
-      Sim.Trace.span_end tr ~cat:"syscall" name;
-      r)
+      match f () with
+      | r ->
+          let lat = Int64.sub (Machine.now machine) t0 in
+          Sim.Stats.Histogram.record t.sys_lat lat;
+          Sim.Trace.span_end tr ~cat:"syscall" name;
+          (match t.slow_ns with
+          | Some thr when Int64.compare lat thr > 0 ->
+              ignore
+                (Sim.Flight.trigger fl
+                   (Printf.sprintf "slow syscall %s: %Ld ns > threshold %Ld ns"
+                      name lat thr))
+          | _ -> ());
+          clear_req ();
+          r
+      | exception exn ->
+          (* Oracle failures and fault-injection surface as exceptions:
+             capture the dump before unwinding kills the fiber. *)
+          Sim.Flight.note ~sev:Sim.Flight.Error fl ~kind:"syscall"
+            (Printf.sprintf "%s raised %s" name (Printexc.to_string exn));
+          ignore
+            (Sim.Flight.trigger fl
+               (Printf.sprintf "syscall %s raised %s" name
+                  (Printexc.to_string exn)));
+          clear_req ();
+          raise exn)
+
+(* Result-returning syscalls (all but [statfs]) also log errno returns to
+   the flight recorder, and — when [set_trigger_errors] — dump on them. *)
+let syscall t name (f : unit -> 'a res) : 'a res =
+  syscall_plain t name (fun () ->
+      match f () with
+      | Error e as r ->
+          let fl = Machine.flight (Vfs.machine t.vfs) in
+          Sim.Flight.note ~sev:Sim.Flight.Warn fl ~kind:"errno"
+            (Printf.sprintf "%s -> %s" name (Errno.to_string e));
+          if t.trigger_errors then
+            ignore
+              (Sim.Flight.trigger fl
+                 (Printf.sprintf "syscall %s returned %s" name
+                    (Errno.to_string e)));
+          r
+      | r -> r)
 
 (* ------------------------------------------------------------------ *)
 (* Path resolution.                                                    *)
@@ -391,7 +453,7 @@ let readdir t path : Vfs.dirent list res =
 let sync t : unit res = syscall t "sync" @@ fun () -> Vfs.sync t.vfs
 
 let statfs t : Vfs.statfs =
-  syscall t "statfs" @@ fun () -> (Vfs.ops t.vfs).Vfs.statfs ()
+  syscall_plain t "statfs" @@ fun () -> (Vfs.ops t.vfs).Vfs.statfs ()
 
 (* Convenience helpers used by examples and workloads. *)
 

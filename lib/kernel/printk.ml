@@ -21,9 +21,19 @@ let level_enabled l =
   | Debug, _ -> true
   | _, Quiet -> false
 
+let severity_of = function
+  | Err -> Sim.Flight.Error
+  | Info -> Sim.Flight.Info
+  | Debug | Quiet -> Sim.Flight.Debug
+
 let emit machine l fmt =
   Printf.ksprintf
     (fun s ->
+      (* Every line lands in the flight recorder regardless of the stderr
+         level, so triggered dumps interleave kernel log lines with the
+         op/IO entries in event order. *)
+      Sim.Flight.note ~sev:(severity_of l) (Machine.flight machine)
+        ~kind:"printk" s;
       if level_enabled l then
         Printf.eprintf "[%12.6f] %s\n%!"
           (Int64.to_float (Machine.now machine) /. 1e9)

@@ -311,7 +311,7 @@ let insert_page t v index p =
 let debug_accounting = ref false
 let set_debug_accounting b = debug_accounting := b
 
-let check_accounting t =
+let check_accounting_body t =
   let dirty = ref 0 and pages = ref 0 in
   Hashtbl.iter
     (fun _ v ->
@@ -375,6 +375,17 @@ let check_accounting t =
               (Printf.sprintf
                  "vfs: %d aliases of cas hash %Lx but no shared entry" n h))
         aliases
+
+(* The oracle firing is exactly the moment the flight recorder exists
+   for: capture the ring and the current request's causal trace before
+   the failure unwinds the fiber. *)
+let check_accounting t =
+  try check_accounting_body t
+  with Failure msg as e ->
+    ignore
+      (Sim.Flight.trigger (Machine.flight t.machine)
+         ("accounting oracle: " ^ msg));
+    raise e
 
 let cached_pages t = Pcpu.read t.total_pages
 let dirty_pages t = Pcpu.read t.total_dirty
@@ -568,6 +579,42 @@ let mount ?(dirty_limit = 48 * 256) ?(page_cap = 131072) ?(background = true)
     }
   in
   if background then start_flusher t;
+  (* Live page-cache and CAS shared-page-table probes for
+     `bento_cli inspect`. *)
+  Machine.register_inspector machine ~name:"vfs" (fun () ->
+      let open Util.Json in
+      Obj
+        [
+          ("fs", String t.ops.fs_name);
+          ("vnodes", Int (Hashtbl.length t.vnodes));
+          ("cached_pages", Int (Pcpu.read t.total_pages));
+          ("dirty_pages", Int (Pcpu.read t.total_dirty));
+          ("page_cap", Int t.page_cap);
+          ("dirty_limit", Int t.dirty_limit);
+        ]);
+  Machine.register_inspector machine ~name:"cas" (fun () ->
+      let open Util.Json in
+      match t.cas with
+      | None -> Obj [ ("bound", Bool false) ]
+      | Some c ->
+          let table = c.cas_debug_refs () in
+          let total_refs = List.fold_left (fun a (_, r) -> a + r) 0 table in
+          Obj
+            [
+              ("bound", Bool true);
+              ("resident_pages", Int (List.length table));
+              ("total_refs", Int total_refs);
+              ( "pages",
+                List
+                  (List.map
+                     (fun (h, refs) ->
+                       Obj
+                         [
+                           ("hash", String (Printf.sprintf "%Lx" h));
+                           ("refs", Int refs);
+                         ])
+                     table) );
+            ]);
   Printk.info machine "vfs: mounted %s (root ino %d, wb_batch %d)"
     ops.fs_name ops.root_ino ops.wb_batch;
   t

@@ -48,6 +48,7 @@ type t = {
   mutable sv_stopped : bool;
   sv_req_lat : Sim.Stats.Histogram.t;
   sv_malformed : Sim.Stats.Counter.t;
+  sv_slo : Slo.t;
 }
 
 let ( let* ) = Result.bind
@@ -56,6 +57,7 @@ let machine t = t.sv_machine
 let listener t = t.sv_listener
 let qos t = t.sv_qos
 let leases t = t.sv_leases
+let slo t = t.sv_slo
 let root_ino t = t.sv_root
 
 let change_of t ino =
@@ -248,6 +250,10 @@ let lease_plan t (req : Proto.request) : (int * Lease.kind) option =
 let handle t (sess : session) xid (req : Proto.request) =
   let t0 = Kernel.Machine.now t.sv_machine in
   let tenant = sess.s_tenant in
+  Sim.Flight.note
+    (Kernel.Machine.flight t.sv_machine)
+    ~kind:"server"
+    (Printf.sprintf "%s xid=%d tenant=%s" (Proto.request_name req) xid tenant);
   let cost = request_cost req in
   let reply =
     match req with
@@ -322,8 +328,9 @@ let handle t (sess : session) xid (req : Proto.request) =
                     Kernel.Machine.with_layer t.sv_machine "server" (fun () ->
                         exec t req))))
   in
-  Sim.Stats.Histogram.record t.sv_req_lat
-    (Int64.sub (Kernel.Machine.now t.sv_machine) t0);
+  let lat = Int64.sub (Kernel.Machine.now t.sv_machine) t0 in
+  Sim.Stats.Histogram.record t.sv_req_lat lat;
+  Slo.record t.sv_slo ~tenant lat;
   send_reply sess xid reply;
   (* Only once the granting reply is on the wire may the lease be
      recalled — a recall overtaking its grant would be acked by a client
@@ -399,8 +406,20 @@ let serve_conn t (conn : Wire.conn) =
                 send_reply s xid Proto.R_ok;
                 Wire.close conn
             | req, Some s ->
+                (* Mint the causal request id from the wire xid arrival:
+                   set it on the session fiber so the handler fiber
+                   inherits it at spawn, and stitch the cross-fiber hop
+                   with a dispatch flow edge. The session fiber drops the
+                   id right after — decoding the next request is not part
+                   of this one. *)
+                let eng = Kernel.Machine.engine t.sv_machine in
+                let tr = Kernel.Machine.tracer t.sv_machine in
+                Sim.Engine.set_current_req eng (Sim.Engine.next_req_id eng);
+                let edge = Sim.Trace.flow_begin tr ~cat:"server" "server:dispatch" in
                 Kernel.Machine.spawn ~name:"server-op" t.sv_machine (fun () ->
-                    handle t s xid req)));
+                    Sim.Trace.flow_end tr ~cat:"server" "server:dispatch" edge;
+                    handle t s xid req);
+                Sim.Engine.set_current_req eng 0L));
         loop ()
   in
   loop ()
@@ -412,6 +431,7 @@ let start machine os (config : config) : t =
   let listener = Wire.listen machine in
   let qos = Qos.create machine ~max_total:config.max_inflight_total config.tenants in
   let leases = Lease.create machine in
+  let slo = Slo.create machine (List.map fst config.tenants) in
   let root =
     match Kernel.Os.stat os "/" with
     | Ok st -> st.Kernel.Vfs.st_ino
@@ -434,9 +454,18 @@ let start machine os (config : config) : t =
       sv_stopped = false;
       sv_req_lat = Kernel.Machine.histogram machine "server_req_lat";
       sv_malformed = Kernel.Machine.counter machine "server_malformed";
+      sv_slo = slo;
     }
   in
   Lease.set_recall leases (fun ~session ~ino -> recall_session t ~session ~ino);
+  Kernel.Machine.register_inspector machine ~name:"leases" (fun () ->
+      Lease.inspect leases);
+  Kernel.Machine.register_inspector machine ~name:"qos" (fun () ->
+      Qos.inspect qos);
+  Kernel.Machine.register_inspector machine ~name:"slo" (fun () ->
+      Slo.inspect slo);
+  Kernel.Machine.register_inspector machine ~name:"sessions" (fun () ->
+      Util.Json.Obj [ ("count", Util.Json.Int (Hashtbl.length t.sv_sessions)) ]);
   (* Lease hook: a write underneath the server (not through a session)
      bumps the change attribute and breaks the leases on that inode, as if
      a conflicting local writer had opened the file. *)

@@ -225,3 +225,51 @@ let durable_holders t ino =
   r
 
 let recall_count t = Sim.Stats.Counter.get t.recalls
+
+(** Live lease-table probe for [Machine.inspect]: every leased inode with
+    its holders (session, kind, pins, durable/recalled/ready flags). *)
+let inspect t =
+  let open Util.Json in
+  Sim.Sync.Mutex.lock t.mu;
+  let entries =
+    Hashtbl.fold
+      (fun ino e acc -> if e.holders = [] then acc else (ino, e) :: acc)
+      t.entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let r =
+    Obj
+      [
+        ("inodes", Int (List.length entries));
+        ("recalls", Int (Int64.to_int (Sim.Stats.Counter.get t.recalls)));
+        ( "entries",
+          List
+            (List.map
+               (fun (ino, e) ->
+                 Obj
+                   [
+                     ("ino", Int ino);
+                     ( "holders",
+                       List
+                         (List.map
+                            (fun h ->
+                              Obj
+                                [
+                                  ("session", Int h.h_session);
+                                  ( "kind",
+                                    String
+                                      (match h.h_kind with
+                                      | Read -> "read"
+                                      | Write -> "write") );
+                                  ("pins", Int h.h_pins);
+                                  ("durable", Bool h.h_durable);
+                                  ("recalled", Bool h.h_recalled);
+                                  ("ready", Bool h.h_ready);
+                                ])
+                            e.holders) );
+                   ])
+               entries) );
+      ]
+  in
+  Sim.Sync.Mutex.unlock t.mu;
+  r

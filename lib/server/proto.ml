@@ -68,6 +68,23 @@ let opcode = function
   | Lease_return _ -> 13
   | Detach -> 14
 
+(** Human-readable op name, for flight-recorder notes and trace labels. *)
+let request_name = function
+  | Attach _ -> "attach"
+  | Lookup _ -> "lookup"
+  | Getattr _ -> "getattr"
+  | Open _ -> "open"
+  | Create _ -> "create"
+  | Mkdir _ -> "mkdir"
+  | Unlink _ -> "unlink"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Commit _ -> "commit"
+  | Readdir _ -> "readdir"
+  | Release _ -> "release"
+  | Lease_return _ -> "lease_return"
+  | Detach -> "detach"
+
 exception Malformed of string
 (* internal only: the public decoders catch it and return [Error _] *)
 

@@ -179,3 +179,29 @@ let tenant_stats t name =
     ts_max_inflight = tn.t_max_inflight;
     ts_wait = tn.t_wait;
   }
+
+(** Live queue-depth probe for [Machine.inspect]: per-tenant queued
+    waiters, inflight slots, high-water mark and completions, plus the
+    global slot pool. *)
+let inspect t =
+  let open Util.Json in
+  let tenants =
+    List.map
+      (fun name ->
+        let tn = tenant_exn t name in
+        ( name,
+          Obj
+            [
+              ("queued", Int (Queue.length tn.t_queue));
+              ("inflight", Int tn.t_inflight);
+              ("max_inflight", Int tn.t_max_inflight);
+              ("completed", Int tn.t_completed);
+            ] ))
+      t.order
+  in
+  Obj
+    [
+      ("total_inflight", Int t.total_inflight);
+      ("max_total", Int t.max_total);
+      ("tenants", Obj tenants);
+    ]

@@ -14,6 +14,9 @@ type fiber = {
   fid : int;
   name : string;
   mutable dead : bool;
+  mutable req : int64;
+      (** request context: the causal request id the fiber is working on
+          behalf of, inherited by fibers it spawns; 0 = none *)
 }
 
 type t = {
@@ -33,6 +36,12 @@ type t = {
   mutable on_lock_wait : (string -> int64 -> unit) option;
       (** called as [hook lock_name wait_ns] when a fiber resumes after
           blocking on a named synchronisation primitive *)
+  mutable next_req : int64;
+      (** request-id mint; ids are engine-unique and never reused *)
+  mutable on_fiber_exit : (int -> unit) option;
+      (** called with the fid of a fiber whose body returned normally,
+          while the fiber is still current — used by [Trace] to detect
+          spans begun but never ended *)
 }
 
 type _ Effect.t +=
@@ -52,12 +61,29 @@ let create () =
     trace = false;
     on_advance = None;
     on_lock_wait = None;
+    next_req = 0L;
+    on_fiber_exit = None;
   }
 
 let now t = t.now
 let set_trace t b = t.trace <- b
 let set_advance_hook t hook = t.on_advance <- hook
 let set_lock_wait_hook t hook = t.on_lock_wait <- hook
+let set_fiber_exit_hook t hook = t.on_fiber_exit <- hook
+
+(** Request context of the currently running fiber (0 = none). New fibers
+    inherit the spawner's context, so a request's identity follows the
+    work across async hops — server handler to device completion fiber —
+    without any call-site plumbing. *)
+let current_req t = match t.running with Some f -> f.req | None -> 0L
+
+let set_current_req t r =
+  match t.running with Some f -> f.req <- r | None -> ()
+
+(** Mint a fresh engine-unique request id (never 0). *)
+let next_req_id t =
+  t.next_req <- Int64.add t.next_req 1L;
+  t.next_req
 
 (* Fire the advance hook for a move of the clock to [time] on behalf of
    fiber [fid]. Zero-delta moves are skipped: only real time needs owners. *)
@@ -90,6 +116,9 @@ let start_fiber t fiber f =
        {
          retc =
            (fun () ->
+             (match t.on_fiber_exit with
+             | Some hook -> hook fiber.fid
+             | None -> ());
              fiber.dead <- true;
              t.live_fibers <- t.live_fibers - 1);
          exnc =
@@ -132,7 +161,8 @@ let start_fiber t fiber f =
   t.running <- saved
 
 let spawn ?(name = "fiber") t f =
-  let fiber = { fid = t.next_fid; name; dead = false } in
+  let req = match t.running with Some f -> f.req | None -> 0L in
+  let fiber = { fid = t.next_fid; name; dead = false; req } in
   t.next_fid <- t.next_fid + 1;
   t.live_fibers <- t.live_fibers + 1;
   schedule_owned t ~fid:fiber.fid t.now (fun () -> start_fiber t fiber f);

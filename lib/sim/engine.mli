@@ -48,6 +48,32 @@ val set_lock_wait_hook : t -> (string -> int64 -> unit) option -> unit
     causes them, never to waiters), so contention profiling needs this
     separate channel — see {!Profile}. *)
 
+val set_fiber_exit_hook : t -> (int -> unit) option -> unit
+(** Install (or clear) a hook called with the fid of each fiber whose body
+    returns normally, while that fiber is still current. Fibers that exit
+    by raising are skipped — the exception already reports the failure.
+    Used by {!Trace}'s debug mode to detect unbalanced spans. *)
+
+(** {1 Request context}
+
+    A request id is an engine-unique [int64] (0 = none) carried by each
+    fiber and inherited by fibers it spawns — so the identity of "the
+    request being served" follows the work across async hops (handler
+    fiber to device completion fiber) with no call-site plumbing. {!Trace}
+    stamps it on every event, which is what lets a causal trace be
+    reassembled per request. *)
+
+val current_req : t -> int64
+(** Request context of the currently running fiber (0 outside a fiber or
+    when none was set). *)
+
+val set_current_req : t -> int64 -> unit
+(** Set (or, with 0, clear) the current fiber's request context. No-op
+    outside fiber context. *)
+
+val next_req_id : t -> int64
+(** Mint a fresh engine-unique request id (never 0). *)
+
 val schedule_at : t -> int64 -> (unit -> unit) -> unit
 (** Run a callback at an absolute virtual time (>= [now t]). *)
 

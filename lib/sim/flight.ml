@@ -1,0 +1,200 @@
+(** Always-on flight recorder: fixed-size per-CPU rings of compact recent
+    events, plus triggered dumps.
+
+    The recorder is the "what just happened" channel that stays on in
+    every run, including benchmarks: recording an entry is a few stores
+    into a preallocated ring — no sleeps, no CPU accounting — so it is
+    invisible to virtual time by construction. Entries are compact
+    (timestamp, fiber, request context, severity, kind, message) and land
+    in the ring of the CPU the fiber hashes to, oldest overwritten first.
+
+    When something goes wrong — an op over its latency threshold, an error
+    return, an accounting oracle firing — the caller [trigger]s a dump:
+    the merged ring contents plus the offending request's full causal
+    trace (every tracer event stamped with that reqid) are rendered to
+    text, kept as [last_dump], written to [dump_dir] when one is set, and
+    handed to the [on_dump] hook. Dumps are capped per recorder so a
+    pathological run cannot flood the disk. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_label = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type entry = {
+  e_ts : int64;  (** virtual nanoseconds *)
+  e_fid : int;
+  e_req : int64;  (** request context at record time, 0 = none *)
+  e_sev : severity;
+  e_kind : string;  (** event class: "syscall", "printk", "trigger", ... *)
+  e_msg : string;
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+      (** the machine tracer, consulted at dump time for the offending
+          request's causal events *)
+  rings : entry option array array;  (** one ring per CPU *)
+  heads : int array;
+  lens : int array;
+  mutable enabled : bool;
+  mutable recorded : int;  (** entries ever recorded *)
+  mutable dumps : int;
+  mutable max_dumps : int;
+  mutable dump_dir : string option;
+  mutable last_dump : (string * string) option;  (** reason, content *)
+  mutable on_dump : (string -> string -> unit) option;
+}
+
+let default_ring = 512
+
+(** An enabled recorder with [cpus] rings of [ring_size] entries each. *)
+let create ?(ring_size = default_ring) ?(cpus = 4) engine trace =
+  if ring_size < 1 || cpus < 1 then invalid_arg "Flight.create";
+  {
+    engine;
+    trace;
+    rings = Array.init cpus (fun _ -> Array.make ring_size None);
+    heads = Array.make cpus 0;
+    lens = Array.make cpus 0;
+    enabled = true;
+    recorded = 0;
+    dumps = 0;
+    max_dumps = 16;
+    dump_dir = None;
+    last_dump = None;
+    on_dump = None;
+  }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+let recorded t = t.recorded
+let dump_count t = t.dumps
+let set_max_dumps t n = t.max_dumps <- n
+let set_dump_dir t d = t.dump_dir <- d
+let set_on_dump t hook = t.on_dump <- hook
+let last_dump t = t.last_dump
+
+(** Record one entry (a few stores; free in virtual time). *)
+let note ?(sev = Info) t ~kind msg =
+  if t.enabled then begin
+    let fid = Engine.current_fid t.engine in
+    let cpu = (fid land max_int) mod Array.length t.rings in
+    let ring = t.rings.(cpu) in
+    let cap = Array.length ring in
+    ring.(t.heads.(cpu)) <-
+      Some
+        {
+          e_ts = Engine.now t.engine;
+          e_fid = fid;
+          e_req = Engine.current_req t.engine;
+          e_sev = sev;
+          e_kind = kind;
+          e_msg = msg;
+        };
+    t.heads.(cpu) <- (t.heads.(cpu) + 1) mod cap;
+    if t.lens.(cpu) < cap then t.lens.(cpu) <- t.lens.(cpu) + 1;
+    t.recorded <- t.recorded + 1
+  end
+
+(** Ring contents merged across CPUs, oldest first (stable on ties). *)
+let entries t =
+  let all = ref [] in
+  Array.iteri
+    (fun cpu ring ->
+      let cap = Array.length ring in
+      let len = t.lens.(cpu) in
+      let first = (t.heads.(cpu) - len + (cap * 2)) mod cap in
+      for i = 0 to len - 1 do
+        match ring.((first + i) mod cap) with
+        | Some e -> all := e :: !all
+        | None -> ()
+      done)
+    t.rings;
+  List.stable_sort (fun a b -> Int64.compare a.e_ts b.e_ts) (List.rev !all)
+
+let clear t =
+  Array.iter (fun ring -> Array.fill ring 0 (Array.length ring) None) t.rings;
+  Array.fill t.heads 0 (Array.length t.heads) 0;
+  Array.fill t.lens 0 (Array.length t.lens) 0
+
+(* ------------------------------------------------------------------ *)
+(* Dump rendering.                                                     *)
+
+let render_entry buf e =
+  Buffer.add_string buf
+    (Printf.sprintf "%12Ld ns  fid=%-5d req=%-6Ld %-5s %-10s %s\n" e.e_ts
+       e.e_fid e.e_req (severity_label e.e_sev) e.e_kind e.e_msg)
+
+let phase_label = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
+  | Trace.Flow_start -> "s"
+  | Trace.Flow_finish -> "f"
+
+(** Render the ring (and, for a nonzero [req], that request's causal trace
+    from the machine tracer) to text. *)
+let render t ~reason ~req =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "flight-recorder dump: %s\nvirtual time: %Ld ns\nreqid: %Ld\n"
+       reason (Engine.now t.engine) req);
+  Buffer.add_string buf
+    (Printf.sprintf "-- ring (%d entries, %d recorded total) --\n"
+       (List.length (entries t))
+       t.recorded);
+  List.iter (render_entry buf) (entries t);
+  if req <> 0L then begin
+    let evs =
+      List.filter (fun (e : Trace.event) -> e.req = req) (Trace.events t.trace)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "-- causal trace for req %Ld (%d events) --\n" req
+         (List.length evs));
+    List.iter
+      (fun (e : Trace.event) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%12Ld ns  fid=%-5d %s %s%s%s\n" e.ts e.tid
+             (phase_label e.ph)
+             (if e.cat = "" then "" else e.cat ^ ":")
+             e.name
+             (match e.ph with
+             | Trace.Flow_start | Trace.Flow_finish ->
+                 Printf.sprintf " edge=%Ld" e.value
+             | Trace.Counter -> Printf.sprintf " value=%Ld" e.value
+             | _ -> "")))
+      evs
+  end;
+  Buffer.contents buf
+
+(** Triggered dump: render the ring plus the causal trace of [req] (when
+    nonzero, typically the current request context), record it as
+    [last_dump], write [dump_dir]/flight-<n>.txt when a directory is set,
+    and invoke the [on_dump] hook. Rate-limited by [set_max_dumps];
+    returns whether a dump was actually produced. *)
+let trigger ?req t reason =
+  if (not t.enabled) || t.dumps >= t.max_dumps then false
+  else begin
+    let req =
+      match req with Some r -> r | None -> Engine.current_req t.engine
+    in
+    note ~sev:Error t ~kind:"trigger" reason;
+    let content = render t ~reason ~req in
+    t.dumps <- t.dumps + 1;
+    t.last_dump <- Some (reason, content);
+    (match t.dump_dir with
+    | Some dir ->
+        let path = Filename.concat dir (Printf.sprintf "flight-%d.txt" t.dumps) in
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc
+    | None -> ());
+    (match t.on_dump with Some hook -> hook reason content | None -> ());
+    true
+  end

@@ -1,0 +1,63 @@
+(** Always-on flight recorder: fixed-size per-CPU rings of compact recent
+    events with triggered dumps.
+
+    Recording is a few stores into a preallocated ring — no sleeps, no CPU
+    accounting — so the recorder is invisible to virtual time by
+    construction and cheap enough to leave on in every bench run. On a
+    trigger (slow op, error return, oracle firing) the merged rings plus
+    the offending request's full causal trace are rendered to text, kept
+    in memory, optionally written to a dump directory, and handed to a
+    hook. *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_label : severity -> string
+
+type entry = {
+  e_ts : int64;  (** virtual nanoseconds *)
+  e_fid : int;
+  e_req : int64;  (** request context at record time, 0 = none *)
+  e_sev : severity;
+  e_kind : string;  (** event class: "syscall", "printk", "trigger", ... *)
+  e_msg : string;
+}
+
+type t
+
+val create : ?ring_size:int -> ?cpus:int -> Engine.t -> Trace.t -> t
+(** An enabled recorder with [cpus] rings (default 4) of [ring_size]
+    entries each (default 512). The tracer is consulted at dump time for
+    the offending request's causal events. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val note : ?sev:severity -> t -> kind:string -> string -> unit
+(** Record one entry into the ring of the CPU the current fiber hashes
+    to. *)
+
+val entries : t -> entry list
+(** Ring contents merged across CPUs, oldest first. *)
+
+val recorded : t -> int
+(** Entries ever recorded (including overwritten ones). *)
+
+val clear : t -> unit
+
+val trigger : ?req:int64 -> t -> string -> bool
+(** [trigger t reason] dumps the ring plus the causal trace of [req]
+    (default: the current request context) — kept as {!last_dump}, written
+    to the dump directory when one is set, handed to the {!set_on_dump}
+    hook. Rate-limited by {!set_max_dumps}; returns whether a dump was
+    produced. *)
+
+val render : t -> reason:string -> req:int64 -> string
+(** The dump text without triggering (used by CLI/CI to export the ring
+    on demand). *)
+
+val dump_count : t -> int
+val set_max_dumps : t -> int -> unit
+val set_dump_dir : t -> string option -> unit
+val set_on_dump : t -> (string -> string -> unit) option -> unit
+val last_dump : t -> (string * string) option
+(** Most recent (reason, content). *)

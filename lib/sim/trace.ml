@@ -7,11 +7,20 @@
     branch — and never perturbs virtual time either way, since emitting
     performs no sleeps and no CPU accounting.
 
+    Every event also carries the engine's *request context*
+    ({!Engine.current_req}): fibers inherit it at spawn, so one request's
+    events keep the same reqid across async hops. Flow events
+    ([flow_begin]/[flow_end]) record the cross-fiber edges themselves —
+    submit on one fiber, complete on another — which is what lets a
+    request's trace be reassembled into a connected causal DAG
+    (see {!Causal}).
+
     Export is Chrome trace-event JSON (the "JSON array format"), loadable
     in chrome://tracing and Perfetto: spans become B/E pairs, instants
-    become "i" events, fibers map to tids. *)
+    become "i" events, flows become "s"/"f" pairs bound by id, fibers map
+    to tids. *)
 
-type phase = Begin | End | Instant | Counter
+type phase = Begin | End | Instant | Counter | Flow_start | Flow_finish
 
 type event = {
   ph : phase;
@@ -19,16 +28,26 @@ type event = {
   cat : string;
   ts : int64;  (** virtual nanoseconds *)
   tid : int;  (** fiber id, -1 outside fiber context *)
-  value : int64;  (** sample value for [Counter] events, 0 otherwise *)
+  value : int64;
+      (** sample value for [Counter] events, flow-edge id for
+          [Flow_start]/[Flow_finish], 0 otherwise *)
+  req : int64;  (** request context at emit time, 0 = none *)
 }
+
+exception Unbalanced_span of string
+(** Raised (in debug mode) when a fiber exits with a span still open. *)
 
 type t = {
   engine : Engine.t;
   mutable enabled : bool;
-  ring : event option array;
+  mutable ring : event option array;
   mutable head : int;  (** next slot to write *)
   mutable len : int;
   mutable dropped : int;
+  mutable next_flow : int64;  (** flow-edge id mint (tracer-unique) *)
+  mutable debug : bool;
+  open_spans : (int, string list ref) Hashtbl.t;
+      (** debug mode: per-fid stack of currently open span names *)
 }
 
 let default_capacity = 1 lsl 16
@@ -42,6 +61,9 @@ let create ?(capacity = default_capacity) engine =
     head = 0;
     len = 0;
     dropped = 0;
+    next_flow = 0L;
+    debug = false;
+    open_spans = Hashtbl.create 64;
   }
 
 let enabled t = t.enabled
@@ -51,6 +73,17 @@ let length t = t.len
 
 let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  Hashtbl.reset t.open_spans
+
+(** Resize the ring (clearing retained events). Long traced runs — the
+    server bench sweeps — need more than the default 64 Ki events to keep
+    whole requests from being overwritten mid-flight. *)
+let set_capacity t capacity =
+  if capacity < 1 then invalid_arg "Trace.set_capacity";
+  t.ring <- Array.make capacity None;
   t.head <- 0;
   t.len <- 0;
   t.dropped <- 0
@@ -67,11 +100,76 @@ let emit ?(value = 0L) t ph cat name =
         ts = Engine.now t.engine;
         tid = Engine.current_fid t.engine;
         value;
+        req = Engine.current_req t.engine;
       };
   t.head <- (t.head + 1) mod cap
 
-let span_begin t ?(cat = "") name = if t.enabled then emit t Begin cat name
-let span_end t ?(cat = "") name = if t.enabled then emit t End cat name
+(* Debug-mode open-span bookkeeping. Only spans actually emitted are
+   tracked, so the check costs nothing unless both tracing and debug are
+   on. *)
+let track_begin t name =
+  let fid = Engine.current_fid t.engine in
+  if fid >= 0 then
+    match Hashtbl.find_opt t.open_spans fid with
+    | Some stack -> stack := name :: !stack
+    | None -> Hashtbl.replace t.open_spans fid (ref [ name ])
+
+let track_end t name =
+  let fid = Engine.current_fid t.engine in
+  if fid >= 0 then
+    match Hashtbl.find_opt t.open_spans fid with
+    | Some ({ contents = top :: rest } as stack) when top = name ->
+        stack := rest;
+        if rest = [] then Hashtbl.remove t.open_spans fid
+    | Some { contents = stack } ->
+        raise
+          (Unbalanced_span
+             (Printf.sprintf
+                "span_end %S on fiber %d does not match open span%s [%s]" name
+                fid
+                (if stack = [] then "" else "s")
+                (String.concat "; " stack)))
+    | None ->
+        raise
+          (Unbalanced_span
+             (Printf.sprintf "span_end %S on fiber %d with no span open" name
+                fid))
+
+let fiber_exit_check t fid =
+  match Hashtbl.find_opt t.open_spans fid with
+  | Some { contents = stack } when stack <> [] ->
+      Hashtbl.remove t.open_spans fid;
+      raise
+        (Unbalanced_span
+           (Printf.sprintf "fiber %d exited with open span%s [%s]" fid
+              (if List.length stack = 1 then "" else "s")
+              (String.concat "; " stack)))
+  | _ -> ()
+
+(** Debug mode: track begin/end balance per fiber and raise
+    {!Unbalanced_span} on a mismatched end or a fiber exiting with a span
+    still open (instead of silently truncating the trace). Installs the
+    engine's fiber-exit hook while on. *)
+let set_debug t b =
+  t.debug <- b;
+  Hashtbl.reset t.open_spans;
+  Engine.set_fiber_exit_hook t.engine
+    (if b then Some (fun fid -> fiber_exit_check t fid) else None)
+
+let debug t = t.debug
+
+let span_begin t ?(cat = "") name =
+  if t.enabled then begin
+    emit t Begin cat name;
+    if t.debug then track_begin t name
+  end
+
+let span_end t ?(cat = "") name =
+  if t.enabled then begin
+    emit t End cat name;
+    if t.debug then track_end t name
+  end
+
 let instant t ?(cat = "") name = if t.enabled then emit t Instant cat name
 
 (** Record a sample of a named counter time-series (queue depth, dirty
@@ -79,6 +177,22 @@ let instant t ?(cat = "") name = if t.enabled then emit t Instant cat name
     counter track alongside the spans. *)
 let counter t ?(cat = "") name value =
   if t.enabled then emit ~value t Counter cat name
+
+(** Open a flow edge at the current (fiber, time): returns the edge id to
+    hand to whoever continues the work. 0 when disabled — [flow_end]
+    ignores it. *)
+let flow_begin t ?(cat = "") name =
+  if not t.enabled then 0L
+  else begin
+    t.next_flow <- Int64.add t.next_flow 1L;
+    emit ~value:t.next_flow t Flow_start cat name;
+    t.next_flow
+  end
+
+(** Close a flow edge on the receiving fiber. An id of 0 (from a disabled
+    [flow_begin]) is a no-op. *)
+let flow_end t ?(cat = "") name id =
+  if t.enabled && id <> 0L then emit ~value:id t Flow_finish cat name
 
 let with_span t ?cat name f =
   if not t.enabled then f ()
@@ -101,6 +215,111 @@ let events t =
       match t.ring.((first + i) mod cap) with
       | Some e -> e
       | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Causal reconstruction: regroup a flat event stream per request and   *)
+(* check each request forms one connected DAG.                          *)
+
+module Causal = struct
+  type request = {
+    req : int64;
+    fibers : int list;  (** distinct fids that emitted for this request *)
+    spans : int;  (** Begin events *)
+    flow_edges : int;  (** matched start/finish pairs *)
+    orphan_finishes : int;  (** finishes whose edge has no start here *)
+    connected : bool;
+        (** all fibers reachable from one another via flow edges *)
+  }
+
+  (* Union-find over fids, local to one request's reconstruction. *)
+  let rec find parent x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+        let r = find parent p in
+        Hashtbl.replace parent x r;
+        r
+    | _ -> x
+
+  let union parent a b =
+    let ra = find parent a and rb = find parent b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+
+  let reconstruct_one req evs =
+    let parent = Hashtbl.create 16 in
+    let touch fid = if not (Hashtbl.mem parent fid) then Hashtbl.replace parent fid fid in
+    let starts = Hashtbl.create 16 in  (* edge id -> start tid *)
+    let spans = ref 0 in
+    List.iter
+      (fun e ->
+        touch e.tid;
+        match e.ph with
+        | Begin -> incr spans
+        | Flow_start -> Hashtbl.replace starts e.value e.tid
+        | _ -> ())
+      evs;
+    let flow_edges = ref 0 and orphans = ref 0 in
+    List.iter
+      (fun e ->
+        match e.ph with
+        | Flow_finish -> (
+            match Hashtbl.find_opt starts e.value with
+            | Some start_tid ->
+                incr flow_edges;
+                union parent start_tid e.tid
+            | None -> incr orphans)
+        | _ -> ())
+      evs;
+    let fibers = Hashtbl.fold (fun fid _ acc -> fid :: acc) parent [] in
+    let connected =
+      match fibers with
+      | [] -> true
+      | first :: rest ->
+          let r = find parent first in
+          List.for_all (fun f -> find parent f = r) rest
+    in
+    {
+      req;
+      fibers = List.sort compare fibers;
+      spans = !spans;
+      flow_edges = !flow_edges;
+      orphan_finishes = !orphans;
+      connected;
+    }
+
+  (** Group [evs] by request id (ignoring reqid-0 background events) and
+      reconstruct each request's causal graph: fibers are nodes, matched
+      flow edges connect them. *)
+  let requests evs =
+    let by_req : (int64, event list ref) Hashtbl.t = Hashtbl.create 256 in
+    let order = ref [] in
+    List.iter
+      (fun (e : event) ->
+        if e.req <> 0L then
+          match Hashtbl.find_opt by_req e.req with
+          | Some l -> l := e :: !l
+          | None ->
+              Hashtbl.replace by_req e.req (ref [ e ]);
+              order := e.req :: !order)
+      evs;
+    List.rev_map
+      (fun req ->
+        let evs = List.rev !(Hashtbl.find by_req req) in
+        reconstruct_one req evs)
+      !order
+
+  (** Fraction of requests whose graph is connected with no orphan
+      finishes (1.0 when there are no requests at all). *)
+  let connected_ratio evs =
+    let rs = requests evs in
+    match rs with
+    | [] -> 1.0
+    | _ ->
+        let good =
+          List.length
+            (List.filter (fun r -> r.connected && r.orphan_finishes = 0) rs)
+        in
+        float_of_int good /. float_of_int (List.length rs)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON export.                                     *)
@@ -137,7 +356,9 @@ let add_event buf ~pid e =
     | Begin -> "B"
     | End -> "E"
     | Instant -> "i"
-    | Counter -> "C");
+    | Counter -> "C"
+    | Flow_start -> "s"
+    | Flow_finish -> "f");
   Buffer.add_string buf "\",\"ts\":";
   add_ts buf e.ts;
   Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid e.tid);
@@ -148,6 +369,24 @@ let add_event buf ~pid e =
       Buffer.add_string buf ",\"args\":{\"value\":";
       Buffer.add_string buf (Int64.to_string e.value);
       Buffer.add_string buf "}}"
+  | Flow_start ->
+      Buffer.add_string buf (Printf.sprintf ",\"id\":%Ld" e.value);
+      if e.req <> 0L then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"args\":{\"reqid\":%Ld}" e.req);
+      Buffer.add_char buf '}'
+  | Flow_finish ->
+      (* bp:"e" binds the arrow to the enclosing slice's end, the Perfetto
+         convention for completion-style flows *)
+      Buffer.add_string buf
+        (Printf.sprintf ",\"id\":%Ld,\"bp\":\"e\"" e.value);
+      if e.req <> 0L then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"args\":{\"reqid\":%Ld}" e.req);
+      Buffer.add_char buf '}'
+  | Begin when e.req <> 0L ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"args\":{\"reqid\":%Ld}}" e.req)
   | _ -> Buffer.add_char buf '}')
 
 (** Append this tracer's events to [buf] as comma-separated JSON objects

@@ -1,13 +1,16 @@
 (** Span/event tracer over virtual time.
 
     Begin/end spans and instant events are stamped with the engine's
-    virtual clock and the running fiber's id, and kept in a bounded ring
-    buffer (oldest events dropped first). Disabled — the default — every
-    emit is a single branch, and tracing never affects virtual time in
-    either state. Exports Chrome trace-event JSON for chrome://tracing /
-    Perfetto, with fibers as threads. *)
+    virtual clock, the running fiber's id, and the fiber's request context
+    ({!Engine.current_req}), and kept in a bounded ring buffer (oldest
+    events dropped first). Disabled — the default — every emit is a single
+    branch, and tracing never affects virtual time in either state.
+    Flow events record cross-fiber causal edges (submit on one fiber,
+    complete on another); {!Causal} reassembles an event stream into
+    per-request DAGs. Exports Chrome trace-event JSON for chrome://tracing
+    / Perfetto, with fibers as threads and flows as bound arrows. *)
 
-type phase = Begin | End | Instant | Counter
+type phase = Begin | End | Instant | Counter | Flow_start | Flow_finish
 
 type event = {
   ph : phase;
@@ -15,8 +18,15 @@ type event = {
   cat : string;
   ts : int64;  (** virtual nanoseconds *)
   tid : int;  (** fiber id, -1 outside fiber context *)
-  value : int64;  (** sample value for [Counter] events, 0 otherwise *)
+  value : int64;
+      (** sample value for [Counter] events, flow-edge id for
+          [Flow_start]/[Flow_finish], 0 otherwise *)
+  req : int64;  (** request context at emit time, 0 = none *)
 }
+
+exception Unbalanced_span of string
+(** Raised in debug mode on a mismatched [span_end] or when a fiber exits
+    with a span still open. *)
 
 type t
 
@@ -26,6 +36,20 @@ val create : ?capacity:int -> Engine.t -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val set_capacity : t -> int -> unit
+(** Replace the ring with a fresh one of the given capacity, clearing any
+    retained events. Long traced runs (server bench sweeps) need more than
+    the default to keep whole requests from being overwritten. *)
+
+val set_debug : t -> bool -> unit
+(** Debug mode: track span begin/end balance per fiber; a mismatched end
+    or a fiber exiting with an open span raises {!Unbalanced_span} instead
+    of silently truncating the trace. Installs the engine's fiber-exit
+    hook while on. Only spans actually emitted (tracer enabled) are
+    tracked. *)
+
+val debug : t -> bool
+
 val span_begin : t -> ?cat:string -> string -> unit
 val span_end : t -> ?cat:string -> string -> unit
 val instant : t -> ?cat:string -> string -> unit
@@ -34,6 +58,17 @@ val counter : t -> ?cat:string -> string -> int64 -> unit
 (** Sample a named counter time-series (queue depth, dirty pages, log free
     space, ...). Exported as a Chrome counter event (["ph":"C"]) so it
     renders as a track in Perfetto alongside the spans. *)
+
+val flow_begin : t -> ?cat:string -> string -> int64
+(** Open a causal flow edge at the current (fiber, time) and return its
+    edge id, to be handed (through a completion record, queue entry, ...)
+    to whichever fiber continues the work. Returns 0 when the tracer is
+    disabled; {!flow_end} treats 0 as a no-op. Exported as ["ph":"s"]. *)
+
+val flow_end : t -> ?cat:string -> string -> int64 -> unit
+(** Close a flow edge on the receiving fiber. Exported as ["ph":"f"] with
+    [bp:"e"], which Perfetto draws as an arrow from the opening slice to
+    the enclosing slice's end. *)
 
 val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
 (** Run a function inside a begin/end pair (ended on exceptions too). When
@@ -47,6 +82,28 @@ val dropped : t -> int
 (** Events overwritten after the ring filled. *)
 
 val clear : t -> unit
+
+(** Per-request causal reconstruction over a flat event stream. *)
+module Causal : sig
+  type request = {
+    req : int64;
+    fibers : int list;  (** distinct fids that emitted for this request *)
+    spans : int;  (** Begin events *)
+    flow_edges : int;  (** matched start/finish pairs *)
+    orphan_finishes : int;  (** finishes whose edge has no start here *)
+    connected : bool;
+        (** all fibers reachable from one another via flow edges *)
+  }
+
+  val requests : event list -> request list
+  (** Group by request id (reqid-0 background events ignored) and
+      reconstruct each request's graph: fibers are nodes, matched flow
+      edges connect them. *)
+
+  val connected_ratio : event list -> float
+  (** Fraction of requests whose graph is connected with no orphan
+      finishes; 1.0 when the stream contains no requests. *)
+end
 
 val write_events :
   Buffer.t -> pid:int -> ?process_name:string -> first:bool -> t -> bool

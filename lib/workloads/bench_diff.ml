@@ -33,6 +33,14 @@ let direction_of = function
       (* synthetic rows from the coldstart section: device reads during
          the warm sweep (0 on Bento — any rise re-opens the cold path)
          and total device blocks in use (the dedup claim) *)
+  | "slo_p99_ms" | "slo_breaches" -> Lower_better
+  | "causal_connected_ratio" -> Higher_better
+      (* synthetic rows from traced sections: fraction of requests whose
+         spans and flow edges reconstruct into one connected causal DAG —
+         a drop means a propagation hop lost its reqid or flow stitch *)
+      (* synthetic rows from the server section: per-tenant sliding-window
+         p99 and burn-rate breach episodes from the server's SLO monitor —
+         a rise means a tenant class lost its latency objective *)
   | _ -> Informational
 
 (* ------------------------------------------------------------------ *)

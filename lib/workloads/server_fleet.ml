@@ -66,8 +66,10 @@ let results_of label table t0 machine =
     table
 
 (* Run [nclients] client fibers against a fresh server on [os]; [body]
-   gets (client index, tenant accounting, deadline, client session). *)
-let run_fleet os ~label ~nclients ~duration ~max_total body =
+   gets (client index, tenant accounting, deadline, client session).
+   [slo_out], when given, receives the server's per-tenant SLO summaries
+   taken right before shutdown (the server object dies with the fleet). *)
+let run_fleet os ~label ~nclients ~duration ~max_total ?slo_out body =
   let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
   let server =
     Server.Fileserver.start machine os
@@ -93,6 +95,9 @@ let run_fleet os ~label ~nclients ~duration ~max_total body =
     Sim.Sync.Semaphore.acquire done_
   done;
   let r = results_of label table t0 machine in
+  (match slo_out with
+  | Some cell -> cell := Server.Slo.summaries (Server.Fileserver.slo server)
+  | None -> ());
   Server.Fileserver.stop server;
   r
 
@@ -104,8 +109,8 @@ let run_fleet os ~label ~nclients ~duration ~max_total body =
     still advances the clock without touching the server's cores. *)
 let web_think_ns = 20_000L
 
-let webserver_fleet os ?(nfiles = 300) ?(fsize = 16384) ~nclients ~duration
-    ~seed () : (string * Bench_result.t) list =
+let webserver_fleet os ?(nfiles = 300) ?(fsize = 16384) ?slo_out ~nclients
+    ~duration ~seed () : (string * Bench_result.t) list =
   let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
   (* Build the document corpus before the server comes up. *)
   ok (Kernel.Os.mkdir os "/srv");
@@ -119,7 +124,7 @@ let webserver_fleet os ?(nfiles = 300) ?(fsize = 16384) ~nclients ~duration
   ok (Kernel.Os.sync os);
   let rng0 = Sim.Rng.create seed in
   let rngs = Array.init nclients (fun _ -> Sim.Rng.split rng0) in
-  run_fleet os ~label:"web" ~nclients ~duration ~max_total:64
+  run_fleet os ~label:"web" ~nclients ~duration ~max_total:64 ?slo_out
     (fun i pt deadline cl ->
       let rng = rngs.(i) in
       let root = (Server.Client.root cl).Server.Proto.ino in
@@ -153,12 +158,12 @@ let webserver_fleet os ?(nfiles = 300) ?(fsize = 16384) ~nclients ~duration
 (* ------------------------------------------------------------------ *)
 (* CI fleet                                                             *)
 
-let ci_fleet os ?(files_per_job = 12) ?(fsize = 24576) ~nclients ~duration
-    ~seed () : (string * Bench_result.t) list =
+let ci_fleet os ?(files_per_job = 12) ?(fsize = 24576) ?slo_out ~nclients
+    ~duration ~seed () : (string * Bench_result.t) list =
   let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
   ok (Kernel.Os.mkdir os "/ci");
   ignore seed;
-  run_fleet os ~label:"ci" ~nclients ~duration ~max_total:64
+  run_fleet os ~label:"ci" ~nclients ~duration ~max_total:64 ?slo_out
     (fun i pt deadline cl ->
       let root = (Server.Client.root cl).Server.Proto.ino in
       let ci = ok_r (Server.Client.lookup cl ~dir:root ~name:"ci") in

@@ -76,24 +76,36 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
     }
 
     let create (sb : L.superblock) =
-      {
-        header_block = sb.L.logstart;
-        start = sb.L.logstart + 1;
-        capacity = min (sb.L.nlog - 1) L.log_max_entries;
-        lock = K.Kmutex.create ~name:"log" ();
-        cond = K.Kcondvar.create ();
-        outstanding = 0;
-        committing = false;
-        order = [];
-        staged = Hashtbl.create 64;
-        eager_dirty = false;
-        seq_open = 1;
-        seq_done = 0;
-        force_waiters = 0;
-        commits = 0;
-        absorptions = 0;
-        flush_on_commit = true;
-      }
+      let t =
+        {
+          header_block = sb.L.logstart;
+          start = sb.L.logstart + 1;
+          capacity = min (sb.L.nlog - 1) L.log_max_entries;
+          lock = K.Kmutex.create ~name:"log" ();
+          cond = K.Kcondvar.create ();
+          outstanding = 0;
+          committing = false;
+          order = [];
+          staged = Hashtbl.create 64;
+          eager_dirty = false;
+          seq_open = 1;
+          seq_done = 0;
+          force_waiters = 0;
+          commits = 0;
+          absorptions = 0;
+          flush_on_commit = true;
+        }
+      in
+      K.register_inspector "log" (fun () ->
+          [
+            ("capacity", t.capacity);
+            ("staged", Hashtbl.length t.staged);
+            ("free_blocks", t.capacity - Hashtbl.length t.staged);
+            ("outstanding", t.outstanding);
+            ("commits", t.commits);
+            ("absorptions", t.absorptions);
+          ]);
+      t
 
     (** Record a modified buffer in the running transaction. The buffer is
         pinned in the cache until installed; a block already staged is

@@ -6,6 +6,7 @@ let () =
       ("profile", Test_profile.suite);
       ("benchdiff", Test_benchdiff.suite);
       ("trace", Test_trace.suite);
+      ("observability", Test_observability.suite);
       ("layout", Test_layout.suite);
       ("device", Test_device.suite);
       ("bio", Test_bio.suite);

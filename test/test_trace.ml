@@ -235,7 +235,7 @@ let test_chrome_json_wellformed () =
           Alcotest.(check string) "process name" "run:test"
             (str (field "name" (field "args" ev)))
       | ph ->
-          if not (List.mem ph [ "B"; "E"; "i"; "C" ]) then
+          if not (List.mem ph [ "B"; "E"; "i"; "C"; "s"; "f" ]) then
             Alcotest.failf "unknown phase %s" ph;
           Alcotest.(check bool) "pid" true (num (field "pid" ev) = 7.0);
           ignore (str (field "name" ev));
@@ -245,7 +245,16 @@ let test_chrome_json_wellformed () =
             Alcotest.failf "timestamps regress: %f after %f" ts !last_ts;
           last_ts := ts;
           if ph = "i" then
-            Alcotest.(check string) "instant scope" "t" (str (field "s" ev)))
+            Alcotest.(check string) "instant scope" "t" (str (field "s" ev));
+          (* flow events must carry the stitching edge id; finishes bind
+             to the enclosing slice's end *)
+          if ph = "s" || ph = "f" then
+            Alcotest.(check bool)
+              "flow edge id positive" true
+              (num (field "id" ev) > 0.);
+          if ph = "f" then
+            Alcotest.(check string) "flow binding point" "e"
+              (str (field "bp" ev)))
     arr;
   Alcotest.(check bool) "metadata present" true !seen_meta;
   (* the stack actually crossed its layers *)
