@@ -843,6 +843,76 @@ let upgrade () =
   Kernel.Machine.run machine
 
 (* ------------------------------------------------------------------ *)
+(* Pushdown: registered kernel-side programs vs plain multi-call paths
+   (ISSUE 10). Each cell shows kops/s and the in-window crossings/op
+   (syscalls + FUSE wire crossings over timed ops); the scalar rows gate
+   the exact crossing counts in bench-diff.                             *)
+
+let pushdown_section () =
+  header
+    "Pushdown: kernel-side programs vs plain multi-call paths (kops/s, \
+     crossings/op)";
+  let arms =
+    [
+      ( "scan-plain",
+        fun os ->
+          Workloads.Pushdown_bench.filtered_scan os ~pushdown:false
+            ~duration:(dur ()) );
+      ( "scan-pushdown",
+        fun os ->
+          Workloads.Pushdown_bench.filtered_scan os ~pushdown:true
+            ~duration:(dur ()) );
+      ( "walk-plain",
+        fun os ->
+          Workloads.Pushdown_bench.extent_walk os ~pushdown:false
+            ~duration:(dur ()) ~seed:!seed );
+      ( "walk-pushdown",
+        fun os ->
+          Workloads.Pushdown_bench.extent_walk os ~pushdown:true
+            ~duration:(dur ()) ~seed:!seed );
+      ( "get-pushdown",
+        fun os ->
+          Workloads.Pushdown_bench.kv_get os ~duration:(dur ()) ~seed:!seed );
+    ]
+  in
+  let cells = Hashtbl.create 32 in
+  pf "%-16s" "config";
+  List.iter (fun s -> pf "%22s" (Targets.system_name s)) Targets.all_with_ext4;
+  pf "\n";
+  List.iter
+    (fun (config, f) ->
+      pf "%-16s" config;
+      List.iter
+        (fun sys ->
+          let r = Targets.run sys (fun _m os -> f os) in
+          record ~section:"pushdown" ~system:sys ~config
+            r.Workloads.Pushdown_bench.br;
+          record_scalar ~section:"pushdown" ~system:sys ~config
+            ~metric:"crossings_per_op" r.crossings_per_op;
+          Hashtbl.replace cells (config, sys) r;
+          pf "%13.1fk %7.2f"
+            (Workloads.Bench_result.ops_per_sec r.br /. 1e3)
+            r.crossings_per_op)
+        Targets.all_with_ext4;
+      pf "\n%!")
+    arms;
+  let cpo config sys =
+    (Hashtbl.find cells (config, sys)).Workloads.Pushdown_bench.crossings_per_op
+  in
+  pf "FUSE filtered scan: %.1f crossings/op plain vs %.1f pushed down \
+      (%.1fx fewer)\n"
+    (cpo "scan-plain" Targets.Fuse)
+    (cpo "scan-pushdown" Targets.Fuse)
+    (cpo "scan-plain" Targets.Fuse /. cpo "scan-pushdown" Targets.Fuse);
+  List.iter
+    (fun sys ->
+      pf "%s extent walk: %.1f crossings/op plain vs %.1f pushed down\n"
+        (Targets.system_name sys)
+        (cpo "walk-plain" sys) (cpo "walk-pushdown" sys))
+    Targets.all_with_ext4;
+  pf "%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks of the hot data structures.      *)
 
 let bechamel () =
@@ -930,6 +1000,7 @@ let all () =
   coldstart_section ();
   ablate ();
   upgrade ();
+  pushdown_section ();
   bechamel ()
 
 (* The current commit, for run provenance in the JSON metadata. Advisory
@@ -1097,12 +1168,14 @@ let () =
     | "coldstart" -> coldstart_section ()
     | "ablate" -> ablate ()
     | "upgrade" -> upgrade ()
+    | "pushdown" -> pushdown_section ()
     | "bechamel" -> bechamel ()
     | "all" -> all ()
     | s ->
         Printf.eprintf
           "unknown section %S (use table1..table6, fig2..fig4, readahead, \
-           scaling, server, coldstart, ablate, upgrade, bechamel, all)\n"
+           scaling, server, coldstart, ablate, upgrade, pushdown, bechamel, \
+           all)\n"
           s;
         exit 2
   in

@@ -213,6 +213,18 @@ let inspect_cmd =
                (Bytes.make 16384 'x'))
         done;
         ok (Kernel.Os.sync os);
+        (* a registered pushdown program with traffic so the pushdown
+           table shows live rows at snapshot time *)
+        let reg = Kernel.Pushdown.registry machine in
+        let cap = Kernel.Pushdown.grant reg ~client:"cli" in
+        (match
+           Kernel.Pushdown.register reg ~cap ~name:"smoke-filter"
+             (Kernel.Pushdown.Dir_filter { contains = "f0" })
+         with
+        | Ok () -> ()
+        | Error e ->
+            failwith ("pushdown register: " ^ Kernel.Errno.to_string e));
+        ignore (ok (Kernel.Os.readdir_filtered os "/smoke" ~prog:"smoke-filter"));
         (* a live multi-tenant server so the lease/qos/slo/session probes
            show real entries at snapshot time *)
         let server =

@@ -108,6 +108,32 @@ let vfs_ops ?(wb_batch = wb_batch_pages) (h : handle) : Kernel.Vfs.fs_ops =
                      d_kind = Fs_api.vfs_kind de.Fs_api.kind;
                    })
                  des)));
+    readdir_filter =
+      (fun ino ~prog ->
+        (* The whole scan — readdir, filter, per-entry getattr — happens
+           under ONE dispatch crossing; the registered program decides
+           which entries survive. *)
+        with_fs h "bento:readdir_filter" (fun d ->
+            Kernel.Pushdown.filter_dir
+              (Kernel.Pushdown.registry h.machine)
+              ~name:prog
+              ~readdir:(fun () ->
+                let* des = d.Fs_api.d_readdir ~ino in
+                Ok
+                  (List.map
+                     (fun de ->
+                       {
+                         Kernel.Vfs.d_name = de.Fs_api.name;
+                         d_ino = de.Fs_api.ino;
+                         d_kind = Fs_api.vfs_kind de.Fs_api.kind;
+                       })
+                     des))
+              ~getattr:(fun ino ->
+                let* a = d.Fs_api.d_getattr ~ino in
+                Ok (translate_attr a))));
+    bmap =
+      (fun ~ino ~fbn ->
+        with_fs h "bento:bmap" (fun d -> d.Fs_api.d_bmap ~ino ~fbn));
     readpage =
       (fun ~ino ~index ->
         with_fs h "bento:readpage" (fun d ->
@@ -258,6 +284,16 @@ let mount ?dirty_limit ?page_cap ?background ?wb_batch ?cas_blocks
         Kernel.Vfs.mount ?dirty_limit ?page_cap ?background machine
           (vfs_ops ?wb_batch h)
       in
+      (* Pushdown walks read below the syscall layer through the buffer
+         cache — sharding and admission apply exactly as for fs reads. *)
+      Kernel.Pushdown.set_backend
+        (Kernel.Pushdown.registry machine)
+        ~label:"bcache"
+        (fun blk ->
+          let b = Kernel.Bcache.bread bcache blk in
+          let d = Bytes.copy b.Kernel.Bcache.data in
+          Kernel.Bcache.brelse bcache b;
+          d);
       Option.iter
         (fun store -> Kernel.Vfs.set_cas vfs (Some (Kernel.Cas.vfs_hooks store)))
         cas;

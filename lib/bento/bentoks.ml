@@ -160,6 +160,10 @@ module type KSERVICES = sig
 
   val printk : string -> unit
   (** Kernel log line (dmesg), tagged with the machine's virtual time. *)
+
+  val pushdown : Kernel.Pushdown.t
+  (** The machine's pushdown registry ({!Kernel.Pushdown}): where clients
+      register validated programs and the fs invokes filter pushdowns. *)
 end
 
 (** Build the in-kernel services over a machine's buffer cache. The
@@ -341,4 +345,5 @@ let kernel_services ?nblocks_cap (machine : Kernel.Machine.t)
             (List.map (fun (k, v) -> (k, Util.Json.Int v)) (probe ())))
 
     let printk msg = Kernel.Printk.info machine "%s" msg
+    let pushdown = Kernel.Pushdown.registry machine
   end)

@@ -66,6 +66,12 @@ module type FS = sig
   val fsync : t -> ino:int -> unit res
   val sync : t -> unit res
   val readdir : t -> ino:int -> dentry list res
+
+  val bmap : t -> ino:int -> fbn:int -> int res
+  (** FIBMAP: the device block backing file block [fbn] of [ino]; 0 for an
+      unallocated hole. Never allocates — clients use it to learn device
+      pointers when building pushdown index blocks. *)
+
   val iopen : t -> ino:int -> unit res
   val irelease : t -> ino:int -> unit
 
@@ -108,6 +114,7 @@ type dispatch = {
   d_fsync : ino:int -> unit res;
   d_sync : unit -> unit res;
   d_readdir : ino:int -> dentry list res;
+  d_bmap : ino:int -> fbn:int -> int res;
   d_iopen : ino:int -> unit res;
   d_irelease : ino:int -> unit;
   d_extract_state : unit -> Upgrade_state.t;
@@ -139,6 +146,7 @@ let dispatch_of (type a) (module F : FS with type t = a) (fs : a) : dispatch =
     d_fsync = (fun ~ino -> F.fsync fs ~ino);
     d_sync = (fun () -> F.sync fs);
     d_readdir = (fun ~ino -> F.readdir fs ~ino);
+    d_bmap = (fun ~ino ~fbn -> F.bmap fs ~ino ~fbn);
     d_iopen = (fun ~ino -> F.iopen fs ~ino);
     d_irelease = (fun ~ino -> F.irelease fs ~ino);
     d_extract_state = (fun () -> F.extract_state fs);

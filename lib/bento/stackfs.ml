@@ -75,6 +75,7 @@ functor
     let fsync = F.fsync
     let sync = F.sync
     let readdir = F.readdir
+    let bmap = F.bmap
     let iopen = F.iopen
     let irelease = F.irelease
     let extract_state = F.extract_state
@@ -126,6 +127,7 @@ functor
     let fsync t = F.fsync t.inner
     let sync t = F.sync t.inner
     let readdir t = F.readdir t.inner
+    let bmap t = F.bmap t.inner
 
     let write t ~ino ~off data =
       let inputs = List.filter (fun i -> i <> ino) t.open_inputs in

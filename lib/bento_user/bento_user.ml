@@ -157,10 +157,12 @@ let user_services ?nblocks_cap (machine : Kernel.Machine.t)
             (List.map (fun (k, v) -> (k, Util.Json.Int v)) (probe ())))
 
     let printk msg = Kernel.Printk.info machine "fuse-daemon: %s" msg
+    let pushdown = Kernel.Pushdown.registry machine
   end)
 
-(* Translate the Fs_api dispatch into the daemon handler table. *)
-let handler_of (d : Bento.Fs_api.dispatch) : Fusesim.Daemon.handler =
+(* Translate the Fs_api dispatch into the daemon handler table. [machine]
+   locates the pushdown registry the filtered-scan handler runs against. *)
+let handler_of machine (d : Bento.Fs_api.dispatch) : Fusesim.Daemon.handler =
   let kind_code = function
     | Bento.Fs_api.File -> 0
     | Bento.Fs_api.Directory -> 1
@@ -199,6 +201,38 @@ let handler_of (d : Bento.Fs_api.dispatch) : Fusesim.Daemon.handler =
                  de.Bento.Fs_api.ino,
                  kind_code de.Bento.Fs_api.kind )))
           (d.Bento.Fs_api.d_readdir ~ino));
+    h_readdir_filter =
+      (fun ~ino ~prog ->
+        (* Daemon-side pushdown: readdir, filter, and per-entry getattr all
+           happen here, below the wire — the kernel paid ONE round trip. *)
+        Result.map
+          (List.map (fun ((de : Kernel.Vfs.dirent), (st : Kernel.Vfs.stat)) ->
+               ( de.Kernel.Vfs.d_name,
+                 {
+                   Fusesim.Proto.ino = st.Kernel.Vfs.st_ino;
+                   kind =
+                     (match st.Kernel.Vfs.st_kind with
+                     | Kernel.Vfs.Reg -> 0
+                     | Kernel.Vfs.Dir -> 1
+                     | Kernel.Vfs.Symlink -> 2);
+                   size = st.Kernel.Vfs.st_size;
+                   nlink = st.Kernel.Vfs.st_nlink;
+                 } )))
+          (Kernel.Pushdown.filter_dir
+             (Kernel.Pushdown.registry machine)
+             ~name:prog
+             ~readdir:(fun () ->
+               Result.map
+                 (List.map (fun (de : Bento.Fs_api.dentry) ->
+                      {
+                        Kernel.Vfs.d_name = de.Bento.Fs_api.name;
+                        d_ino = de.Bento.Fs_api.ino;
+                        d_kind = Bento.Fs_api.vfs_kind de.Bento.Fs_api.kind;
+                      }))
+                 (d.Bento.Fs_api.d_readdir ~ino))
+             ~getattr:(fun ino ->
+               Result.map Bento.Fs_api.vfs_stat (d.Bento.Fs_api.d_getattr ~ino))));
+    h_bmap = (fun ~ino ~fbn -> d.Bento.Fs_api.d_bmap ~ino ~fbn);
     h_open = (fun ~ino -> d.Bento.Fs_api.d_iopen ~ino);
     h_release = (fun ~ino -> d.Bento.Fs_api.d_irelease ~ino);
     h_statfs =
@@ -274,7 +308,18 @@ let mount ?dirty_limit ?page_cap ?background ?nominal_gb ?cas_blocks
             Some store
       in
       let dispatch = Bento.Fs_api.dispatch_of (module F) fs in
-      let handler = handler_of dispatch in
+      let handler = handler_of machine dispatch in
+      (* Pushdown walks on this stack read through the daemon's user-level
+         buffer cache — below the syscall layer AND below the wire, so a
+         chase costs zero FUSE round trips and repeats run warm. *)
+      Kernel.Pushdown.set_backend
+        (Kernel.Pushdown.registry machine)
+        ~label:"ubcache"
+        (fun blk ->
+          let b = Fusesim.Ubcache.bread ubc blk in
+          let d = Bytes.copy b.Fusesim.Ubcache.data in
+          Fusesim.Ubcache.brelse ubc b;
+          d);
       let transport = Fusesim.Transport.create machine in
       Kernel.Machine.spawn ~name:"fuse-daemon" machine (fun () ->
           Fusesim.Daemon.run transport handler);

@@ -20,8 +20,11 @@ val user_services :
 (** [nblocks_cap] caps the device size the fs sees, reserving the tail
     for a {!Kernel.Cas} region. *)
 
-val handler_of : Bento.Fs_api.dispatch -> Fusesim.Daemon.handler
-(** Expose a mounted fs's dispatch table as a FUSE daemon handler. *)
+val handler_of :
+  Kernel.Machine.t -> Bento.Fs_api.dispatch -> Fusesim.Daemon.handler
+(** Expose a mounted fs's dispatch table as a FUSE daemon handler. The
+    machine locates the {!Kernel.Pushdown} registry the daemon-side
+    filtered-scan handler runs against. *)
 
 type mount_handle = {
   driver : Fusesim.Driver.t;

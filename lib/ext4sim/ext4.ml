@@ -842,6 +842,54 @@ let count_free fs =
   fs.free_blocks <- Array.fold_left ( + ) 0 fs.group_free_blocks;
   fs.free_inodes <- Array.fold_left ( + ) 0 fs.group_free_inodes
 
+let vfs_readdir fs ino : Kernel.Vfs.dirent list res =
+  let dp = iget fs ino in
+  ilock fs dp;
+  let r =
+    if dp.kind <> L.K_dir then Error Kernel.Errno.ENOTDIR
+    else begin
+      let total = dirent_count dp in
+      let out = ref [] in
+      let rec scan s =
+        if s >= total then Ok (List.rev !out)
+        else begin
+          let bi = s / L.dirents_per_block in
+          let phys = lookup_block dp bi in
+          (if phys <> 0 then begin
+             let b = Kernel.Bcache.bread fs.bc phys in
+             let hi = min L.dirents_per_block (total - (bi * L.dirents_per_block)) in
+             for s' = 0 to hi - 1 do
+               match L.get_dirent b.Kernel.Bcache.data ~slot:s' with
+               | Some (ino', n) ->
+                   out :=
+                     { Kernel.Vfs.d_name = n; d_ino = ino'; d_kind = Kernel.Vfs.Reg }
+                     :: !out
+               | None -> ()
+             done;
+             Kernel.Bcache.brelse fs.bc b
+           end);
+          scan ((bi + 1) * L.dirents_per_block)
+        end
+      in
+      scan 0
+    end
+  in
+  iunlock dp;
+  iput fs dp;
+  match r with
+  | Error _ as e -> e
+  | Ok entries ->
+      Ok
+        (List.map
+           (fun d ->
+             if d.Kernel.Vfs.d_name = "." || d.Kernel.Vfs.d_name = ".." then
+               { d with Kernel.Vfs.d_kind = Kernel.Vfs.Dir }
+             else
+               match stat_of_ino fs d.Kernel.Vfs.d_ino with
+               | Ok st -> { d with Kernel.Vfs.d_kind = st.Kernel.Vfs.st_kind }
+               | Error _ -> d)
+           entries)
+
 type handle = { fs : fs }
 
 let mount ?dirty_limit ?background ?commit_interval machine :
@@ -1161,54 +1209,28 @@ let mount ?dirty_limit ?background ?commit_interval machine :
               iunlock ip;
               iput fs ip;
               r);
-          readdir =
-            (fun ino ->
-              let dp = iget fs ino in
-              ilock fs dp;
-              let r =
-                if dp.kind <> L.K_dir then Error Kernel.Errno.ENOTDIR
-                else begin
-                  let total = dirent_count dp in
-                  let out = ref [] in
-                  let rec scan s =
-                    if s >= total then Ok (List.rev !out)
-                    else begin
-                      let bi = s / L.dirents_per_block in
-                      let phys = lookup_block dp bi in
-                      (if phys <> 0 then begin
-                         let b = Kernel.Bcache.bread fs.bc phys in
-                         let hi = min L.dirents_per_block (total - (bi * L.dirents_per_block)) in
-                         for s' = 0 to hi - 1 do
-                           match L.get_dirent b.Kernel.Bcache.data ~slot:s' with
-                           | Some (ino', n) ->
-                               out :=
-                                 { Kernel.Vfs.d_name = n; d_ino = ino'; d_kind = Kernel.Vfs.Reg }
-                                 :: !out
-                           | None -> ()
-                         done;
-                         Kernel.Bcache.brelse fs.bc b
-                       end);
-                      scan ((bi + 1) * L.dirents_per_block)
-                    end
-                  in
-                  scan 0
-                end
-              in
-              iunlock dp;
-              iput fs dp;
-              match r with
-              | Error _ as e -> e
-              | Ok entries ->
-                  Ok
-                    (List.map
-                       (fun d ->
-                         if d.Kernel.Vfs.d_name = "." || d.Kernel.Vfs.d_name = ".." then
-                           { d with Kernel.Vfs.d_kind = Kernel.Vfs.Dir }
-                         else
-                           match stat_of_ino fs d.Kernel.Vfs.d_ino with
-                           | Ok st -> { d with Kernel.Vfs.d_kind = st.Kernel.Vfs.st_kind }
-                           | Error _ -> d)
-                       entries));
+          readdir = (fun ino -> vfs_readdir fs ino);
+          readdir_filter =
+            (fun ino ~prog ->
+              Kernel.Pushdown.filter_dir
+                (Kernel.Pushdown.registry machine)
+                ~name:prog
+                ~readdir:(fun () -> vfs_readdir fs ino)
+                ~getattr:(fun ino -> stat_of_ino fs ino));
+          bmap =
+            (fun ~ino ~fbn ->
+              if fbn < 0 then Error Kernel.Errno.EINVAL
+              else begin
+                let ip = iget fs ino in
+                ilock fs ip;
+                let r =
+                  if ip.kind = L.K_free then Error Kernel.Errno.ESTALE
+                  else Ok (lookup_block ip fbn)
+                in
+                iunlock ip;
+                iput fs ip;
+                r
+              end);
           readpage =
             (fun ~ino ~index ->
               let ip = iget fs ino in
@@ -1352,6 +1374,16 @@ let mount ?dirty_limit ?background ?commit_interval machine :
           max_file_size = L.max_file_size;
         }
       in
+      (* Pushdown walks read through the same buffer cache the fs uses,
+         from below the syscall layer. *)
+      Kernel.Pushdown.set_backend
+        (Kernel.Pushdown.registry machine)
+        ~label:"bcache"
+        (fun blk ->
+          let b = Kernel.Bcache.bread bc blk in
+          let d = Bytes.copy b.Kernel.Bcache.data in
+          Kernel.Bcache.brelse bc b;
+          d);
       let vfs = Kernel.Vfs.mount ?dirty_limit ?background machine ops in
       Ok (vfs, { fs })
 

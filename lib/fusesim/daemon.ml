@@ -22,6 +22,9 @@ type handler = {
   h_fsync : ino:int -> (unit, Kernel.Errno.t) result;
   h_syncfs : unit -> (unit, Kernel.Errno.t) result;
   h_readdir : ino:int -> ((string * int * int) list, Kernel.Errno.t) result;
+  h_readdir_filter :
+    ino:int -> prog:string -> ((string * Proto.attr) list, Kernel.Errno.t) result;
+  h_bmap : ino:int -> fbn:int -> (int, Kernel.Errno.t) result;
   h_open : ino:int -> (unit, Kernel.Errno.t) result;
   h_release : ino:int -> unit;
   h_statfs : unit -> int * int * int * int;  (** blocks, bfree, files, ffree *)
@@ -61,6 +64,14 @@ let dispatch (h : handler) (req : Proto.request) : Proto.reply =
   | Proto.Readdir { ino } -> (
       match h.h_readdir ~ino with
       | Ok des -> Proto.R_dirents des
+      | Error e -> Proto.R_err e)
+  | Proto.ReaddirFilter { dir; prog } -> (
+      match h.h_readdir_filter ~ino:dir ~prog with
+      | Ok des -> Proto.R_dirents_plus des
+      | Error e -> Proto.R_err e)
+  | Proto.Bmap { ino; fbn } -> (
+      match h.h_bmap ~ino ~fbn with
+      | Ok n -> Proto.R_block n
       | Error e -> Proto.R_err e)
   | Proto.Open { ino } -> unit_reply (h.h_open ~ino)
   | Proto.Release { ino } ->

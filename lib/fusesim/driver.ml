@@ -72,6 +72,31 @@ let vfs_ops (t : t) ~max_file_size : Kernel.Vfs.fs_ops =
                    })
                  des)
         | r -> Error (errno_of_reply r));
+    readdir_filter =
+      (fun ino ~prog ->
+        (* The whole filtered scan is ONE wire round trip; the daemon runs
+           the registered program and ships back only the survivors, each
+           with its attributes — no per-entry GETATTR requests. *)
+        match
+          Transport.call t.transport (Proto.ReaddirFilter { dir = ino; prog })
+        with
+        | Proto.R_dirents_plus des ->
+            Ok
+              (List.map
+                 (fun (name, (a : Proto.attr)) ->
+                   ( {
+                       Kernel.Vfs.d_name = name;
+                       d_ino = a.Proto.ino;
+                       d_kind = kind_to_vfs a.Proto.kind;
+                     },
+                     stat_of_attr a ))
+                 des)
+        | r -> Error (errno_of_reply r));
+    bmap =
+      (fun ~ino ~fbn ->
+        match Transport.call t.transport (Proto.Bmap { ino; fbn }) with
+        | Proto.R_block n -> Ok n
+        | r -> Error (errno_of_reply r));
     readpage =
       (fun ~ino ~index ->
         match

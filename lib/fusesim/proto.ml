@@ -32,6 +32,9 @@ type request =
   | Destroy
   | Symlink of { dir : int; name : string; target : string }
   | Readlink of { ino : int }
+  | ReaddirFilter of { dir : int; prog : string }
+      (** pushdown scan: filter + stat batch in ONE round trip *)
+  | Bmap of { ino : int; fbn : int }  (** FIBMAP *)
 
 type reply =
   | R_err of Kernel.Errno.t
@@ -42,6 +45,9 @@ type reply =
   | R_dirents of (string * int * int) list  (** name, ino, kind *)
   | R_statfs of { blocks : int; bfree : int; files : int; ffree : int }
   | R_target of string  (** readlink result *)
+  | R_dirents_plus of (string * attr) list
+      (** pushdown scan result: surviving entries with their attributes *)
+  | R_block of int  (** bmap result (0 = hole) *)
 
 let opcode = function
   | Lookup _ -> 1
@@ -64,6 +70,8 @@ let opcode = function
   | Destroy -> 18
   | Symlink _ -> 19
   | Readlink _ -> 20
+  | ReaddirFilter _ -> 21
+  | Bmap _ -> 22
 
 exception Malformed of string
 
@@ -168,6 +176,12 @@ let encode_request ~unique (r : request) : Bytes.t =
       add_str b name;
       add_str b target
   | Readlink { ino } -> add_u64 b ino
+  | ReaddirFilter { dir; prog } ->
+      add_u64 b dir;
+      add_str b prog
+  | Bmap { ino; fbn } ->
+      add_u64 b ino;
+      add_u64 b fbn
   | Syncfs | Statfs | Destroy -> ());
   Buffer.to_bytes b
 
@@ -225,6 +239,12 @@ let decode_request (m : Bytes.t) : int * request =
         let name = get_str c in
         Symlink { dir; name; target = get_str c }
     | 20 -> Readlink { ino = get_u64 c }
+    | 21 ->
+        let dir = get_u64 c in
+        ReaddirFilter { dir; prog = get_str c }
+    | 22 ->
+        let ino = get_u64 c in
+        Bmap { ino; fbn = get_u64 c }
     | n -> raise (Malformed (Printf.sprintf "bad opcode %d" n))
   in
   (unique, req)
@@ -257,6 +277,8 @@ let encode_reply ~unique (r : reply) : Bytes.t =
     | R_dirents _ -> (0, 5)
     | R_statfs _ -> (0, 6)
     | R_target _ -> (0, 7)
+    | R_dirents_plus _ -> (0, 8)
+    | R_block _ -> (0, 9)
   in
   let x = Bytes.create 4 in
   Bytes.set_int32_le x 0 (Int32.of_int err);
@@ -280,7 +302,15 @@ let encode_reply ~unique (r : reply) : Bytes.t =
       add_u64 b bfree;
       add_u64 b files;
       add_u64 b ffree
-  | R_target s -> add_str b s);
+  | R_target s -> add_str b s
+  | R_dirents_plus des ->
+      add_u64 b (List.length des);
+      List.iter
+        (fun (name, a) ->
+          add_str b name;
+          add_attr b a)
+        des
+  | R_block n -> add_u64 b n);
   Buffer.to_bytes b
 
 let decode_reply (m : Bytes.t) : int * reply =
@@ -313,6 +343,13 @@ let decode_reply (m : Bytes.t) : int * reply =
           let files = get_u64 c in
           R_statfs { blocks; bfree; files; ffree = get_u64 c }
       | 7 -> R_target (get_str c)
+      | 8 ->
+          let n = get_u64 c in
+          R_dirents_plus
+            (List.init n (fun _ ->
+                 let name = get_str c in
+                 (name, get_attr c)))
+      | 9 -> R_block (get_u64 c)
       | n -> raise (Malformed (Printf.sprintf "bad reply tag %d" n))
   in
   (unique, r)

@@ -30,6 +30,9 @@ type request =
   | Destroy
   | Symlink of { dir : int; name : string; target : string }
   | Readlink of { ino : int }
+  | ReaddirFilter of { dir : int; prog : string }
+      (** pushdown scan: filter + stat batch in ONE round trip *)
+  | Bmap of { ino : int; fbn : int }  (** FIBMAP *)
 
 type reply =
   | R_err of Kernel.Errno.t
@@ -40,6 +43,9 @@ type reply =
   | R_dirents of (string * int * int) list  (** name, ino, kind *)
   | R_statfs of { blocks : int; bfree : int; files : int; ffree : int }
   | R_target of string  (** readlink *)
+  | R_dirents_plus of (string * attr) list
+      (** pushdown scan result: surviving entries with their attributes *)
+  | R_block of int  (** bmap result (0 = hole) *)
 
 exception Malformed of string
 (** Raised by the decoders on truncated or corrupt messages. *)

@@ -450,6 +450,30 @@ let readdir t path : Vfs.dirent list res =
   if st.Vfs.st_kind <> Vfs.Dir then Error Errno.ENOTDIR
   else (Vfs.ops t.vfs).Vfs.readdir st.Vfs.st_ino
 
+(* --- pushdown entry points: each is exactly ONE syscall crossing; the
+   work the plain path would do with further syscalls (per-entry stat,
+   per-level read) happens in lower layers. *)
+
+let readdir_filtered t path ~prog : (Vfs.dirent * Vfs.stat) list res =
+  syscall t "readdir_filtered" @@ fun () ->
+  let* st = resolve t path in
+  if st.Vfs.st_kind <> Vfs.Dir then Error Errno.ENOTDIR
+  else (Vfs.ops t.vfs).Vfs.readdir_filter st.Vfs.st_ino ~prog
+
+let bmap t path ~fbn : int res =
+  syscall t "bmap" @@ fun () ->
+  let* st = resolve t path in
+  if st.Vfs.st_kind <> Vfs.Reg then Error Errno.EINVAL
+  else (Vfs.ops t.vfs).Vfs.bmap ~ino:st.Vfs.st_ino ~fbn
+
+let pushdown_walk t ~prog ~root ~key : Bytes.t res =
+  syscall t "pushdown_walk" @@ fun () ->
+  Pushdown.walk (Pushdown.registry (Vfs.machine t.vfs)) ~name:prog ~root ~key
+
+let pushdown_get t ~prog ~key : Bytes.t res =
+  syscall t "pushdown_get" @@ fun () ->
+  Pushdown.get (Pushdown.registry (Vfs.machine t.vfs)) ~name:prog ~key
+
 let sync t : unit res = syscall t "sync" @@ fun () -> Vfs.sync t.vfs
 
 let statfs t : Vfs.statfs =

@@ -77,6 +77,25 @@ val symlink : t -> string -> string -> unit res
 
 val readlink : t -> string -> string res
 val readdir : t -> string -> Vfs.dirent list res
+
+val readdir_filtered :
+  t -> string -> prog:string -> (Vfs.dirent * Vfs.stat) list res
+(** Pushdown scan: run the registered {!Pushdown} filter program over the
+    directory in ONE syscall — the filter and the per-entry attributes all
+    happen below the crossing (and, on the FUSE stack, below the wire). *)
+
+val bmap : t -> string -> fbn:int -> int res
+(** FIBMAP: device block backing file block [fbn] (0 = hole). How clients
+    learn device pointers when building pushdown index blocks. *)
+
+val pushdown_walk : t -> prog:string -> root:int -> key:int64 -> Bytes.t res
+(** Run a registered {!Pushdown.Extent_walk} from index root [root]: one
+    syscall; the chase resubmits its own reads from completion context. *)
+
+val pushdown_get : t -> prog:string -> key:int64 -> Bytes.t res
+(** Run a registered {!Pushdown.Kv_get}: the whole point lookup resolves
+    below the syscall layer in one crossing. *)
+
 val sync : t -> unit res
 val statfs : t -> Vfs.statfs
 

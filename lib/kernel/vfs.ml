@@ -43,6 +43,12 @@ type fs_ops = {
   symlink : dir:int -> string -> target:string -> stat res;
   readlink : ino:int -> string res;
   readdir : int -> dirent list res;
+  readdir_filter : int -> prog:string -> (dirent * stat) list res;
+      (** Pushdown scan: run the registered filter program [prog] over the
+          directory inside the fs layer — one crossing for the whole
+          filtered, attributed listing. *)
+  bmap : ino:int -> fbn:int -> int res;
+      (** FIBMAP: device block backing file block [fbn]; 0 = hole. *)
   readpage : ino:int -> index:int -> Bytes.t res;
   readahead : ino:int -> start:int -> count:int -> Bytes.t array res;
       (** Bulk read of [count] consecutive pages starting at page [start],
@@ -82,6 +88,9 @@ let profiled_ops machine layer (ops : fs_ops) : fs_ops =
       (fun ~dir name ~target -> lay (fun () -> ops.symlink ~dir name ~target));
     readlink = (fun ~ino -> lay (fun () -> ops.readlink ~ino));
     readdir = (fun ino -> lay (fun () -> ops.readdir ino));
+    readdir_filter =
+      (fun ino ~prog -> lay (fun () -> ops.readdir_filter ino ~prog));
+    bmap = (fun ~ino ~fbn -> lay (fun () -> ops.bmap ~ino ~fbn));
     readpage = (fun ~ino ~index -> lay (fun () -> ops.readpage ~ino ~index));
     readahead =
       (fun ~ino ~start ~count -> lay (fun () -> ops.readahead ~ino ~start ~count));

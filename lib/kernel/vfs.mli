@@ -44,6 +44,13 @@ type fs_ops = {
   symlink : dir:int -> string -> target:string -> stat res;
   readlink : ino:int -> string res;
   readdir : int -> dirent list res;
+  readdir_filter : int -> prog:string -> (dirent * stat) list res;
+      (** Pushdown scan: run the registered {!Pushdown} filter program
+          [prog] over the directory inside the fs layer — filter and
+          per-entry attributes in one crossing instead of one per entry. *)
+  bmap : ino:int -> fbn:int -> int res;
+      (** FIBMAP: the device block backing file block [fbn] (0 = hole) —
+          how clients learn device pointers for pushdown index blocks. *)
   readpage : ino:int -> index:int -> Bytes.t res;
   readahead : ino:int -> start:int -> count:int -> Bytes.t array res;
       (** Bulk read of [count] consecutive pages from page [start], used by

@@ -195,6 +195,23 @@ let readdir t ino =
   | Proto.R_err e -> Error e
   | _ -> Error Errno.EIO
 
+(* Pushdown scan: the server runs the registered filter program and ships
+   back only the survivors, each with attributes — one round trip instead
+   of readdir + per-entry getattr. *)
+let readdir_filter t ino ~prog =
+  match rpc t (Proto.Readdir_filter { dir = ino; prog }) with
+  | Proto.R_dirents_plus des -> Ok des
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
+(* Device-side get(key): resolved entirely below the server's syscall
+   layer. *)
+let pushdown_get t ~prog ~key =
+  match rpc t (Proto.Pushdown_get { prog; key }) with
+  | Proto.R_value v -> Ok v
+  | Proto.R_err e -> Error e
+  | _ -> Error Errno.EIO
+
 let unlink t ~dir ~name =
   match rpc t (Proto.Unlink { dir; name }) with
   | Proto.R_ok -> Ok ()

@@ -167,6 +167,22 @@ let exec t (req : Proto.request) : Proto.reply =
              des
          in
          Ok (Proto.R_dirents des))
+  | Proto.Readdir_filter { dir; prog } ->
+      reply_of
+        (let* path = path_of t dir in
+         let* des = Kernel.Os.readdir_filtered t.sv_os path ~prog in
+         Ok
+           (Proto.R_dirents_plus
+              (List.map
+                 (fun ((d : Kernel.Vfs.dirent), (st : Kernel.Vfs.stat)) ->
+                   if d.d_name <> "." && d.d_name <> ".." then
+                     Hashtbl.replace t.sv_paths d.d_ino (join path d.d_name);
+                   (d.d_name, attr_of t st))
+                 des)))
+  | Proto.Pushdown_get { prog; key } ->
+      reply_of
+        (let* v = Kernel.Os.pushdown_get t.sv_os ~prog ~key in
+         Ok (Proto.R_value v))
   | Proto.Unlink { dir; name } ->
       reply_of
         (let* dpath = path_of t dir in

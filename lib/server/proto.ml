@@ -39,6 +39,11 @@ type request =
   | Readdir of { ino : int }
   | Release of { ino : int }
   | Lease_return of { ino : int }  (** recall ack: lease dropped *)
+  | Readdir_filter of { dir : int; prog : string }
+      (** pushdown scan: filter + stat batch in ONE round trip *)
+  | Pushdown_get of { prog : string; key : int64 }
+      (** device-side get(key): the server resolves the whole lookup below
+          its syscall layer *)
   | Detach
 
 type reply =
@@ -49,6 +54,9 @@ type reply =
   | R_read of { rdata : Bytes.t; rattr : attr }
   | R_write of { count : int; wattr : attr }
   | R_dirents of (string * int * int) list  (** name, ino, kind *)
+  | R_dirents_plus of (string * attr) list
+      (** pushdown scan result: surviving entries with attributes *)
+  | R_value of Bytes.t  (** pushdown get result *)
 
 type smsg = Reply of { xid : int; reply : reply } | Recall of { ino : int }
 
@@ -67,6 +75,8 @@ let opcode = function
   | Release _ -> 12
   | Lease_return _ -> 13
   | Detach -> 14
+  | Readdir_filter _ -> 15
+  | Pushdown_get _ -> 16
 
 (** Human-readable op name, for flight-recorder notes and trace labels. *)
 let request_name = function
@@ -83,6 +93,8 @@ let request_name = function
   | Readdir _ -> "readdir"
   | Release _ -> "release"
   | Lease_return _ -> "lease_return"
+  | Readdir_filter _ -> "readdir_filter"
+  | Pushdown_get _ -> "pushdown_get"
   | Detach -> "detach"
 
 exception Malformed of string
@@ -137,6 +149,13 @@ let get_i32 c =
   c.pos <- c.pos + 4;
   v
 
+(* raw 64-bit value — pushdown keys use the full int64 range *)
+let get_i64 c =
+  need c 8;
+  let v = Bytes.get_int64_le c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
 let get_str c =
   let n = get_u16 c in
   need c n;
@@ -186,6 +205,14 @@ let encode_request ~xid (r : request) : Bytes.t =
       add_u64 b off;
       add_bool b stable;
       add_bytes b data
+  | Readdir_filter { dir; prog } ->
+      add_u64 b dir;
+      add_str b prog
+  | Pushdown_get { prog; key } ->
+      add_str b prog;
+      let x = Bytes.create 8 in
+      Bytes.set_int64_le x 0 key;
+      Buffer.add_bytes b x
   | Detach -> ());
   Buffer.to_bytes b
 
@@ -227,6 +254,12 @@ let decode_request_exn (m : Bytes.t) : int * request =
     | 12 -> Release { ino = get_u64 c }
     | 13 -> Lease_return { ino = get_u64 c }
     | 14 -> Detach
+    | 15 ->
+        let dir = get_u64 c in
+        Readdir_filter { dir; prog = get_str c }
+    | 16 ->
+        let prog = get_str c in
+        Pushdown_get { prog; key = get_i64 c }
     | n -> raise (Malformed (Printf.sprintf "bad opcode %d" n))
   in
   (xid, req)
@@ -280,6 +313,8 @@ let encode_smsg (m : smsg) : Bytes.t =
         | R_read _ -> (0, 4)
         | R_write _ -> (0, 5)
         | R_dirents _ -> (0, 6)
+        | R_dirents_plus _ -> (0, 7)
+        | R_value _ -> (0, 8)
       in
       let x = Bytes.create 4 in
       Bytes.set_int32_le x 0 (Int32.of_int err);
@@ -304,7 +339,15 @@ let encode_smsg (m : smsg) : Bytes.t =
               add_str b name;
               add_u64 b ino;
               add_u16 b kind)
-            des));
+            des
+      | R_dirents_plus des ->
+          add_u64 b (List.length des);
+          List.iter
+            (fun (name, a) ->
+              add_str b name;
+              add_attr b a)
+            des
+      | R_value d -> add_bytes b d));
   Buffer.to_bytes b
 
 let decode_smsg_exn (m : Bytes.t) : smsg =
@@ -342,6 +385,14 @@ let decode_smsg_exn (m : Bytes.t) : smsg =
                      let ino = get_u64 c in
                      let kind = get_u16 c in
                      (name, ino, kind)))
+          | 7 ->
+              let n = get_u64 c in
+              if n > Bytes.length c.buf then raise (Malformed "dirent count");
+              R_dirents_plus
+                (List.init n (fun _ ->
+                     let name = get_str c in
+                     (name, get_attr c)))
+          | 8 -> R_value (get_data c)
           | n -> raise (Malformed (Printf.sprintf "bad reply tag %d" n))
       in
       Reply { xid; reply }

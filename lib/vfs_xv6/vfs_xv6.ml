@@ -1441,6 +1441,24 @@ let mount ?dirty_limit ?background machine : (Kernel.Vfs.t, Kernel.Errno.t) resu
               iput fs ip;
               r);
           readdir = (fun ino -> vfs_readdir fs ino);
+          readdir_filter =
+            (fun ino ~prog ->
+              Kernel.Pushdown.filter_dir
+                (Kernel.Pushdown.registry machine)
+                ~name:prog
+                ~readdir:(fun () -> vfs_readdir fs ino)
+                ~getattr:(fun ino -> stat_of_inum fs ino));
+          bmap =
+            (fun ~ino ~fbn ->
+              let ip = iget fs ino in
+              ilock fs ip;
+              let r =
+                if ip.ftype = L.F_free then Error Kernel.Errno.ESTALE
+                else bmap fs ip fbn ~alloc:false
+              in
+              iunlock ip;
+              iput fs ip;
+              r);
           readpage =
             (fun ~ino ~index ->
               let ip = iget fs ino in
@@ -1545,6 +1563,16 @@ let mount ?dirty_limit ?background machine : (Kernel.Vfs.t, Kernel.Errno.t) resu
           max_file_size = L.max_file_size;
         }
       in
+      (* Pushdown walks read through the same buffer cache the fs uses,
+         from below the syscall layer. *)
+      Kernel.Pushdown.set_backend
+        (Kernel.Pushdown.registry machine)
+        ~label:"bcache"
+        (fun blk ->
+          let b = Kernel.Bcache.bread bc blk in
+          let d = Bytes.copy b.Kernel.Bcache.data in
+          Kernel.Bcache.brelse bc b;
+          d);
       Ok (Kernel.Vfs.mount ?dirty_limit ?background machine ops)
 
 (** Unmount: flush everything. *)

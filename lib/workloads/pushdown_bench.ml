@@ -1,0 +1,343 @@
+(** Pushdown benchmarks (ISSUE 10): measure what a registered kernel-side
+    program saves in layer crossings versus the plain multi-call path.
+
+    Three pairs of arms, each a timed loop in virtual time:
+    - filtered scan: plain = readdir + one stat per surviving entry
+      (the filter predicate is {!Kernel.Pushdown.matches}, shared with
+      the kernel so both arms return identical rows) vs pushdown = one
+      [readdir_filtered] syscall running the filter + stat batch in the
+      fs layer.
+    - extent walk: plain = chase a [depth]-level radix index with one
+      warm pread per level plus the value read (depth+1 crossings) vs
+      pushdown = one [pushdown_walk] syscall whose completion fiber
+      resubmits the follow-on reads itself.
+    - kv get: the walk with the root bound at registration — get(key)
+      entirely below the syscall layer.
+
+    Each arm reports crossings/op measured from the in-window delta of
+    the machine's ["syscalls"] + ["fuse_crossings"] counters, the same
+    derivation the harness applies to whole runs, so the bench section
+    can gate exact values (extent walk: 1.0 with pushdown, depth+1
+    without, on every stack). *)
+
+let ok = Kernel.Errno.ok_exn
+let bsize = 4096
+
+type r = { br : Bench_result.t; crossings_per_op : float }
+
+let crossings machine =
+  Int64.add
+    (Sim.Stats.Counter.get (Kernel.Machine.counter machine "syscalls"))
+    (Sim.Stats.Counter.get (Kernel.Machine.counter machine "fuse_crossings"))
+
+(* Timed single-fiber loop; returns ops, elapsed and the in-window
+   crossings/op. Latencies land in the machine's [op_lat] histogram. *)
+let timed machine ~duration body =
+  let lat = Micro.op_lat machine in
+  let t_start = Kernel.Machine.now machine in
+  let deadline = Int64.add t_start duration in
+  let c0 = crossings machine in
+  let ops = ref 0 in
+  let rec loop () =
+    let t0 = Kernel.Machine.now machine in
+    if Int64.compare t0 deadline < 0 then begin
+      body ();
+      let t1 = Kernel.Machine.now machine in
+      if Int64.compare t1 deadline <= 0 then
+        Sim.Stats.Histogram.record lat (Int64.sub t1 t0);
+      incr ops;
+      loop ()
+    end
+  in
+  loop ();
+  let elapsed = Int64.sub (Kernel.Machine.now machine) t_start in
+  let dc = Int64.sub (crossings machine) c0 in
+  (!ops, elapsed, Int64.to_float dc /. float_of_int (max 1 !ops), lat)
+
+(* ------------------------------------------------------------------ *)
+(* Filtered directory scan.                                            *)
+
+let scan_dir = "/scan"
+let scan_width = 96
+let scan_pat = ".log"
+let scan_name i =
+  if i mod 6 = 0 then Printf.sprintf "f%03d.log" i
+  else Printf.sprintf "f%03d.dat" i
+
+(** One matching entry in six across [scan_width] files; the plain arm
+    pays readdir + a stat per survivor, the pushdown arm exactly one
+    crossing into the fs layer (per wire round-trip on FUSE). *)
+let filtered_scan os ~pushdown ~duration : r =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  if not (Kernel.Os.exists os scan_dir) then begin
+    ok (Kernel.Os.mkdir os scan_dir);
+    for i = 0 to scan_width - 1 do
+      let fd =
+        ok
+          (Kernel.Os.open_ os
+             (scan_dir ^ "/" ^ scan_name i)
+             Kernel.Os.(creat wronly))
+      in
+      ok (Kernel.Os.close os fd)
+    done
+  end;
+  let reg = Kernel.Pushdown.registry machine in
+  (match Kernel.Pushdown.find reg "scanlog" with
+  | Some _ -> ()
+  | None ->
+      let cap = Kernel.Pushdown.grant reg ~client:"bench" in
+      Result.get_ok
+        (Kernel.Pushdown.register reg ~cap ~name:"scanlog"
+           (Kernel.Pushdown.Dir_filter { contains = scan_pat })));
+  (* warm the dcache / daemon path once outside the window *)
+  ignore (ok (Kernel.Os.readdir os scan_dir));
+  let body () =
+    if pushdown then
+      ignore (ok (Kernel.Os.readdir_filtered os scan_dir ~prog:"scanlog"))
+    else
+      let des = ok (Kernel.Os.readdir os scan_dir) in
+      List.iter
+        (fun (d : Kernel.Vfs.dirent) ->
+          if Kernel.Pushdown.matches d.d_name ~contains:scan_pat then
+            ignore (ok (Kernel.Os.stat os (scan_dir ^ "/" ^ d.d_name))))
+        des
+  in
+  let ops, elapsed, cpo, lat = timed machine ~duration body in
+  {
+    br =
+      {
+        Bench_result.label =
+          (if pushdown then "scan/pushdown" else "scan/plain");
+        ops;
+        bytes = 0;
+        elapsed_ns = elapsed;
+        lat = Some lat;
+      };
+    crossings_per_op = cpo;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Radix index built inside a regular file, slots holding DEVICE block
+   numbers (via bmap), so the walker can chase them below the fs. *)
+
+type index = {
+  ix_fd : int;
+  ix_path : string;
+  ix_root_dev : int;
+  ix_keys : int64 array;
+  ix_fbn_of_dev : (int, int) Hashtbl.t;
+  ix_nblocks : int;
+}
+
+type node = {
+  n_fbn : int;
+  slot_fbn : int array;  (* child file block, -1 = hole *)
+  kids : node option array;  (* interior children *)
+}
+
+let value_payload key =
+  let b = Bytes.make bsize '\000' in
+  Bytes.set_int64_le b 0 key;
+  for i = 8 to 63 do
+    Bytes.set b i (Char.chr ((Int64.to_int key * 31 + i) land 0xff))
+  done;
+  b
+
+(** Build a [depth]-level index over [nkeys] distinct random keys in
+    [path]: write value + placeholder blocks, fsync (allocating home
+    blocks), resolve every file block to its device block with bmap,
+    then fill the index blocks with device pointers and flush. *)
+let build_index os ~path ~fanout_bits ~depth ~nkeys ~seed : index =
+  let fanout = 1 lsl fanout_bits in
+  let rng = Sim.Rng.create seed in
+  let keyspace = 1 lsl (fanout_bits * depth) in
+  let seen = Hashtbl.create nkeys in
+  while Hashtbl.length seen < nkeys do
+    Hashtbl.replace seen (Sim.Rng.int rng keyspace) ()
+  done;
+  let keys =
+    Array.of_list
+      (Hashtbl.fold (fun k () acc -> Int64.of_int k :: acc) seen [])
+  in
+  Array.sort compare keys;
+  let next = ref 0 in
+  let alloc () =
+    let f = !next in
+    incr next;
+    f
+  in
+  let mknode () =
+    {
+      n_fbn = alloc ();
+      slot_fbn = Array.make fanout (-1);
+      kids = Array.make fanout None;
+    }
+  in
+  let root = mknode () in
+  let key_of_leaf = Hashtbl.create nkeys in
+  Array.iter
+    (fun key ->
+      let rec ins n level =
+        let s = Kernel.Pushdown.slot_of_key ~fanout_bits ~depth ~level key in
+        if level = depth - 1 then begin
+          if n.slot_fbn.(s) < 0 then n.slot_fbn.(s) <- alloc ();
+          Hashtbl.replace key_of_leaf n.slot_fbn.(s) key
+        end
+        else begin
+          (match n.kids.(s) with
+          | None ->
+              let c = mknode () in
+              n.kids.(s) <- Some c;
+              n.slot_fbn.(s) <- c.n_fbn
+          | Some _ -> ());
+          match n.kids.(s) with
+          | Some c -> ins c (level + 1)
+          | None -> assert false
+        end
+      in
+      ins root 0)
+    keys;
+  let fd = ok (Kernel.Os.open_ os path Kernel.Os.(creat rdwr)) in
+  let zero = Bytes.make bsize '\000' in
+  let rec each n f =
+    f n;
+    Array.iter (function Some c -> each c f | None -> ()) n.kids
+  in
+  (* pass 1: placeholders + values, so every file block has a home *)
+  each root (fun n ->
+      ignore (ok (Kernel.Os.pwrite os fd ~pos:(n.n_fbn * bsize) zero)));
+  Hashtbl.iter
+    (fun fbn key ->
+      ignore (ok (Kernel.Os.pwrite os fd ~pos:(fbn * bsize) (value_payload key))))
+    key_of_leaf;
+  ok (Kernel.Os.fsync os fd);
+  (* pass 2: file block -> device block *)
+  let dev = Array.make !next 0 in
+  for fbn = 0 to !next - 1 do
+    dev.(fbn) <- ok (Kernel.Os.bmap os path ~fbn)
+  done;
+  (* pass 3: fill index blocks with device pointers *)
+  each root (fun n ->
+      let b = Bytes.make bsize '\000' in
+      Array.iteri
+        (fun s f ->
+          if f >= 0 then Kernel.Pushdown.put_slot b ~slot:s dev.(f))
+        n.slot_fbn;
+      ignore (ok (Kernel.Os.pwrite os fd ~pos:(n.n_fbn * bsize) b)));
+  ok (Kernel.Os.fsync os fd);
+  ok (Kernel.Os.sync os);
+  let fbn_of_dev = Hashtbl.create (2 * !next) in
+  Array.iteri (fun fbn d -> Hashtbl.replace fbn_of_dev d fbn) dev;
+  {
+    ix_fd = fd;
+    ix_path = path;
+    ix_root_dev = dev.(0);
+    ix_keys = keys;
+    ix_fbn_of_dev = fbn_of_dev;
+    ix_nblocks = !next;
+  }
+
+(** The plain arm's chase: one pread per index level plus the value read
+    — every hop a full caller crossing. *)
+let plain_lookup os ix ~fanout_bits ~depth key : Bytes.t =
+  let rec chase blk level =
+    let fbn = Hashtbl.find ix.ix_fbn_of_dev blk in
+    let b = ok (Kernel.Os.pread os ix.ix_fd ~pos:(fbn * bsize) ~len:bsize) in
+    if level >= depth then b
+    else
+      chase
+        (Kernel.Pushdown.get_slot b
+           ~slot:(Kernel.Pushdown.slot_of_key ~fanout_bits ~depth ~level key))
+        (level + 1)
+  in
+  chase ix.ix_root_dev 0
+
+let walk_fanout_bits = 4
+let walk_depth = 3
+let walk_nkeys = 24
+
+let setup_index os ~seed =
+  let path = "/pushdown.idx" in
+  let ix =
+    build_index os ~path ~fanout_bits:walk_fanout_bits ~depth:walk_depth
+      ~nkeys:walk_nkeys ~seed
+  in
+  (* warm the page cache so the plain arm's preads are pure crossings *)
+  for fbn = 0 to ix.ix_nblocks - 1 do
+    ignore (ok (Kernel.Os.pread os ix.ix_fd ~pos:(fbn * bsize) ~len:bsize))
+  done;
+  ix
+
+(** Point lookups over the index: depth+1 crossings plain, exactly one
+    with the walk pushed down to bio completion context. *)
+let extent_walk os ~pushdown ~duration ~seed : r =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let ix = setup_index os ~seed in
+  let reg = Kernel.Pushdown.registry machine in
+  let cap = Kernel.Pushdown.grant reg ~client:"bench" in
+  Result.get_ok
+    (Kernel.Pushdown.register reg ~cap ~name:"extwalk"
+       (Kernel.Pushdown.Extent_walk
+          { fanout_bits = walk_fanout_bits; depth = walk_depth }));
+  let rng = Sim.Rng.create (seed + 1) in
+  let nkeys = Array.length ix.ix_keys in
+  let body () =
+    let key = ix.ix_keys.(Sim.Rng.int rng nkeys) in
+    let v =
+      if pushdown then
+        ok (Kernel.Os.pushdown_walk os ~prog:"extwalk" ~root:ix.ix_root_dev ~key)
+      else
+        plain_lookup os ix ~fanout_bits:walk_fanout_bits ~depth:walk_depth key
+    in
+    assert (Bytes.get_int64_le v 0 = key)
+  in
+  let ops, elapsed, cpo, lat = timed machine ~duration body in
+  ok (Kernel.Os.close os ix.ix_fd);
+  {
+    br =
+      {
+        Bench_result.label =
+          (if pushdown then "walk/pushdown" else "walk/plain");
+        ops;
+        bytes = ops * bsize;
+        elapsed_ns = elapsed;
+        lat = Some lat;
+      };
+    crossings_per_op = cpo;
+  }
+
+(** get(key) below the syscall layer: the walk's root is bound at
+    registration, so the caller ships only the key. *)
+let kv_get os ~duration ~seed : r =
+  let machine = Kernel.Vfs.machine (Kernel.Os.vfs os) in
+  let ix = setup_index os ~seed in
+  let reg = Kernel.Pushdown.registry machine in
+  let cap = Kernel.Pushdown.grant reg ~client:"bench" in
+  Result.get_ok
+    (Kernel.Pushdown.register reg ~cap ~name:"kv"
+       (Kernel.Pushdown.Kv_get
+          {
+            fanout_bits = walk_fanout_bits;
+            depth = walk_depth;
+            root = ix.ix_root_dev;
+          }));
+  let rng = Sim.Rng.create (seed + 2) in
+  let nkeys = Array.length ix.ix_keys in
+  let body () =
+    let key = ix.ix_keys.(Sim.Rng.int rng nkeys) in
+    let v = ok (Kernel.Os.pushdown_get os ~prog:"kv" ~key) in
+    assert (Bytes.get_int64_le v 0 = key)
+  in
+  let ops, elapsed, cpo, lat = timed machine ~duration body in
+  ok (Kernel.Os.close os ix.ix_fd);
+  {
+    br =
+      {
+        Bench_result.label = "get/pushdown";
+        ops;
+        bytes = ops * bsize;
+        elapsed_ns = elapsed;
+        lat = Some lat;
+      };
+    crossings_per_op = cpo;
+  }

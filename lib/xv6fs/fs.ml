@@ -1855,4 +1855,18 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
         (* one icache reference per open handle, minus the iget above *)
         ip.refcount <- ip.refcount + nopen - 1)
       st.Bento.Upgrade_state.open_inodes
+
+  (* FIBMAP (shadows the internal [bmap t ip bn ~alloc] helper): report the
+     device block without allocating, so clients can build pushdown index
+     blocks out of real device pointers. *)
+  let bmap t ~ino ~fbn : int res =
+    let ip = iget t ino in
+    ilock t ip;
+    let r =
+      if ip.ftype = L.F_free then Error Kernel.Errno.ESTALE
+      else bmap t ip fbn ~alloc:false
+    in
+    iunlock ip;
+    iput t ip;
+    r
 end

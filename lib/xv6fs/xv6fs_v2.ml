@@ -136,6 +136,7 @@ module Make (K : Bento.Bentoks.KSERVICES) = struct
     tick t;
     V1.readdir t.base ~ino
 
+  let bmap t ~ino ~fbn = V1.bmap t.base ~ino ~fbn
   let iopen t ~ino = V1.iopen t.base ~ino
   let irelease t ~ino = V1.irelease t.base ~ino
 

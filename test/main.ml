@@ -30,5 +30,6 @@ let () =
       ("server", Test_server.suite);
       ("ext4", Test_ext4.suite);
       ("cas", Test_cas.suite);
+      ("pushdown", Test_pushdown.suite);
       ("check", Test_check.suite);
     ]

@@ -405,6 +405,165 @@ let test_cas_crash_mid_cow () =
   Alcotest.(check bool) "the still-bound old state was observed" true
     (!bound_old > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Crash mid pushdown-walk-resubmission. Walks are reads: a workload
+   crashed while a concurrent completion fiber chases index blocks must
+   produce exactly the durability states of the same workload without
+   the walker (the command hook ignores Cmd_read), and at every crash
+   point — clean or torn — the index stays intact and walkable and the
+   mutated file is old-or-new per block, never garbage.               *)
+
+let pd_fanout_bits = Workloads.Pushdown_bench.walk_fanout_bits
+let pd_depth = Workloads.Pushdown_bench.walk_depth
+let pd_block i = payload ~seed:(100 + i) 4096
+let pd_nwrites = 8
+
+(** Build a durable index, then run the pwrite+fsync mutation loop with
+    the command hook installed — with or without a concurrent walker
+    fiber. Returns the crash points plus the index root and keys. *)
+let pushdown_capture ~with_walker :
+    cas_point list * int * int64 array =
+  let points = ref [] in
+  let root = ref 0 and keys = ref [||] in
+  in_sim (fun machine ->
+      let dev = Kernel.Machine.disk machine in
+      ok (Bento.Bentofs.mkfs machine xv6_maker);
+      let vfs, handle =
+        ok (Bento.Bentofs.mount ~background:false machine xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      let ix =
+        Workloads.Pushdown_bench.build_index os ~path:"/idx"
+          ~fanout_bits:pd_fanout_bits ~depth:pd_depth ~nkeys:8 ~seed:21
+      in
+      root := ix.Workloads.Pushdown_bench.ix_root_dev;
+      keys := ix.Workloads.Pushdown_bench.ix_keys;
+      let r = Kernel.Pushdown.registry machine in
+      let cap = Kernel.Pushdown.grant r ~client:"checker" in
+      Result.get_ok
+        (Kernel.Pushdown.register r ~cap ~name:"wlk"
+           (Kernel.Pushdown.Extent_walk
+              { fanout_bits = pd_fanout_bits; depth = pd_depth }));
+      let fd = ok (Kernel.Os.open_ os "/data" Kernel.Os.(creat rdwr)) in
+      ok (Kernel.Os.sync os);
+      Device.Ssd.flush dev;
+      let cached_epoch = ref (-1) and cached_stable = ref [||] in
+      let capture = function
+        | Device.Ssd.Cmd_read -> ()
+        | Device.Ssd.Cmd_write | Device.Ssd.Cmd_flush ->
+            let epoch = Device.Ssd.stable_epoch dev in
+            if !cached_epoch <> epoch then begin
+              let acc = ref [] in
+              Array.iteri
+                (fun i o ->
+                  match o with Some b -> acc := (i, b) :: !acc | None -> ())
+                (Device.Ssd.crash_view dev);
+              cached_stable := Array.of_list (List.rev !acc);
+              cached_epoch := epoch
+            end;
+            points :=
+              {
+                cpt_stable = !cached_stable;
+                cpt_volatile = Device.Ssd.volatile_view dev;
+              }
+              :: !points
+      in
+      Device.Ssd.set_command_hook dev (Some capture);
+      let stop = ref false in
+      let walker_done = Sim.Sync.Semaphore.create 0 in
+      let walks = ref 0 in
+      if with_walker then
+        Kernel.Machine.spawn ~name:"walker" machine (fun () ->
+            let rng = Sim.Rng.create 77 in
+            let n = Array.length !keys in
+            while not !stop do
+              let key = !keys.(Sim.Rng.int rng n) in
+              let v = ok (Kernel.Os.pushdown_walk os ~prog:"wlk" ~root:!root ~key) in
+              assert (Bytes.get_int64_le v 0 = key);
+              incr walks
+            done;
+            Sim.Sync.Semaphore.release walker_done);
+      for i = 0 to pd_nwrites - 1 do
+        ignore (ok (Kernel.Os.pwrite os fd ~pos:(i * 4096) (pd_block i)) : int);
+        ok (Kernel.Os.fsync os fd)
+      done;
+      stop := true;
+      if with_walker then begin
+        Sim.Sync.Semaphore.acquire walker_done;
+        Alcotest.(check bool) "walker actually walked" true (!walks > 0)
+      end;
+      Device.Ssd.set_command_hook dev None;
+      ok (Kernel.Os.close os fd);
+      Bento.Bentofs.unmount vfs handle);
+  (List.rev !points, !root, !keys)
+
+let pushdown_replay (pt : cas_point) ~volatile check =
+  in_sim (fun machine ->
+      let dev = Kernel.Machine.disk machine in
+      Array.iter
+        (fun (blk, b) -> Device.Ssd.Offline.write dev blk b)
+        pt.cpt_stable;
+      if volatile then
+        List.iter
+          (fun (blk, b) -> Device.Ssd.Offline.write dev blk b)
+          pt.cpt_volatile;
+      let vfs, handle =
+        ok (Bento.Bentofs.mount ~background:false machine xv6_maker)
+      in
+      let os = Kernel.Os.create vfs in
+      check machine os;
+      Bento.Bentofs.unmount vfs handle)
+
+let test_pushdown_walk_crash () =
+  let baseline, _, _ = pushdown_capture ~with_walker:false in
+  let walked, root, keys = pushdown_capture ~with_walker:true in
+  Alcotest.(check bool) "captured crash points" true
+    (List.length baseline > 2);
+  (* walks are reads: the walker adds NO durability states *)
+  Alcotest.(check int) "same number of durability states"
+    (List.length baseline) (List.length walked);
+  List.iter2
+    (fun (b : cas_point) (w : cas_point) ->
+      Alcotest.(check bool) "identical stable state" true
+        (b.cpt_stable = w.cpt_stable);
+      Alcotest.(check bool) "identical volatile state" true
+        (b.cpt_volatile = w.cpt_volatile))
+    baseline walked;
+  let zeros = Bytes.make 4096 '\000' in
+  List.iter
+    (fun pt ->
+      List.iter
+        (fun volatile ->
+          pushdown_replay pt ~volatile (fun machine os ->
+              (* the index is intact and walkable at every crash point *)
+              let r = Kernel.Pushdown.registry machine in
+              let cap = Kernel.Pushdown.grant r ~client:"replay" in
+              Result.get_ok
+                (Kernel.Pushdown.register r ~cap ~name:"wlk"
+                   (Kernel.Pushdown.Extent_walk
+                      { fanout_bits = pd_fanout_bits; depth = pd_depth }));
+              Array.iter
+                (fun key ->
+                  let v =
+                    ok (Kernel.Os.pushdown_walk os ~prog:"wlk" ~root ~key)
+                  in
+                  Alcotest.(check int64) "index value survives" key
+                    (Bytes.get_int64_le v 0))
+                keys;
+              (* the mutated file is old-or-new per fsynced block *)
+              let st = ok (Kernel.Os.stat os "/data") in
+              let fd = ok (Kernel.Os.open_ os "/data" Kernel.Os.rdonly) in
+              for i = 0 to (st.Kernel.Vfs.st_size / 4096) - 1 do
+                let b =
+                  ok (Kernel.Os.pread os fd ~pos:(i * 4096) ~len:4096)
+                in
+                if not (Bytes.equal b (pd_block i) || Bytes.equal b zeros)
+                then Alcotest.failf "torn block %d after replay" i
+              done;
+              ok (Kernel.Os.close os fd)))
+        [ false; true ])
+    walked
+
 let suite =
   [
     tc "oracle errnos" `Quick test_oracle_errnos;
@@ -424,4 +583,6 @@ let suite =
       test_cas_crash_mid_seal;
     tc "cas crash mid-cow: old xor new, never a mix" `Quick
       test_cas_crash_mid_cow;
+    tc "pushdown walk crash: reads add no durability states" `Quick
+      test_pushdown_walk_crash;
   ]

@@ -44,6 +44,8 @@ let gen_request : Fusesim.Proto.request QCheck.Gen.t =
       map (fun ino -> Release { ino }) gen_ino;
       return Statfs;
       return Destroy;
+      map2 (fun dir prog -> ReaddirFilter { dir; prog }) gen_ino gen_name;
+      map2 (fun ino fbn -> Bmap { ino; fbn }) gen_ino gen_off;
     ]
 
 let request_eq (a : Fusesim.Proto.request) (b : Fusesim.Proto.request) =
@@ -91,6 +93,10 @@ let gen_reply : Fusesim.Proto.reply QCheck.Gen.t =
         (fun (((blocks, bfree), files), ffree) ->
           R_statfs { blocks; bfree; files; ffree })
         (pair (pair (pair gen_off gen_off) gen_off) gen_off);
+      map
+        (fun des -> R_dirents_plus des)
+        (list_size (int_range 0 20) (pair gen_name gen_attr));
+      map (fun blk -> R_block blk) gen_off;
     ]
 
 let reply_eq (a : Fusesim.Proto.reply) (b : Fusesim.Proto.reply) =

@@ -410,9 +410,64 @@ let test_garbage_on_live_conn () =
         >= 2L);
       Server.Client.detach cl)
 
+(* ------------------------------------------------------------------ *)
+(* Pushdown over the wire: the server runs a registered filter and a
+   bound-root get(key) on the client's behalf — one round trip each.    *)
+
+let test_pushdown_rpcs () =
+  with_server (fun machine os sv ->
+      let cl = attach machine sv ~tenant:"a" in
+      let root = (Server.Client.root cl).Server.Proto.ino in
+      let dir = ok_r (Server.Client.mkdir cl ~dir:root ~name:"d") in
+      let dino = dir.Server.Proto.ino in
+      List.iter
+        (fun name ->
+          let f =
+            ok_r (Server.Client.create cl ~dir:dino ~name ~write:true)
+          in
+          ok_r (Server.Client.close_ cl f.Server.Proto.ino))
+        [ "a.log"; "b.dat"; "c.log"; "d.tmp" ];
+      (* unregistered program: the errno crosses the wire *)
+      (match Server.Client.readdir_filter cl dino ~prog:"ghost" with
+      | Error e -> Alcotest.check Helpers.check_errno "ENOENT" Kernel.Errno.ENOENT e
+      | Ok _ -> Alcotest.fail "unregistered program accepted");
+      let r = Kernel.Pushdown.registry machine in
+      let cap = Kernel.Pushdown.grant r ~client:"tenant-a" in
+      Result.get_ok
+        (Kernel.Pushdown.register r ~cap ~name:"logs"
+           (Kernel.Pushdown.Dir_filter { contains = ".log" }));
+      let des = ok_r (Server.Client.readdir_filter cl dino ~prog:"logs") in
+      Alcotest.(check (list string))
+        "filtered + batched" [ "a.log"; "c.log" ]
+        (List.sort compare (List.map fst des));
+      List.iter
+        (fun ((_, (a : Server.Proto.attr))) ->
+          Alcotest.(check int) "regular file attr" 0 a.kind)
+        des;
+      (* device-side get(key) through the server's own Os *)
+      let ix =
+        Workloads.Pushdown_bench.build_index os ~path:"/srv.idx"
+          ~fanout_bits:Workloads.Pushdown_bench.walk_fanout_bits
+          ~depth:Workloads.Pushdown_bench.walk_depth ~nkeys:4 ~seed:3
+      in
+      Result.get_ok
+        (Kernel.Pushdown.register r ~cap ~name:"kv"
+           (Kernel.Pushdown.Kv_get
+              {
+                fanout_bits = Workloads.Pushdown_bench.walk_fanout_bits;
+                depth = Workloads.Pushdown_bench.walk_depth;
+                root = ix.Workloads.Pushdown_bench.ix_root_dev;
+              }));
+      let key = ix.Workloads.Pushdown_bench.ix_keys.(0) in
+      let v = ok_r (Server.Client.pushdown_get cl ~prog:"kv" ~key) in
+      Alcotest.(check int64) "value round-trips" key (Bytes.get_int64_le v 0);
+      ok (Kernel.Os.close os ix.Workloads.Pushdown_bench.ix_fd);
+      Server.Client.detach cl)
+
 let suite =
   [
     tc "end-to-end protocol" `Quick test_e2e;
+    tc "pushdown rpcs: filtered scan + get(key)" `Quick test_pushdown_rpcs;
     tc "unknown tenant rejected" `Quick test_bad_tenant;
     tc "recall flushes dirty cache" `Quick test_recall_flush;
     tc "lease coherence under concurrency" `Quick test_lease_coherence;

@@ -42,6 +42,11 @@ let gen_request : Server.Proto.request QCheck.Gen.t =
       map (fun ino -> Release { ino }) gen_ino;
       map (fun ino -> Lease_return { ino }) gen_ino;
       return Detach;
+      map2 (fun dir prog -> Readdir_filter { dir; prog }) gen_ino gen_name;
+      map2
+        (fun prog key -> Pushdown_get { prog; key })
+        gen_name
+        (map Int64.of_int (int_range 0 (1 lsl 48)));
     ]
 
 let request_eq (a : Server.Proto.request) (b : Server.Proto.request) =
@@ -98,12 +103,19 @@ let gen_reply : Server.Proto.reply QCheck.Gen.t =
         (list_size (int_range 0 20)
            (map2 (fun name (ino, kind) -> (name, ino, kind)) gen_name
               (pair gen_ino (int_range 0 2))));
+      map
+        (fun des -> R_dirents_plus des)
+        (list_size (int_range 0 20) (pair gen_name gen_attr));
+      map
+        (fun s -> R_value (Bytes.of_string s))
+        (string_size (int_range 0 4096));
     ]
 
 let reply_eq (a : Server.Proto.reply) (b : Server.Proto.reply) =
   match (a, b) with
   | Server.Proto.R_read r1, Server.Proto.R_read r2 ->
       Bytes.equal r1.rdata r2.rdata && r1.rattr = r2.rattr
+  | Server.Proto.R_value v1, Server.Proto.R_value v2 -> Bytes.equal v1 v2
   | _ -> a = b
 
 let gen_smsg : Server.Proto.smsg QCheck.Gen.t =
